@@ -1,0 +1,194 @@
+// Command volleybench regenerates the evaluation figures of the Volley
+// paper (ICDCS 2013) as text tables: the motivating example (Fig. 1), the
+// overhead-saving sweeps (Fig. 5a–c), the Dom0 CPU distribution (Fig. 6),
+// the accuracy grid (Fig. 7), the distributed-coordination comparison
+// (Fig. 8), an equal-budget baseline comparison, and the ablations listed
+// in DESIGN.md §6.
+//
+// Usage:
+//
+//	volleybench [-fig all|1|5a|5b|5c|6|7|8|ablations] [-preset full|quick]
+//
+// Absolute numbers come from the synthetic workloads documented in
+// DESIGN.md §2; the shapes are what reproduce the paper (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"volley/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations")
+	preset := flag.String("preset", "full", "experiment sizes: full or quick")
+	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	flag.Parse()
+
+	if err := run2(*fig, *preset, *csvDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "volleybench:", err)
+		os.Exit(1)
+	}
+}
+
+// run keeps the original signature for tests; run2 adds CSV output.
+func run(fig, preset string, out *os.File) error {
+	return run2(fig, preset, "", out)
+}
+
+func run2(fig, preset, csvDir string, out *os.File) error {
+	writeCSV := func(name, data string) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(csvDir, name), []byte(data), 0o644)
+	}
+	_ = writeCSV
+	return runFigures(fig, preset, writeCSV, out)
+}
+
+func runFigures(fig, preset string, writeCSV func(name, data string) error, out *os.File) error {
+	var p bench.Preset
+	switch strings.ToLower(preset) {
+	case "full":
+		p = bench.Full()
+	case "quick":
+		p = bench.Quick()
+	default:
+		return fmt.Errorf("unknown preset %q (want full or quick)", preset)
+	}
+
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+	ablationIdx := 1
+
+	if want("1") {
+		ran = true
+		r, err := bench.RunFig1(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Table())
+		if err := writeCSV("fig1.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("5a") {
+		ran = true
+		r, err := bench.RunFig5a(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.RatioTable())
+		fmt.Fprintf(out, "fig5a max saving: %.1f%%\n\n", 100*r.MaxSaving())
+		if err := writeCSV("fig5a.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("5b") {
+		ran = true
+		r, err := bench.RunFig5b(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.RatioTable())
+		fmt.Fprintf(out, "fig5b max saving: %.1f%%\n\n", 100*r.MaxSaving())
+		if err := writeCSV("fig5b.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("5c") {
+		ran = true
+		r, err := bench.RunFig5c(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.RatioTable())
+		fmt.Fprintf(out, "fig5c max saving: %.1f%%\n\n", 100*r.MaxSaving())
+		if err := writeCSV("fig5c.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("6") {
+		ran = true
+		r, err := bench.RunFig6(p, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Table())
+		if err := writeCSV("fig6.csv", r.CSV()); err != nil {
+			return err
+		}
+		periodical, largest := r.BaselineMedian()
+		fmt.Fprintf(out, "fig6 median CPU: %.1f%% (periodical) -> %.1f%% (largest allowance)\n\n",
+			periodical, largest)
+	}
+	if want("7") {
+		ran = true
+		r, err := bench.RunFig7(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.MisdetectTable())
+		if err := writeCSV("fig7.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		ran = true
+		r, err := bench.RunFig8(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Table())
+		if err := writeCSV("fig8.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("baselines") {
+		ran = true
+		r, err := bench.RunBaselines(p, 1, 0.01)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Table())
+		if err := writeCSV("baselines.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("ablations") {
+		ran = true
+		type runner func(bench.Preset) (*bench.AblationResult, error)
+		for _, ab := range []runner{
+			bench.RunAblationSlack,
+			bench.RunAblationEstimator,
+			bench.RunAblationGrowth,
+			bench.RunAblationStatsWindow,
+			bench.RunAblationCoordPeriod,
+			bench.RunAblationAggregation,
+			bench.RunAblationThresholdSplit,
+		} {
+			r, err := ab(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Table())
+			if err := writeCSV(fmt.Sprintf("ablation-%02d.csv", ablationIdx), r.CSV()); err != nil {
+				return err
+			}
+			ablationIdx++
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations)", fig)
+	}
+	return nil
+}

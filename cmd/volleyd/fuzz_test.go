@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// FuzzParseNumber ensures arbitrary source output never panics the parser.
+func FuzzParseNumber(f *testing.F) {
+	f.Add("42")
+	f.Add("")
+	f.Add("  3.5 trailing")
+	f.Add("NaN")
+	f.Add("1e999")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := parseNumber(s)
+		if err == nil && v != v && s == "" {
+			t.Fatalf("empty input produced value %v without error", v)
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Command volleyd is a small adaptive monitoring daemon: it watches one
+// numeric signal — the output of a command or the body of an HTTP endpoint
+// — with Volley's violation-likelihood based sampling, logs state alerts as
+// JSON lines, and optionally serves Prometheus-style metrics about its own
+// behavior.
+//
+// The daemon samples at the default interval only while a violation is
+// plausible; when the signal is far from the threshold it stretches the
+// probe interval up to -max-interval times, cutting probe cost exactly the
+// way the paper cuts datacenter monitoring cost.
+//
+// Usage:
+//
+//	volleyd -source 'cmd:sh -c "wc -l < /var/log/app.log"' \
+//	        -interval 5s -threshold 10000 -err 0.01
+//
+//	volleyd -source http://localhost:8080/queue-depth \
+//	        -interval 1s -threshold 500 -err 0.01 -listen :9464
+//
+// Flags:
+//
+//	-source     cmd:<command line> or an http(s) URL returning a number
+//	-interval   default sampling interval Id
+//	-threshold  alert threshold T
+//	-direction  above (default) or below
+//	-err        error allowance (default 0.01)
+//	-max-interval  largest interval in units of Id (default 20)
+//	-window     optional aggregation window (in intervals) over which the
+//	            moving mean is monitored instead of raw values
+//	-listen     optional address to serve /metrics on
+//	-duration   optional run duration (default: run forever)
+//	-state      optional file persisting sampler state across restarts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"volley"
+	"volley/internal/export"
+	"volley/internal/monitor"
+)
+
+func main() {
+	var (
+		source      = flag.String("source", "", `signal source: "cmd:<command>" or an http(s) URL`)
+		interval    = flag.Duration("interval", 5*time.Second, "default sampling interval Id")
+		threshold   = flag.Float64("threshold", 0, "alert threshold T")
+		direction   = flag.String("direction", "above", "violating side of the threshold: above or below")
+		errAllow    = flag.Float64("err", 0.01, "error allowance")
+		maxInterval = flag.Int("max-interval", 20, "maximum interval in units of Id")
+		window      = flag.Int("window", 0, "aggregation window in intervals (0 = monitor raw values)")
+		listen      = flag.String("listen", "", "serve Prometheus-style /metrics on this address")
+		duration    = flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
+		stateFile   = flag.String("state", "", "persist sampler state to this file and restore it on start")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, options{
+		source:      *source,
+		interval:    *interval,
+		threshold:   *threshold,
+		direction:   *direction,
+		errAllow:    *errAllow,
+		maxInterval: *maxInterval,
+		window:      *window,
+		listen:      *listen,
+		duration:    *duration,
+		stateFile:   *stateFile,
+		out:         os.Stdout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "volleyd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	source      string
+	interval    time.Duration
+	threshold   float64
+	direction   string
+	errAllow    float64
+	maxInterval int
+	window      int
+	listen      string
+	duration    time.Duration
+	stateFile   string
+	out         io.Writer
+}
+
+// event is one JSON log line.
+type event struct {
+	Time     time.Time `json:"time"`
+	Kind     string    `json:"kind"` // "sample", "alert", "error"
+	Value    float64   `json:"value,omitempty"`
+	Interval int       `json:"interval,omitempty"`
+	Bound    float64   `json:"bound,omitempty"`
+	Err      string    `json:"err,omitempty"`
+}
+
+func run(ctx context.Context, opts options) error {
+	agent, err := buildAgent(opts.source)
+	if err != nil {
+		return err
+	}
+	if opts.interval <= 0 {
+		return fmt.Errorf("interval must be positive, got %v", opts.interval)
+	}
+	dir, err := parseDirection(opts.direction)
+	if err != nil {
+		return err
+	}
+	cfg := volley.SamplerConfig{
+		Threshold:   opts.threshold,
+		Direction:   dir,
+		Err:         opts.errAllow,
+		MaxInterval: opts.maxInterval,
+	}
+
+	var (
+		sampler *volley.Sampler
+		agg     *volley.AggregateSampler
+	)
+	if opts.window > 0 {
+		agg, err = volley.NewAggregateSampler(cfg, volley.AggregateMean, opts.window)
+	} else {
+		sampler, err = volley.NewSampler(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	// State persistence: resume the learned interval and δ statistics
+	// across daemon restarts. Aggregation windows are not persisted (the
+	// held ring refills within one window).
+	stateSampler := sampler
+	if agg != nil {
+		stateSampler = agg.Inner()
+	}
+	if opts.stateFile != "" {
+		if err := restoreState(opts.stateFile, stateSampler); err != nil {
+			return err
+		}
+		defer func() {
+			if err := saveState(opts.stateFile, stateSampler); err != nil {
+				fmt.Fprintln(os.Stderr, "volleyd: save state:", err)
+			}
+		}()
+	}
+
+	// Metrics endpoint: wrap the daemon's sampler in a monitor facade so
+	// the export registry can render it.
+	var srv *http.Server
+	if opts.listen != "" {
+		registry := export.NewRegistry()
+		// A lightweight monitor that mirrors the daemon's agent, used only
+		// for exposition (it shares the live sampler state via closures).
+		mon, err := monitor.New(monitor.Config{
+			ID:      "volleyd",
+			Agent:   monitor.AgentFunc(agent),
+			Sampler: cfg,
+		})
+		if err != nil {
+			return err
+		}
+		if err := registry.AddMonitor("volleyd", mon); err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry.Handler())
+		srv = &http.Server{Addr: opts.listen, Handler: mux}
+		go func() { _ = srv.ListenAndServe() }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		}()
+	}
+
+	if opts.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.duration)
+		defer cancel()
+	}
+
+	enc := json.NewEncoder(opts.out)
+	ticker := time.NewTicker(opts.interval)
+	defer ticker.Stop()
+
+	interval := 1
+	untilNext := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		if untilNext > 0 {
+			untilNext--
+			continue
+		}
+		value, sampleErr := agent()
+		now := time.Now()
+		if sampleErr != nil {
+			_ = enc.Encode(event{Time: now, Kind: "error", Err: sampleErr.Error()})
+			continue // retry at the next default interval
+		}
+
+		var violating bool
+		var bound float64
+		if agg != nil {
+			iv, obsErr := agg.Observe(value, interval)
+			if obsErr != nil {
+				return obsErr
+			}
+			interval = iv
+			violating = agg.Violates()
+			bound = agg.Bound()
+			value = agg.Value()
+		} else {
+			interval = sampler.Observe(value)
+			violating = sampler.Violates(value)
+			bound = sampler.Bound()
+		}
+		untilNext = interval - 1
+
+		kind := "sample"
+		if violating {
+			kind = "alert"
+		}
+		_ = enc.Encode(event{
+			Time:     now,
+			Kind:     kind,
+			Value:    value,
+			Interval: interval,
+			Bound:    bound,
+		})
+	}
+}
+
+func parseDirection(s string) (volley.Direction, error) {
+	switch strings.ToLower(s) {
+	case "", "above":
+		return volley.Above, nil
+	case "below":
+		return volley.Below, nil
+	default:
+		return 0, fmt.Errorf("unknown direction %q (want above or below)", s)
+	}
+}
+
+// buildAgent turns the -source flag into a sampling function.
+func buildAgent(source string) (func() (float64, error), error) {
+	switch {
+	case strings.HasPrefix(source, "cmd:"):
+		cmdline := strings.TrimPrefix(source, "cmd:")
+		if strings.TrimSpace(cmdline) == "" {
+			return nil, fmt.Errorf("empty command in source %q", source)
+		}
+		return func() (float64, error) {
+			out, err := exec.Command("sh", "-c", cmdline).Output()
+			if err != nil {
+				return 0, fmt.Errorf("run %q: %w", cmdline, err)
+			}
+			return parseNumber(string(out))
+		}, nil
+	case strings.HasPrefix(source, "http://"), strings.HasPrefix(source, "https://"):
+		client := &http.Client{Timeout: 10 * time.Second}
+		return func() (float64, error) {
+			resp, err := client.Get(source)
+			if err != nil {
+				return 0, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("GET %s: status %d", source, resp.StatusCode)
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			if err != nil {
+				return 0, err
+			}
+			return parseNumber(string(body))
+		}, nil
+	case source == "":
+		return nil, fmt.Errorf("missing -source")
+	default:
+		return nil, fmt.Errorf("unknown source %q (want cmd:<command> or an http(s) URL)", source)
+	}
+}
+
+// parseNumber extracts the first whitespace-delimited float from s.
+func parseNumber(s string) (float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("source produced no output")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", fields[0], err)
+	}
+	return v, nil
+}
+
+// saveState atomically writes the sampler's snapshot as JSON.
+func saveState(path string, s *volley.Sampler) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// restoreState loads a snapshot if the file exists; a missing file is a
+// fresh start, not an error.
+func restoreState(path string, s *volley.Sampler) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var st volley.SamplerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("state file %s: %w", path, err)
+	}
+	if err := s.Restore(st); err != nil {
+		return fmt.Errorf("state file %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"volley"
+)
+
+func TestParseNumber(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    float64
+		wantErr bool
+	}{
+		{name: "plain", in: "42", want: 42},
+		{name: "float", in: "3.5\n", want: 3.5},
+		{name: "leading whitespace", in: "  7 trailing words", want: 7},
+		{name: "scientific", in: "1e3", want: 1000},
+		{name: "empty", in: "", wantErr: true},
+		{name: "not a number", in: "abc", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseNumber(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("parseNumber(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	if d, err := parseDirection(""); err != nil || d != volley.Above {
+		t.Errorf("empty direction = %v, %v", d, err)
+	}
+	if d, err := parseDirection("Below"); err != nil || d != volley.Below {
+		t.Errorf("below = %v, %v", d, err)
+	}
+	if _, err := parseDirection("sideways"); err == nil {
+		t.Error("bogus direction accepted, want error")
+	}
+}
+
+func TestBuildAgentValidation(t *testing.T) {
+	if _, err := buildAgent(""); err == nil {
+		t.Error("empty source accepted, want error")
+	}
+	if _, err := buildAgent("cmd:   "); err == nil {
+		t.Error("empty command accepted, want error")
+	}
+	if _, err := buildAgent("ftp://example"); err == nil {
+		t.Error("unknown scheme accepted, want error")
+	}
+}
+
+func TestBuildAgentCmd(t *testing.T) {
+	agent, err := buildAgent("cmd:echo 12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := agent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12.5 {
+		t.Errorf("cmd agent = %v, want 12.5", v)
+	}
+}
+
+func TestBuildAgentCmdFailure(t *testing.T) {
+	agent, err := buildAgent("cmd:false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent(); err == nil {
+		t.Error("failing command produced no error")
+	}
+}
+
+func TestBuildAgentHTTP(t *testing.T) {
+	var value atomic.Value
+	value.Store("55")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(value.Load().(string)))
+	}))
+	defer srv.Close()
+	agent, err := buildAgent(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := agent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 55 {
+		t.Errorf("http agent = %v, want 55", v)
+	}
+	value.Store("not-a-number")
+	if _, err := agent(); err == nil {
+		t.Error("non-numeric body produced no error")
+	}
+}
+
+func TestBuildAgentHTTPStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	agent, err := buildAgent(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent(); err == nil {
+		t.Error("500 response produced no error")
+	}
+}
+
+// TestRunEndToEnd drives the daemon loop against an HTTP source that spikes
+// above the threshold midway and verifies the JSON log contains both
+// samples and alerts.
+func TestRunEndToEnd(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		v := "10"
+		if n > 20 {
+			v = "100"
+		}
+		_, _ = w.Write([]byte(v))
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := run(ctx, options{
+		source:      srv.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		direction:   "above",
+		errAllow:    0.05,
+		maxInterval: 5,
+		duration:    600 * time.Millisecond,
+		out:         &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples, alerts int
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	for dec.More() {
+		var e event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("bad log line: %v", err)
+		}
+		switch e.Kind {
+		case "sample":
+			samples++
+		case "alert":
+			alerts++
+		case "error":
+			t.Errorf("unexpected error event: %+v", e)
+		}
+	}
+	if samples == 0 {
+		t.Error("no sample events logged")
+	}
+	if alerts == 0 {
+		t.Error("no alert events logged despite the spike")
+	}
+}
+
+func TestRunWithAggregationWindow(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("5"))
+	}))
+	defer srv.Close()
+	var buf bytes.Buffer
+	err := run(context.Background(), options{
+		source:      srv.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		window:      4,
+		duration:    200 * time.Millisecond,
+		out:         &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"sample"`) {
+		t.Errorf("no samples logged:\n%s", buf.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := options{
+		source: "cmd:echo 1", interval: time.Millisecond,
+		errAllow: 0.01, maxInterval: 5, duration: 10 * time.Millisecond,
+		out: &bytes.Buffer{},
+	}
+	bad := base
+	bad.source = ""
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("missing source accepted, want error")
+	}
+	bad = base
+	bad.interval = 0
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("zero interval accepted, want error")
+	}
+	bad = base
+	bad.direction = "sideways"
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("bad direction accepted, want error")
+	}
+	bad = base
+	bad.errAllow = 7
+	if err := run(context.Background(), bad); err == nil {
+		t.Error("bad allowance accepted, want error")
+	}
+}
+
+func TestRunAgentErrorsAreLoggedAndRetried(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), options{
+		source:      "cmd:false",
+		interval:    time.Millisecond,
+		errAllow:    0.01,
+		maxInterval: 5,
+		duration:    100 * time.Millisecond,
+		out:         &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"kind":"error"`); n < 2 {
+		t.Errorf("expected repeated error events, got %d:\n%s", n, buf.String())
+	}
+}
+
+func TestStatePersistenceRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("5"))
+	}))
+	defer srv.Close()
+
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	base := options{
+		source:      srv.URL,
+		interval:    time.Millisecond,
+		threshold:   100,
+		errAllow:    0.1,
+		maxInterval: 5,
+		duration:    300 * time.Millisecond,
+		stateFile:   statePath,
+		out:         &bytes.Buffer{},
+	}
+	if err := run(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+	var st volley.SamplerState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("state file not valid JSON: %v", err)
+	}
+	if st.Interval < 2 {
+		t.Errorf("persisted interval = %d, want growth on quiet signal", st.Interval)
+	}
+
+	// A second run restores the state: its very first logged sample should
+	// already use the grown interval rather than cold-starting at 1.
+	var buf bytes.Buffer
+	second := base
+	second.out = &buf
+	second.duration = 100 * time.Millisecond
+	if err := run(context.Background(), second); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	var first event
+	for dec.More() {
+		if err := dec.Decode(&first); err != nil {
+			t.Fatal(err)
+		}
+		if first.Kind == "sample" {
+			break
+		}
+	}
+	if first.Interval < 2 {
+		t.Errorf("first interval after restore = %d, want ≥ 2", first.Interval)
+	}
+}
+
+func TestRestoreStateMissingFileIsFreshStart(t *testing.T) {
+	s, err := volley.NewSampler(volley.SamplerConfig{Threshold: 1, Err: 0.01, MaxInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoreState(filepath.Join(t.TempDir(), "absent.json"), s); err != nil {
+		t.Errorf("missing state file should not error: %v", err)
+	}
+}
+
+func TestRestoreStateRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := volley.NewSampler(volley.SamplerConfig{Threshold: 1, Err: 0.01, MaxInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoreState(path, s); err == nil {
+		t.Error("corrupt state file accepted, want error")
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run("bogus", 5, 100, 0.01, 1, 10, 1); err == nil {
+		t.Error("unknown workload accepted, want error")
+	}
+	if err := run("network", 0, 100, 0.01, 1, 10, 1); err == nil {
+		t.Error("zero variables accepted, want error")
+	}
+	if err := run("network", 5, 100, 0.01, 0, 10, 1); err == nil {
+		t.Error("selectivity 0 accepted, want error")
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	for _, workload := range []string{"network", "system", "app"} {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			if err := run(workload, 4, 800, 0.02, 2, 10, 1); err != nil {
+				t.Errorf("run(%s): %v", workload, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package volley
+
+import (
+	"volley/internal/coord"
+	"volley/internal/correlation"
+	"volley/internal/monitor"
+	"volley/internal/transport"
+)
+
+// Agent provides the monitored variable to a Monitor; sampling it is the
+// costly operation Volley economizes.
+type Agent = monitor.Agent
+
+// AgentFunc adapts a plain function to the Agent interface.
+type AgentFunc = monitor.AgentFunc
+
+// Monitor is a monitor node: it drives an adaptive sampler against an
+// Agent, detects local violations, reports them to its coordinator, serves
+// global polls and ships yield statistics for allowance coordination.
+// Advance it by calling Tick once per default sampling interval.
+type Monitor = monitor.Monitor
+
+// MonitorConfig parameterizes a Monitor.
+type MonitorConfig = monitor.Config
+
+// MonitorStats counts a monitor's activity.
+type MonitorStats = monitor.Stats
+
+// MonitorState is a serializable snapshot of a monitor's sampling position
+// (Monitor.Snapshot / Monitor.Restore), letting a restarted monitor resume
+// exactly where it left off instead of cold-starting.
+type MonitorState = monitor.State
+
+// NewMonitor builds a Monitor and registers it on its network.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	return monitor.New(cfg)
+}
+
+// Coordinator runs one task's global side: local-violation handling, global
+// polls against the global threshold, and error-allowance distribution
+// across monitors. Advance it by calling Tick once per default interval.
+type Coordinator = coord.Coordinator
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig = coord.Config
+
+// CoordinatorStats counts coordinator activity.
+type CoordinatorStats = coord.Stats
+
+// Scheme selects the error-allowance distribution strategy.
+type Scheme = coord.Scheme
+
+// Distribution schemes: SchemeAdaptive is the paper's iterative yield-based
+// tuning; SchemeEven is the static baseline it is compared against.
+const (
+	SchemeAdaptive = coord.SchemeAdaptive
+	SchemeEven     = coord.SchemeEven
+)
+
+// NewCoordinator builds a Coordinator and registers it on its network.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	return coord.New(cfg)
+}
+
+// Network connects monitors and coordinators.
+type Network = transport.Network
+
+// Message is the wire format shared by all Network implementations.
+type Message = transport.Message
+
+// MessageHandler consumes a delivered Message; custom Network
+// implementations receive one at Register time.
+type MessageHandler = transport.Handler
+
+// MemoryNetwork is the deterministic in-process Network used by the
+// simulation harness, with optional loss and delay injection.
+type MemoryNetwork = transport.Memory
+
+// NewMemoryNetwork builds an in-process network.
+func NewMemoryNetwork(opts ...transport.MemoryOption) *MemoryNetwork {
+	return transport.NewMemory(opts...)
+}
+
+// WithNetworkLoss drops each message independently with probability p
+// (failure injection for MemoryNetwork).
+func WithNetworkLoss(p float64, seed int64) transport.MemoryOption {
+	return transport.WithLoss(p, seed)
+}
+
+// WithNetworkDuplication delivers each message a second time with
+// probability p (at-least-once failure injection for MemoryNetwork).
+func WithNetworkDuplication(p float64, seed int64) transport.MemoryOption {
+	return transport.WithDuplication(p, seed)
+}
+
+// TCPNode is one endpoint of a gob-over-TCP network for real deployments.
+type TCPNode = transport.TCPNode
+
+// ListenTCP starts a TCP endpoint; see examples/tcpcluster.
+func ListenTCP(addr string, h func(Message)) (*TCPNode, error) {
+	return transport.ListenTCP(addr, h)
+}
+
+// CorrelationDetector finds predictor→target relationships between task
+// state series (multi-task level).
+type CorrelationDetector = correlation.Detector
+
+// CorrelationRule is one detected predictor→target relationship.
+type CorrelationRule = correlation.Rule
+
+// MonitoringPlan maps gated target tasks to the rules gating them.
+type MonitoringPlan = correlation.Plan
+
+// Gate applies one correlation rule at runtime: the target samples at a
+// relaxed interval until its predictor arms it.
+type Gate = correlation.Gate
+
+// NewCorrelationDetector returns a detector scanning predictor→target lags
+// in [0, maxLag] with the given co-occurrence slack (both in default
+// intervals).
+func NewCorrelationDetector(maxLag, slack int) (*CorrelationDetector, error) {
+	return correlation.NewDetector(maxLag, slack)
+}
+
+// BuildMonitoringPlan selects at most one gating rule per target task,
+// preferring high recall and cheap predictors, refusing gate chains.
+func BuildMonitoringPlan(rules []CorrelationRule, costs map[string]float64, minRecall float64) (MonitoringPlan, error) {
+	return correlation.BuildPlan(rules, costs, minRecall)
+}
+
+// NewGate builds a runtime gate with the given relaxed interval and
+// hold-down period (both in default intervals).
+func NewGate(relaxedInterval, holdDown int) (*Gate, error) {
+	return correlation.NewGate(relaxedInterval, holdDown)
+}
+
+// TaskScheduler runs a set of monitoring tasks under a correlation plan:
+// every task samples adaptively, and gated tasks additionally relax to a
+// long interval until their predictor observes a violation.
+type TaskScheduler = correlation.Scheduler
+
+// TaskSchedulerStats counts one scheduled task's activity.
+type TaskSchedulerStats = correlation.TaskStats
+
+// NewTaskScheduler returns an empty multi-task scheduler; add tasks with
+// AddTask, install a plan with Apply, and drive it with Step once per
+// default interval.
+func NewTaskScheduler() *TaskScheduler {
+	return correlation.NewScheduler()
+}

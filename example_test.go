@@ -1,0 +1,134 @@
+package volley_test
+
+import (
+	"fmt"
+	"time"
+
+	"volley"
+)
+
+// ExampleNewSampler shows the core adaptation loop: feed sampled values in,
+// get the next sampling interval out.
+func ExampleNewSampler() {
+	sampler, err := volley.NewSampler(volley.SamplerConfig{
+		Threshold:   100,  // alert when the value exceeds 100
+		Err:         0.05, // tolerate missing at most 5% of alerts
+		MaxInterval: 10,   // never stretch beyond 10 default intervals
+		Patience:    5,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A flat, safe signal lets the interval grow.
+	interval := 1
+	for i := 0; i < 40; i++ {
+		interval = sampler.Observe(10)
+	}
+	fmt.Println("quiet interval >", 1, ":", interval > 1)
+
+	// A violation saturates the mis-detection bound and resets to the
+	// default interval immediately.
+	interval = sampler.Observe(150)
+	fmt.Println("after violation:", interval)
+	// Output:
+	// quiet interval > 1 : true
+	// after violation: 1
+}
+
+// ExampleThresholdForSelectivity derives a task threshold the way the
+// paper's evaluation does: from an alert selectivity over observed values.
+func ExampleThresholdForSelectivity() {
+	values := make([]float64, 0, 100)
+	for i := 1; i <= 100; i++ {
+		values = append(values, float64(i))
+	}
+	threshold, err := volley.ThresholdForSelectivity(values, 10) // top 10% alert
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("threshold: %.1f\n", threshold)
+	// Output:
+	// threshold: 90.1
+}
+
+// ExampleSplitThresholdEven shows the local-task decomposition from the
+// paper's Section II-A: as long as every local value stays below T/n, no
+// global violation is possible and no communication is needed.
+func ExampleSplitThresholdEven() {
+	locals, err := volley.SplitThresholdEven(800, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(locals[0], locals[1])
+	// Output:
+	// 400 400
+}
+
+// ExampleNewAggregateSampler monitors a moving average instead of
+// instantaneous values.
+func ExampleNewAggregateSampler() {
+	agg, err := volley.NewAggregateSampler(volley.SamplerConfig{
+		Threshold:   50,
+		Err:         0.05,
+		MaxInterval: 10,
+	}, volley.AggregateMean, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, v := range []float64{30, 60, 90} {
+		if _, err := agg.Observe(v, 1); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("window mean: %.0f, violates: %v\n", agg.Value(), agg.Violates())
+	// Output:
+	// window mean: 60, violates: true
+}
+
+// ExampleNewDeployment wires a whole distributed task — coordinator,
+// monitors, threshold split — from its spec in one call.
+func ExampleNewDeployment() {
+	net := volley.NewMemoryNetwork()
+	step := 0
+	agents := []volley.Agent{
+		volley.AgentFunc(func() (float64, error) { return 10, nil }),
+		volley.AgentFunc(func() (float64, error) {
+			if step >= 30 {
+				return 400, nil // second node spikes
+			}
+			return 10, nil
+		}),
+	}
+	alerts := 0
+	d, err := volley.NewDeployment(volley.DeploymentConfig{
+		Spec: volley.TaskSpec{
+			ID:              "demo",
+			DefaultInterval: 15 * time.Second,
+			MaxInterval:     10,
+			Err:             0.05,
+			Threshold:       300, // alert when the sum exceeds 300
+			Monitors:        2,
+		},
+		Agents:  agents,
+		Network: net,
+		OnAlert: func(time.Duration, float64) { alerts++ },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for ; step < 40; step++ {
+		if err := d.Tick(time.Duration(step) * 15 * time.Second); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println("global alerts detected:", alerts > 0)
+	// Output:
+	// global alerts detected: true
+}

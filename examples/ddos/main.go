@@ -1,0 +1,168 @@
+// DDoS monitoring: the paper's motivating distributed task. A set of web
+// servers each observe their local SYN/SYN-ACK traffic difference ρ; a
+// coordinator checks whether the total difference across servers exceeds a
+// global threshold. Each server runs Volley's adaptive sampler locally, the
+// coordinator distributes the task-level error allowance across servers and
+// confirms global violations with global polls.
+//
+// Run with:
+//
+//	go run ./examples/ddos
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"volley"
+)
+
+const (
+	servers     = 8
+	steps       = 20000 // 15-second windows ≈ 3.5 days
+	globalErr   = 0.02
+	maxInterval = 20
+)
+
+// trafficDiff models one server's ρ = SYN-in − SYN/ACK-out series: a smooth
+// diurnal baseline asymmetry plus a SYN-flood episode hitting a subset of
+// servers late in the trace.
+func trafficDiff(server int, rng *rand.Rand) []float64 {
+	series := make([]float64, steps)
+	level := 0.0
+	for i := range series {
+		diurnal := 60 * (1 + 0.8*math.Sin(2*math.Pi*float64(i)/5760))
+		level = 0.97*level + rng.NormFloat64()
+		series[i] = diurnal*(0.8+0.1*float64(server%3)) + 2*level
+		if series[i] < 0 {
+			series[i] = 0
+		}
+	}
+	// SYN flood against servers 0-2 between windows 15000 and 15120.
+	if server < 3 {
+		for i := 15000; i < 15120 && i < steps; i++ {
+			series[i] += 4000 + 500*rng.NormFloat64()
+		}
+	}
+	return series
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+	series := make([][]float64, servers)
+	for s := range series {
+		series[s] = trafficDiff(s, rng)
+	}
+
+	// Global threshold: flag when the datacenter-wide asymmetry exceeds
+	// roughly twice its daily peak; split evenly into local thresholds.
+	globalThreshold := 2400.0
+	locals, err := volley.SplitThresholdEven(globalThreshold, servers)
+	if err != nil {
+		return err
+	}
+
+	net := volley.NewMemoryNetwork()
+	cursor := -1
+
+	monitorIDs := make([]string, servers)
+	for i := range monitorIDs {
+		monitorIDs[i] = fmt.Sprintf("server-%d", i)
+	}
+	var alerts []time.Duration
+	coordinator, err := volley.NewCoordinator(volley.CoordinatorConfig{
+		ID:           "coordinator",
+		Task:         "ddos",
+		Threshold:    globalThreshold,
+		Err:          globalErr,
+		Monitors:     monitorIDs,
+		Network:      net,
+		Scheme:       volley.SchemeAdaptive,
+		UpdatePeriod: 1000,
+		OnAlert: func(now time.Duration, total float64) {
+			alerts = append(alerts, now)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	monitors := make([]*volley.Monitor, servers)
+	for i := range monitors {
+		i := i
+		agent := volley.AgentFunc(func() (float64, error) {
+			return series[i][cursor], nil
+		})
+		monitors[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID:    monitorIDs[i],
+			Task:  "ddos",
+			Agent: agent,
+			Sampler: volley.SamplerConfig{
+				Threshold:   locals[i],
+				Err:         globalErr / servers,
+				MaxInterval: maxInterval,
+			},
+			Network:     net,
+			Coordinator: "coordinator",
+			YieldEvery:  1000,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Drive the task: one tick per 15-second window of virtual time.
+	for step := 0; step < steps; step++ {
+		cursor = step
+		now := time.Duration(step) * 15 * time.Second
+		coordinator.Tick(now)
+		for _, m := range monitors {
+			if _, _, err := m.Tick(now); err != nil {
+				return err
+			}
+		}
+	}
+
+	var samples, polls uint64
+	for _, m := range monitors {
+		st := m.Stats()
+		samples += st.Samples
+		polls += st.PollSamples
+	}
+	cs := coordinator.Stats()
+
+	fmt.Printf("servers:                 %d, windows: %d\n", servers, steps)
+	fmt.Printf("sampling operations:     %d (periodical would use %d)\n",
+		samples+polls, servers*steps)
+	fmt.Printf("cost saving:             %.1f%%\n",
+		100*(1-float64(samples+polls)/float64(servers*steps)))
+	fmt.Printf("local violations:        %d\n", cs.LocalViolations)
+	fmt.Printf("global polls:            %d (completed %d)\n", cs.Polls, cs.PollsCompleted)
+	fmt.Printf("confirmed global alerts: %d\n", cs.GlobalAlerts)
+	if len(alerts) > 0 {
+		fmt.Printf("first alert at:          %v (attack starts at %v)\n",
+			alerts[0], time.Duration(15000)*15*time.Second)
+	}
+	fmt.Printf("final allowance split:   %v\n", formatAssignments(coordinator.Assignments(), monitorIDs))
+	return nil
+}
+
+func formatAssignments(a map[string]float64, order []string) string {
+	out := ""
+	for i, id := range order {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.4f", a[id])
+	}
+	return out
+}

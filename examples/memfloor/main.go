@@ -1,0 +1,118 @@
+// Memory-floor monitoring: a below-threshold task over a windowed
+// aggregate. The monitored state is the moving average of free memory on a
+// server; an alert fires when the one-minute average drops below a floor —
+// the inverse of the paper's "value exceeds threshold" tasks, built from
+// the same machinery via Direction: Below and an AggregateSampler.
+//
+// Run with:
+//
+//	go run ./examples/memfloor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"volley"
+)
+
+const (
+	steps     = 40000 // 5-second steps ≈ 2.3 days
+	window    = 12    // one-minute moving average
+	floorMB   = 1200.0
+	errAllow  = 0.02
+	maxStreak = 20
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// freeMemory models a server's free memory in MB: a smooth daily cycle
+// (caches grow during the day), slow allocation drift, and two leak
+// episodes that eat memory until a "restart" recovers it.
+func freeMemory() []float64 {
+	rng := rand.New(rand.NewSource(17))
+	series := make([]float64, steps)
+	leak := 0.0
+	drift := 0.0
+	for i := range series {
+		diurnal := 800 * math.Sin(2*math.Pi*float64(i)/17280)
+		drift = 0.995*drift + 3*rng.NormFloat64()
+		if (i > 15000 && i < 15800) || (i > 31000 && i < 31600) {
+			leak += 4 + rng.Float64() // leaking
+		} else if leak > 0 {
+			leak = 0 // process restarted
+		}
+		v := 4000 + diurnal + drift - leak + 20*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		series[i] = v
+	}
+	return series
+}
+
+func run() error {
+	series := freeMemory()
+
+	agg, err := volley.NewAggregateSampler(volley.SamplerConfig{
+		Threshold:   floorMB,
+		Direction:   volley.Below, // alert when the average drops BELOW the floor
+		Err:         errAllow,
+		MaxInterval: maxStreak,
+	}, volley.AggregateMean, window)
+	if err != nil {
+		return err
+	}
+
+	// Ground truth: the windowed mean itself.
+	truth := make([]float64, steps)
+	var sum float64
+	for i, v := range series {
+		sum += v
+		n := window
+		if i+1 < window {
+			n = i + 1
+		} else if i >= window {
+			sum -= series[i-window]
+		}
+		truth[i] = sum / float64(n)
+	}
+
+	var acc volley.Accuracy
+	next, interval := 0, 1
+	firstAlert := -1
+	for i := range series {
+		sampled := i == next
+		if sampled {
+			iv, err := agg.Observe(series[i], interval)
+			if err != nil {
+				return err
+			}
+			if agg.Violates() && firstAlert < 0 {
+				firstAlert = i
+			}
+			interval = iv
+			next = i + iv
+		}
+		acc.Record(truth[i] < floorMB, sampled)
+	}
+
+	fmt.Printf("floor:                 %.0f MB (1-minute average, Below direction)\n", floorMB)
+	fmt.Printf("steps:                 %d\n", steps)
+	fmt.Printf("sampling ratio:        %.3f (%.1f%% saved)\n",
+		acc.SamplingRatio(), 100*(1-acc.SamplingRatio()))
+	fmt.Printf("ground-truth alerts:   %d\n", acc.Alerts())
+	fmt.Printf("missed alerts:         %d (rate %.4f, allowance %.2f)\n",
+		acc.Missed(), acc.MisdetectionRate(), errAllow)
+	fmt.Printf("leak episodes caught:  %.0f%%\n", 100*acc.EpisodeDetectionRate())
+	if firstAlert >= 0 {
+		fmt.Printf("first alert at step:   %d (first leak starts at 15000)\n", firstAlert)
+	}
+	return nil
+}

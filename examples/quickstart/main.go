@@ -1,0 +1,80 @@
+// Quickstart: monitor one metric with Volley's violation-likelihood based
+// adaptive sampling and compare its cost and accuracy against periodical
+// sampling at the default interval.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"volley"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A day of a diurnal CPU-like metric at 5-second sampling steps, with
+	// a misbehaving stretch injected in the afternoon.
+	const steps = 17280
+	rng := rand.New(rand.NewSource(42))
+	series := make([]float64, steps)
+	load := 0.0 // smooth AR(1) load wander on top of the diurnal cycle
+	for i := range series {
+		diurnal := 40 + 30*math.Sin(2*math.Pi*float64(i)/float64(steps))
+		load = 0.98*load + 0.3*rng.NormFloat64()
+		series[i] = diurnal + load + 0.5*rng.NormFloat64()
+		if i > 11000 && i < 11200 { // incident: runaway load
+			series[i] += 40
+		}
+	}
+
+	// Threshold from an alert selectivity of 1%: alerts should be rare.
+	threshold, err := volley.ThresholdForSelectivity(series, 1)
+	if err != nil {
+		return err
+	}
+
+	sampler, err := volley.NewSampler(volley.SamplerConfig{
+		Threshold:   threshold,
+		Err:         0.02, // tolerate missing at most 2% of alerts
+		MaxInterval: 20,   // never sample less often than every 20 steps
+	})
+	if err != nil {
+		return err
+	}
+
+	// Drive the sampler: it sees only the steps it samples; the Accuracy
+	// tracker judges it against every step.
+	var acc volley.Accuracy
+	next := 0
+	for i, v := range series {
+		sampled := i == next
+		if sampled {
+			interval := sampler.Observe(v)
+			next = i + interval
+		}
+		acc.Record(v > threshold, sampled)
+	}
+
+	total, sampled := acc.Steps()
+	fmt.Printf("threshold (p99):        %.1f\n", threshold)
+	fmt.Printf("steps:                  %d\n", total)
+	fmt.Printf("samples taken:          %d (%.1f%% of periodical)\n",
+		sampled, 100*acc.SamplingRatio())
+	fmt.Printf("cost saving:            %.1f%%\n", 100*(1-acc.SamplingRatio()))
+	fmt.Printf("ground-truth alerts:    %d\n", acc.Alerts())
+	fmt.Printf("missed alerts:          %d (rate %.4f, allowance 0.02)\n",
+		acc.Missed(), acc.MisdetectionRate())
+	fmt.Printf("episodes detected:      %.0f%%\n", 100*acc.EpisodeDetectionRate())
+	return nil
+}

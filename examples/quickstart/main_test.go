@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun guards the example against regressions: it must complete without
+// error whenever the public API changes.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

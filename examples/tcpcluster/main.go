@@ -1,0 +1,222 @@
+// TCP cluster: the same distributed state-monitoring task as examples/ddos,
+// but with monitors and coordinator communicating over real TCP sockets on
+// localhost (the gob transport), showing how Volley deploys outside the
+// simulation harness.
+//
+// Each node runs in its own goroutine with a wall-clock ticker; the run is
+// kept short so the example finishes in a few seconds.
+//
+// Run with:
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"volley"
+)
+
+const (
+	monitors        = 4
+	defaultInterval = 10 * time.Millisecond // sped-up "15-second" window
+	runFor          = 3 * time.Second
+	globalErr       = 0.05
+	globalThreshold = 360.0
+)
+
+// tcpNetwork adapts a TCPNode to the Network interface Monitors and
+// Coordinators expect: Register wires the component's handler to the node's
+// receive loop, Send dials the destination address directly.
+type tcpNetwork struct {
+	node *volley.TCPNode
+
+	mu      sync.Mutex
+	handler volley.MessageHandler
+}
+
+// newTCPNetwork listens on a fresh localhost port and dispatches inbound
+// messages to whatever handler gets registered.
+func newTCPNetwork() (*tcpNetwork, error) {
+	n := &tcpNetwork{}
+	node, err := volley.ListenTCP("127.0.0.1:0", func(msg volley.Message) {
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.node = node
+	return n, nil
+}
+
+func (n *tcpNetwork) Register(_ string, h volley.MessageHandler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.handler != nil {
+		return fmt.Errorf("tcpcluster: handler already registered")
+	}
+	n.handler = h
+	return nil
+}
+
+func (n *tcpNetwork) Send(from, to string, msg volley.Message) error {
+	return n.node.Send(from, to, msg)
+}
+
+func (n *tcpNetwork) Addr() string { return n.node.Addr() }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	coordNet, err := newTCPNetwork()
+	if err != nil {
+		return err
+	}
+	defer coordNet.node.Close()
+
+	monitorNets := make([]*tcpNetwork, monitors)
+	addrs := make([]string, monitors)
+	for i := range monitorNets {
+		n, err := newTCPNetwork()
+		if err != nil {
+			return err
+		}
+		defer n.node.Close()
+		monitorNets[i] = n
+		addrs[i] = n.Addr()
+	}
+
+	var (
+		alertMu sync.Mutex
+		alerts  int
+	)
+	coordinator, err := volley.NewCoordinator(volley.CoordinatorConfig{
+		ID:        coordNet.Addr(),
+		Task:      "tcp-demo",
+		Threshold: globalThreshold,
+		Err:       globalErr,
+		Monitors:  addrs,
+		Network:   coordNet,
+		OnAlert: func(time.Duration, float64) {
+			alertMu.Lock()
+			alerts++
+			alertMu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	locals, err := volley.SplitThresholdEven(globalThreshold, monitors)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	monitorNodes := make([]*volley.Monitor, monitors)
+	for i := range monitorNodes {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		agent := volley.AgentFunc(func() (float64, error) {
+			// A smooth signal that spikes across the local threshold near
+			// the end of the run.
+			elapsed := time.Since(start)
+			base := 40 + 10*math.Sin(elapsed.Seconds()*2)
+			if elapsed > runFor*3/4 {
+				base += 80
+			}
+			return base + rng.NormFloat64(), nil
+		})
+		m, err := volley.NewMonitor(volley.MonitorConfig{
+			ID:    addrs[i],
+			Task:  "tcp-demo",
+			Agent: agent,
+			Sampler: volley.SamplerConfig{
+				Threshold:   locals[i],
+				Err:         globalErr / monitors,
+				MaxInterval: 10,
+			},
+			Network:     monitorNets[i],
+			Coordinator: coordNet.Addr(),
+		})
+		if err != nil {
+			return err
+		}
+		monitorNodes[i] = m
+	}
+
+	// Drive everything on real wall-clock tickers.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, m := range monitorNodes {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(defaultInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if _, _, err := m.Tick(time.Since(start)); err != nil {
+						log.Printf("monitor tick: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(defaultInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				coordinator.Tick(time.Since(start))
+			}
+		}
+	}()
+
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+
+	var samples, ticks uint64
+	for _, m := range monitorNodes {
+		st := m.Stats()
+		samples += st.Samples + st.PollSamples
+		ticks += st.Ticks
+	}
+	cs := coordinator.Stats()
+	alertMu.Lock()
+	finalAlerts := alerts
+	alertMu.Unlock()
+
+	fmt.Printf("monitors:            %d over TCP (coordinator at %s)\n", monitors, coordNet.Addr())
+	fmt.Printf("ticks per monitor:   ~%d\n", ticks/monitors)
+	fmt.Printf("sampling operations: %d of %d periodical (%.1f%% saved)\n",
+		samples, ticks, 100*(1-float64(samples)/float64(ticks)))
+	fmt.Printf("local violations:    %d, global polls: %d, alerts: %d\n",
+		cs.LocalViolations, cs.Polls, finalAlerts)
+	if finalAlerts == 0 {
+		return fmt.Errorf("expected at least one global alert from the end-of-run spike")
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRun exercises the full TCP deployment once (a few seconds of wall
+// clock, real sockets on localhost).
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping TCP example in short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

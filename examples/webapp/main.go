@@ -1,0 +1,173 @@
+// Web application monitoring with multi-task state correlation (Volley's
+// multi-task level): response time on a set of web servers is cheap to
+// sample, while deep traffic inspection for DDoS detection is expensive.
+// Because a successful attack necessarily drives response time up, the
+// expensive task can be gated on the cheap one: it samples at a relaxed
+// interval until the response-time task signals elevated violation
+// likelihood.
+//
+// Run with:
+//
+//	go run ./examples/webapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"volley"
+)
+
+const (
+	steps       = 30000
+	maxInterval = 20
+)
+
+// makeSignals builds correlated response-time and traffic-difference
+// series: attack episodes raise the traffic difference and, two windows
+// later, the response time.
+func makeSignals(rng *rand.Rand) (responseTime, trafficDiff []float64) {
+	responseTime = make([]float64, steps)
+	trafficDiff = make([]float64, steps)
+	load := 0.0
+	attackTTL := 0
+	attackBoost := 0.0
+	for i := 0; i < steps; i++ {
+		if attackTTL == 0 && rng.Float64() < 0.0015 {
+			attackTTL = 40 + rng.Intn(60)
+			attackBoost = 1500 + 4000*rng.Float64()
+		}
+		diurnal := 1 + 0.7*math.Sin(2*math.Pi*float64(i)/7200)
+		load = 0.97*load + rng.NormFloat64()
+		trafficDiff[i] = 40*diurnal + 2*load
+		if attackTTL > 0 {
+			trafficDiff[i] += attackBoost
+			attackTTL--
+		}
+		// Response time follows traffic difference with a 2-window lag.
+		lagIdx := i - 2
+		lagged := 0.0
+		if lagIdx >= 0 {
+			lagged = trafficDiff[lagIdx]
+		}
+		responseTime[i] = 80 + 20*diurnal + 0.05*lagged + 3*rng.NormFloat64()
+	}
+	return responseTime, trafficDiff
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	responseTime, trafficDiff := makeSignals(rng)
+
+	rtThreshold, err := volley.ThresholdForSelectivity(responseTime, 1)
+	if err != nil {
+		return err
+	}
+	tdThreshold, err := volley.ThresholdForSelectivity(trafficDiff, 1)
+	if err != nil {
+		return err
+	}
+
+	// 1. Detect the correlation from a training prefix.
+	const training = 10000
+	detector, err := volley.NewCorrelationDetector(10 /* maxLag */, 3 /* slack */)
+	if err != nil {
+		return err
+	}
+	if err := detector.AddSeries("response-time", responseTime[:training], rtThreshold); err != nil {
+		return err
+	}
+	if err := detector.AddSeries("traffic-diff", trafficDiff[:training], tdThreshold); err != nil {
+		return err
+	}
+	rules, err := detector.Detect(0.7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("detected correlation rules:")
+	for _, r := range rules {
+		fmt.Printf("  %s -> %s  lag=%d corr=%.2f precision=%.2f recall=%.2f\n",
+			r.Predictor, r.Target, r.Lag, r.Corr, r.Precision, r.Recall)
+	}
+
+	// 2. Build a monitoring plan: deep packet inspection (traffic-diff) is
+	// 50× the cost of a response-time probe.
+	costs := map[string]float64{"response-time": 1, "traffic-diff": 50}
+	plan, err := volley.BuildMonitoringPlan(rules, costs, 0.7)
+	if err != nil {
+		return err
+	}
+	rule, gated := plan.Gates["traffic-diff"]
+	if !gated {
+		return fmt.Errorf("expected traffic-diff to be gated on response-time; rules: %+v", rules)
+	}
+	fmt.Printf("plan: gate %q on %q (recall %.2f)\n\n", rule.Target, rule.Predictor, rule.Recall)
+
+	// 3. Run the gated deployment over the remaining trace: the predictor
+	// task runs Volley's adaptive sampling; the gated task samples at a
+	// relaxed interval until the predictor arms it.
+	rtSampler, err := volley.NewSampler(volley.SamplerConfig{
+		Threshold: rtThreshold, Err: 0.01, MaxInterval: maxInterval,
+	})
+	if err != nil {
+		return err
+	}
+	tdSampler, err := volley.NewSampler(volley.SamplerConfig{
+		Threshold: tdThreshold, Err: 0.01, MaxInterval: maxInterval,
+	})
+	if err != nil {
+		return err
+	}
+	gate, err := volley.NewGate(maxInterval, 30 /* hold-down windows */)
+	if err != nil {
+		return err
+	}
+
+	var rtAcc, tdAcc volley.Accuracy
+	rtNext, tdNext := training, training
+	for i := training; i < steps; i++ {
+		gate.Tick()
+
+		rtSampled := i == rtNext
+		if rtSampled {
+			interval := rtSampler.Observe(responseTime[i])
+			rtNext = i + interval
+			// Arm the expensive task when the cheap one sees elevated
+			// violation likelihood or an outright violation.
+			high := responseTime[i] > rtThreshold || rtSampler.Bound() > 0.5*rtSampler.Err()
+			gate.Signal(high)
+		}
+		rtAcc.Record(responseTime[i] > rtThreshold, rtSampled)
+
+		tdSampled := i == tdNext
+		if tdSampled {
+			adaptive := tdSampler.Observe(trafficDiff[i])
+			tdNext = i + gate.Interval(adaptive)
+		}
+		tdAcc.Record(trafficDiff[i] > tdThreshold, tdSampled)
+	}
+
+	// A probe costs 1 unit; a deep inspection costs 50.
+	_, rtSamples := rtAcc.Steps()
+	_, tdSamples := tdAcc.Steps()
+	gatedCost := float64(rtSamples) + 50*float64(tdSamples)
+	periodicalCost := float64(steps-training) * (1 + 50)
+
+	fmt.Printf("response-time task: ratio %.3f, missed %d of %d alerts\n",
+		rtAcc.SamplingRatio(), rtAcc.Missed(), rtAcc.Alerts())
+	fmt.Printf("traffic-diff task:  ratio %.3f, missed %d of %d alerts (episodes detected %.0f%%)\n",
+		tdAcc.SamplingRatio(), tdAcc.Missed(), tdAcc.Alerts(),
+		100*tdAcc.EpisodeDetectionRate())
+	fmt.Printf("gate armed %d times\n", gate.Arms())
+	fmt.Printf("weighted monitoring cost: %.1f%% of periodical (%.1f%% saved)\n",
+		100*gatedCost/periodicalCost, 100*(1-gatedCost/periodicalCost))
+	return nil
+}

@@ -1,0 +1,16 @@
+package volley
+
+import (
+	"volley/internal/export"
+)
+
+// MetricsRegistry exposes registered monitors and coordinators in the
+// Prometheus text exposition format over HTTP, so a Volley deployment
+// plugs into scrape-based monitoring stacks.
+type MetricsRegistry = export.Registry
+
+// NewMetricsRegistry returns an empty metrics registry; register components
+// with AddMonitor/AddCoordinator and serve Handler() on /metrics.
+func NewMetricsRegistry() *MetricsRegistry {
+	return export.NewRegistry()
+}

@@ -1,0 +1,3 @@
+module volley
+
+go 1.22

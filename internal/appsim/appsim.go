@@ -1,0 +1,80 @@
+// Package appsim implements the application-level monitoring substrate:
+// VMs hosting a web application whose agents serve access-log windows, from
+// which monitors derive per-object access rates (the paper's stand-in used
+// WorldCup'98 logs; see DESIGN.md §2).
+package appsim
+
+import (
+	"fmt"
+
+	"volley/internal/trace"
+)
+
+// Server is one application-hosting VM. Each Step produces the access
+// counts for one default sampling interval (1 second in the paper).
+type Server struct {
+	gen     *trace.AccessGen
+	objects int
+	counts  map[int]int
+	step    int
+}
+
+// NewServer builds a server with the given number of objects, seeded
+// deterministically.
+func NewServer(objects int, seed int64) (*Server, error) {
+	gen, err := trace.NewAccessGen(trace.DefaultAccessConfig(objects, seed))
+	if err != nil {
+		return nil, fmt.Errorf("appsim: %w", err)
+	}
+	return &Server{gen: gen, objects: objects}, nil
+}
+
+// NewServerWithConfig builds a server over a custom access generator
+// configuration.
+func NewServerWithConfig(cfg trace.AccessConfig) (*Server, error) {
+	gen, err := trace.NewAccessGen(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("appsim: %w", err)
+	}
+	return &Server{gen: gen, objects: cfg.Objects}, nil
+}
+
+// NumObjects reports the number of objects the server hosts.
+func (s *Server) NumObjects() int { return s.objects }
+
+// Step advances the server one window.
+func (s *Server) Step() {
+	s.counts = s.gen.NextWindow()
+	s.step++
+}
+
+// Steps reports how many windows have been simulated.
+func (s *Server) Steps() int { return s.step }
+
+// AccessRate reports how many times the given object was accessed in the
+// current window (what analyzing "the recent access logs on the VM" yields).
+func (s *Server) AccessRate(object int) (float64, error) {
+	if object < 0 || object >= s.objects {
+		return 0, fmt.Errorf("appsim: object %d outside [0, %d)", object, s.objects)
+	}
+	if s.step == 0 {
+		return 0, fmt.Errorf("appsim: no data before the first Step")
+	}
+	return float64(s.counts[object]), nil
+}
+
+// TotalRate reports the total request count in the current window — the
+// throughput signal used for SLA/scale-out style monitoring.
+func (s *Server) TotalRate() (float64, error) {
+	if s.step == 0 {
+		return 0, fmt.Errorf("appsim: no data before the first Step")
+	}
+	total := 0
+	for _, c := range s.counts {
+		total += c
+	}
+	return float64(total), nil
+}
+
+// ActiveFlash reports the hot object of an in-progress flash crowd, if any.
+func (s *Server) ActiveFlash() (object int, ok bool) { return s.gen.ActiveFlash() }

@@ -1,0 +1,138 @@
+package appsim
+
+import (
+	"testing"
+
+	"volley/internal/trace"
+)
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0, 1); err == nil {
+		t.Error("NewServer(0 objects) accepted, want error")
+	}
+	if _, err := NewServer(10, 1); err != nil {
+		t.Errorf("NewServer(10) error: %v", err)
+	}
+}
+
+func TestNewServerWithConfig(t *testing.T) {
+	cfg := trace.DefaultAccessConfig(5, 2)
+	s, err := NewServerWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumObjects() != 5 {
+		t.Errorf("NumObjects() = %d, want 5", s.NumObjects())
+	}
+	bad := cfg
+	bad.Objects = 0
+	if _, err := NewServerWithConfig(bad); err == nil {
+		t.Error("invalid config accepted, want error")
+	}
+}
+
+func TestAccessBeforeStep(t *testing.T) {
+	s, err := NewServer(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AccessRate(0); err == nil {
+		t.Error("AccessRate before Step accepted, want error")
+	}
+	if _, err := s.TotalRate(); err == nil {
+		t.Error("TotalRate before Step accepted, want error")
+	}
+}
+
+func TestStepAndRates(t *testing.T) {
+	s, err := NewServer(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if s.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1", s.Steps())
+	}
+	total, err := s.TotalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for obj := 0; obj < 10; obj++ {
+		r, err := s.AccessRate(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0 {
+			t.Fatalf("negative access rate %v", r)
+		}
+		sum += r
+	}
+	if sum != total {
+		t.Errorf("per-object sum %v != total %v", sum, total)
+	}
+}
+
+func TestAccessRateValidation(t *testing.T) {
+	s, err := NewServer(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if _, err := s.AccessRate(-1); err == nil {
+		t.Error("AccessRate(-1) accepted, want error")
+	}
+	if _, err := s.AccessRate(10); err == nil {
+		t.Error("AccessRate(10) accepted, want error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		s, err := NewServer(10, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 0; i < 200; i++ {
+			s.Step()
+			v, err := s.TotalRate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestFlashCrowdVisibleInRates(t *testing.T) {
+	cfg := trace.DefaultAccessConfig(20, 7)
+	cfg.FlashProb = 1
+	cfg.FlashWindows = 5
+	cfg.FlashMultiplier = 6
+	cfg.Diurnal = trace.Diurnal{}
+	s, err := NewServerWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	hot, ok := s.ActiveFlash()
+	if !ok {
+		t.Fatal("no flash crowd with FlashProb=1")
+	}
+	r, err := s.AccessRate(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := s.TotalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < total*0.3 {
+		t.Errorf("hot object rate %v too small relative to total %v", r, total)
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"volley/internal/core"
+	"volley/internal/task"
+)
+
+// BaselineRow is one sampling strategy's outcome at (approximately) equal
+// sampling cost.
+type BaselineRow struct {
+	Strategy  string
+	Ratio     float64
+	Misdetect float64
+	Episodes  float64 // episode detection rate
+}
+
+// BaselineResult compares Volley against periodical and uniform-random
+// sampling at the same budget — the comparison implied by the related-work
+// discussion (random sampling spends the same budget blindly; periodical
+// spends it rigidly; Volley spends it where violations are likely).
+type BaselineResult struct {
+	Err  float64
+	K    float64
+	Rows []BaselineRow
+}
+
+// Table renders the comparison.
+func (b *BaselineResult) Table() string {
+	t := NewTable(
+		fmt.Sprintf("baselines at equal budget (network workload, k=%g%%, volley err=%g)", b.K, b.Err),
+		"strategy", "sampling ratio", "mis-detection", "episode detection")
+	for _, r := range b.Rows {
+		t.AddRow(r.Strategy, r.Ratio, r.Misdetect, r.Episodes)
+	}
+	return t.String()
+}
+
+// RunBaselines replays the network workload under Volley, then gives the
+// two baselines the budget Volley actually used: periodical sampling at the
+// nearest fixed interval and random sampling with matching probability.
+func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, error) {
+	w, err := GenNetwork(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed+700)
+	if err != nil {
+		return nil, err
+	}
+	series := w.Rho
+
+	out := &BaselineResult{Err: errAllow, K: selectivity}
+
+	// Volley first, to establish the budget.
+	volley, err := ReplayMany(series, selectivity, ReplayConfig{
+		Err:         errAllow,
+		MaxInterval: p.MaxInterval,
+		Patience:    p.Patience,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, BaselineRow{
+		Strategy:  "volley (adaptive)",
+		Ratio:     volley.Ratio,
+		Misdetect: volley.Misdetect,
+		Episodes:  math.NaN(),
+	})
+
+	fixedInterval := int(math.Round(1 / volley.Ratio))
+	if fixedInterval < 1 {
+		fixedInterval = 1
+	}
+	fixed, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+		var acc task.Accuracy
+		samples := 0
+		for i, v := range s {
+			sampled := i%fixedInterval == 0
+			if sampled {
+				samples++
+			}
+			acc.Record(v > threshold, sampled)
+		}
+		return acc, samples, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fixed.Strategy = fmt.Sprintf("periodical (every %d·Id)", fixedInterval)
+	out.Rows = append(out.Rows, fixed)
+
+	rng := rand.New(rand.NewSource(p.Seed + 701))
+	prob := volley.Ratio
+	random, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+		var acc task.Accuracy
+		samples := 0
+		for _, v := range s {
+			sampled := rng.Float64() < prob
+			if sampled {
+				samples++
+			}
+			acc.Record(v > threshold, sampled)
+		}
+		return acc, samples, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	random.Strategy = fmt.Sprintf("uniform random (p=%.3f)", prob)
+	out.Rows = append(out.Rows, random)
+
+	// Fill Volley's episode-detection rate via a second accounting pass so
+	// all rows report the same metric.
+	volleyRow, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+		r, err := ReplaySeries(s, ReplayConfig{
+			Threshold:   threshold,
+			Err:         errAllow,
+			MaxInterval: p.MaxInterval,
+			Patience:    p.Patience,
+			KeepMask:    true,
+		})
+		if err != nil {
+			return task.Accuracy{}, 0, err
+		}
+		var acc task.Accuracy
+		for i, v := range s {
+			acc.Record(v > threshold, r.Sampled[i])
+		}
+		return acc, r.Samples, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows[0].Episodes = volleyRow.Episodes
+	return out, nil
+}
+
+// replayManyWith pools a custom per-series sampling strategy across the
+// workload.
+func replayManyWith(series [][]float64, selectivity float64,
+	strategy func(s []float64, threshold float64) (task.Accuracy, int, error)) (BaselineRow, error) {
+
+	var totalSamples, totalSteps, alerts, missed, rated int
+	var rateSum float64
+	for i, s := range series {
+		threshold, err := task.ThresholdForSelectivity(s, selectivity)
+		if err != nil {
+			return BaselineRow{}, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		acc, samples, err := strategy(s, threshold)
+		if err != nil {
+			return BaselineRow{}, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		totalSamples += samples
+		totalSteps += len(s)
+		alerts += acc.Alerts()
+		missed += acc.Missed()
+		if rate := acc.EpisodeDetectionRate(); !math.IsNaN(rate) {
+			rateSum += rate
+			rated++
+		}
+	}
+	row := BaselineRow{
+		Ratio:     float64(totalSamples) / float64(totalSteps),
+		Misdetect: math.NaN(),
+		Episodes:  math.NaN(),
+	}
+	if alerts > 0 {
+		row.Misdetect = float64(missed) / float64(alerts)
+	}
+	if rated > 0 {
+		row.Episodes = rateSum / float64(rated)
+	}
+	return row, nil
+}
+
+// RunAblationAggregation measures the aggregation-window extension
+// (DESIGN.md §4, the paper's "tasks with aggregation time window" future
+// work): monitoring the moving mean over windows of increasing length on
+// the system workload. Ground truth is the windowed-mean series itself.
+func RunAblationAggregation(p Preset) (*AblationResult, error) {
+	series, err := ablationSeries(p)
+	if err != nil {
+		return nil, err
+	}
+	const k, errAllow = 1.0, 0.01
+	out := &AblationResult{Name: "aggregation window (extension; 1 = the paper's instantaneous tasks)"}
+	for _, window := range []int{1, 4, 16} {
+		var totalSamples, totalSteps, alerts, missed int
+		for _, s := range series {
+			agg := movingMean(s, window)
+			threshold, err := task.ThresholdForSelectivity(agg, k)
+			if err != nil {
+				return nil, err
+			}
+			sampler, err := core.NewAggregateSampler(core.Config{
+				Threshold:   threshold,
+				Err:         errAllow,
+				MaxInterval: p.MaxInterval,
+				Patience:    p.Patience,
+			}, core.AggregateMean, window)
+			if err != nil {
+				return nil, err
+			}
+			next, interval := 0, 1
+			var acc task.Accuracy
+			samples := 0
+			for i := range s {
+				sampled := i == next
+				if sampled {
+					samples++
+					iv, err := sampler.Observe(s[i], interval)
+					if err != nil {
+						return nil, err
+					}
+					interval = iv
+					next = i + iv
+				}
+				acc.Record(agg[i] > threshold, sampled)
+			}
+			totalSamples += samples
+			totalSteps += len(s)
+			alerts += acc.Alerts()
+			missed += acc.Missed()
+		}
+		row := AblationRow{
+			Label:     fmt.Sprintf("window=%d·Id", window),
+			Ratio:     float64(totalSamples) / float64(totalSteps),
+			Misdetect: math.NaN(),
+		}
+		if alerts > 0 {
+			row.Misdetect = float64(missed) / float64(alerts)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// movingMean computes the trailing moving mean with a warming prefix.
+func movingMean(s []float64, window int) []float64 {
+	out := make([]float64, len(s))
+	var sum float64
+	for i, v := range s {
+		sum += v
+		n := window
+		if i+1 < window {
+			n = i + 1
+		} else if i >= window {
+			sum -= s[i-window]
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunBaselinesComparison(t *testing.T) {
+	p := Quick()
+	r, err := RunBaselines(p, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(r.Rows))
+	}
+	volley, fixed, random := r.Rows[0], r.Rows[1], r.Rows[2]
+
+	// All three strategies operate at roughly the same budget.
+	for _, row := range []BaselineRow{fixed, random} {
+		if math.Abs(row.Ratio-volley.Ratio) > 0.25*volley.Ratio+0.05 {
+			t.Errorf("%s ratio %.3f far from volley's %.3f", row.Strategy, row.Ratio, volley.Ratio)
+		}
+	}
+	// Volley should miss fewer alerts than either blind strategy at the
+	// same budget — the entire point of likelihood-based sampling.
+	if !math.IsNaN(volley.Misdetect) && !math.IsNaN(fixed.Misdetect) {
+		if volley.Misdetect > fixed.Misdetect+0.01 {
+			t.Errorf("volley misdetect %.4f worse than periodical %.4f", volley.Misdetect, fixed.Misdetect)
+		}
+	}
+	if !math.IsNaN(volley.Misdetect) && !math.IsNaN(random.Misdetect) {
+		if volley.Misdetect > random.Misdetect+0.01 {
+			t.Errorf("volley misdetect %.4f worse than random %.4f", volley.Misdetect, random.Misdetect)
+		}
+	}
+	if !strings.Contains(r.Table(), "baselines at equal budget") {
+		t.Error("table missing title")
+	}
+	t.Logf("\n%s", r.Table())
+}
+
+func TestMovingMean(t *testing.T) {
+	got := movingMean([]float64{2, 4, 6, 8}, 2)
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("movingMean[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Window 1 is the identity.
+	id := movingMean([]float64{5, 1, 9}, 1)
+	for i, v := range []float64{5, 1, 9} {
+		if id[i] != v {
+			t.Errorf("window-1 mean[%d] = %v, want %v", i, id[i], v)
+		}
+	}
+}
+
+func TestRunAblationAggregation(t *testing.T) {
+	p := Quick()
+	r, err := RunAblationAggregation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(r.Rows))
+	}
+	// Larger windows smooth the series, so cost should not increase.
+	if r.Rows[2].Ratio > r.Rows[0].Ratio+0.05 {
+		t.Errorf("window=16 ratio %.3f above window=1 ratio %.3f — smoothing should help",
+			r.Rows[2].Ratio, r.Rows[0].Ratio)
+	}
+	for _, row := range r.Rows {
+		if row.Ratio <= 0 || row.Ratio > 1 {
+			t.Errorf("%s: ratio %v out of range", row.Label, row.Ratio)
+		}
+	}
+	t.Logf("\n%s", r.Table())
+}
+
+func TestRunAblationThresholdSplit(t *testing.T) {
+	p := Quick()
+	r, err := RunAblationThresholdSplit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Ratio <= 0 || row.Ratio > 1.5 {
+			t.Errorf("%s: ratio %v out of range", row.Label, row.Ratio)
+		}
+	}
+	t.Logf("\n%s", r.Table())
+}
+
+func TestCSVRenderers(t *testing.T) {
+	p := Quick()
+	series, err := GenSystem(2, 1, 1200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunSweep("t", series, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sweep.CSV(); !strings.HasPrefix(got, "selectivity_pct,") {
+		t.Errorf("sweep CSV header wrong: %q", got[:40])
+	}
+	abl := &AblationResult{Name: "x", Rows: []AblationRow{{Label: "a,b", Ratio: 0.5}}}
+	if got := abl.CSV(); !strings.Contains(got, "a;b,0.5") {
+		t.Errorf("ablation CSV comma not sanitized: %q", got)
+	}
+	base := &BaselineResult{Rows: []BaselineRow{{Strategy: "s", Ratio: 0.25}}}
+	if got := base.CSV(); !strings.Contains(got, "s,0.25") {
+		t.Errorf("baseline CSV wrong: %q", got)
+	}
+	fig1 := &Fig1Result{Alerts: 10, SchemeASamples: 100, SchemeBSamples: 25,
+		SchemeBMissed: 7, SchemeCSamples: 30, SchemeBInterval: 4}
+	if got := fig1.CSV(); !strings.Contains(got, "periodical_4Id,25,7,10") {
+		t.Errorf("fig1 CSV wrong:\n%s", got)
+	}
+}

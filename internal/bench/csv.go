@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// csvBuilder accumulates rows and renders RFC-4180-ish CSV (no quoting
+// needed: all cells are numbers or plain labels).
+type csvBuilder struct {
+	b strings.Builder
+}
+
+func (c *csvBuilder) row(cells ...any) {
+	for i, cell := range cells {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		switch v := cell.(type) {
+		case float64:
+			c.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case int:
+			c.b.WriteString(strconv.Itoa(v))
+		case uint64:
+			c.b.WriteString(strconv.FormatUint(v, 10))
+		case string:
+			c.b.WriteString(strings.ReplaceAll(v, ",", ";"))
+		default:
+			fmt.Fprintf(&c.b, "%v", v)
+		}
+	}
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) String() string { return c.b.String() }
+
+// CSV renders the sweep's sampling-ratio grid (and mis-detection grid) in
+// long form: one row per (k, err) cell, ready for any plotting tool.
+func (s *SweepResult) CSV() string {
+	var c csvBuilder
+	c.row("selectivity_pct", "err_allowance", "sampling_ratio", "misdetect_rate", "alerts", "missed")
+	for ki, k := range s.Ks {
+		for ei, e := range s.Errs {
+			cell := s.Cells[ki][ei]
+			c.row(k, e, cell.Ratio, cell.Misdetect, cell.Alerts, cell.Missed)
+		}
+	}
+	return c.String()
+}
+
+// CSV renders the CPU box summaries, one row per error allowance.
+func (f *Fig6Result) CSV() string {
+	var c csvBuilder
+	c.row("err_allowance", "q1", "median", "q3", "whisker_lo", "whisker_hi", "mean")
+	for i, e := range f.Errs {
+		b := f.Boxes[i]
+		c.row(e, b.Q1, b.Med, b.Q3, b.LowWhisker, b.HighWhisker, b.Mean)
+	}
+	return c.String()
+}
+
+// CSV renders the coordination comparison, one row per skew level.
+func (f *Fig8Result) CSV() string {
+	var c csvBuilder
+	c.row("zipf_skew", "adapt_ratio", "even_ratio", "adapt_advantage", "global_alerts_adapt")
+	for i, s := range f.Skews {
+		c.row(s, f.AdaptRatio[i], f.EvenRatio[i], f.EvenRatio[i]-f.AdaptRatio[i], f.GlobalAlerts[i])
+	}
+	return c.String()
+}
+
+// CSV renders the motivating example, one row per scheme.
+func (f *Fig1Result) CSV() string {
+	var c csvBuilder
+	c.row("scheme", "samples", "missed_alerts", "total_alerts")
+	c.row("periodical_Id", f.SchemeASamples, 0, f.Alerts)
+	c.row(fmt.Sprintf("periodical_%dId", f.SchemeBInterval), f.SchemeBSamples, f.SchemeBMissed, f.Alerts)
+	c.row("volley", f.SchemeCSamples, f.SchemeCMissed, f.Alerts)
+	return c.String()
+}
+
+// CSV renders the ablation, one row per configuration.
+func (a *AblationResult) CSV() string {
+	var c csvBuilder
+	c.row("configuration", "sampling_ratio", "misdetect_rate")
+	for _, r := range a.Rows {
+		c.row(r.Label, r.Ratio, r.Misdetect)
+	}
+	return c.String()
+}
+
+// CSV renders the baseline comparison, one row per strategy.
+func (b *BaselineResult) CSV() string {
+	var c csvBuilder
+	c.row("strategy", "sampling_ratio", "misdetect_rate", "episode_detection")
+	for _, r := range b.Rows {
+		c.row(r.Strategy, r.Ratio, r.Misdetect, r.Episodes)
+	}
+	return c.String()
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"volley/internal/coord"
+	"volley/internal/core"
+	"volley/internal/monitor"
+	"volley/internal/stats"
+	"volley/internal/task"
+	"volley/internal/transport"
+)
+
+// Fig8Result compares the error-allowance distribution schemes as the
+// local violation-rate distribution across monitors becomes increasingly
+// skewed (Figure 8).
+type Fig8Result struct {
+	Skews []float64
+	// AdaptRatio and EvenRatio are total sampling ratios (lower is
+	// better), indexed by skew.
+	AdaptRatio []float64
+	EvenRatio  []float64
+	// GlobalAlerts counts confirmed global violations per run (sanity
+	// signal that the task does fire), indexed by skew, for the adaptive
+	// scheme.
+	GlobalAlerts []uint64
+}
+
+// RunFig8 builds, per skew level, a distributed task over the network
+// workload's most active VMs: local thresholds are set so local violation
+// rates follow a Zipf distribution with that skew ("initially … the same
+// local violation rate, … then gradually change the local violation rate
+// distribution to a Zipf distribution"), and the full monitor/coordinator
+// stack runs over an in-memory transport for each scheme.
+func RunFig8(p Preset) (*Fig8Result, error) {
+	w, err := GenNetworkStationary(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed+300)
+	if err != nil {
+		return nil, err
+	}
+	if w.NumVMs() < p.Fig8Monitors {
+		return nil, fmt.Errorf("bench: fig8 needs %d VMs, workload has %d", p.Fig8Monitors, w.NumVMs())
+	}
+	steps := p.Fig8Steps
+	if steps > w.Windows() {
+		steps = w.Windows()
+	}
+	series := w.Rho[:p.Fig8Monitors]
+
+	out := &Fig8Result{Skews: p.Fig8Skews}
+	for _, skew := range p.Fig8Skews {
+		thresholds, err := fig8Thresholds(series, p.Fig8BaseK, skew)
+		if err != nil {
+			return nil, err
+		}
+		adaptRatio, adaptStats, err := runDistributed(series, thresholds, steps, p, coord.SchemeAdaptive)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig8 adapt skew=%v: %w", skew, err)
+		}
+		evenRatio, _, err := runDistributed(series, thresholds, steps, p, coord.SchemeEven)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig8 even skew=%v: %w", skew, err)
+		}
+		out.AdaptRatio = append(out.AdaptRatio, adaptRatio)
+		out.EvenRatio = append(out.EvenRatio, evenRatio)
+		out.GlobalAlerts = append(out.GlobalAlerts, adaptStats.GlobalAlerts)
+	}
+	return out, nil
+}
+
+// fig8Thresholds assigns per-monitor local thresholds so that monitor i's
+// local violation rate is proportional to Zipf weight i at the given skew,
+// with the mean rate equal to baseK percent.
+func fig8Thresholds(series [][]float64, baseK, skew float64) ([]float64, error) {
+	n := len(series)
+	weights, err := stats.ZipfWeights(n, skew)
+	if err != nil {
+		return nil, err
+	}
+	thresholds := make([]float64, n)
+	for i, s := range series {
+		k := baseK * float64(n) * weights[i]
+		// Keep every selectivity inside the percentile domain.
+		if k < 0.05 {
+			k = 0.05
+		}
+		if k > 50 {
+			k = 50
+		}
+		t, err := task.ThresholdForSelectivity(s, k)
+		if err != nil {
+			return nil, err
+		}
+		thresholds[i] = t
+	}
+	return thresholds, nil
+}
+
+// runDistributed wires monitors and a coordinator over an in-memory
+// transport and replays the series step by step.
+func runDistributed(series [][]float64, thresholds []float64, steps int, p Preset, scheme coord.Scheme) (ratio float64, stats coord.Stats, err error) {
+	n := len(series)
+	net := transport.NewMemory()
+	cursor := -1
+
+	var globalThreshold float64
+	monitorIDs := make([]string, n)
+	for i, t := range thresholds {
+		globalThreshold += t
+		monitorIDs[i] = fmt.Sprintf("mon-%d", i)
+	}
+
+	coordinator, err := coord.New(coord.Config{
+		ID:           "coordinator",
+		Task:         "fig8",
+		Threshold:    globalThreshold,
+		Err:          p.Fig8Err,
+		Monitors:     monitorIDs,
+		Network:      net,
+		Scheme:       scheme,
+		UpdatePeriod: p.Fig8UpdatePeriod,
+	})
+	if err != nil {
+		return 0, coord.Stats{}, err
+	}
+
+	monitors := make([]*monitor.Monitor, n)
+	for i := range series {
+		i := i
+		agent := monitor.AgentFunc(func() (float64, error) {
+			if cursor < 0 {
+				return 0, fmt.Errorf("bench: sample before first step")
+			}
+			return series[i][cursor], nil
+		})
+		m, err := monitor.New(monitor.Config{
+			ID:    monitorIDs[i],
+			Task:  "fig8",
+			Agent: agent,
+			Sampler: core.Config{
+				Threshold:   thresholds[i],
+				Err:         p.Fig8Err / float64(n),
+				MaxInterval: p.MaxInterval,
+				Patience:    p.Patience,
+			},
+			Network:     net,
+			Coordinator: "coordinator",
+			YieldEvery:  p.Fig8UpdatePeriod,
+		})
+		if err != nil {
+			return 0, coord.Stats{}, err
+		}
+		monitors[i] = m
+	}
+
+	for step := 0; step < steps; step++ {
+		cursor = step
+		now := time.Duration(step) * time.Second
+		coordinator.Tick(now)
+		for _, m := range monitors {
+			if _, _, err := m.Tick(now); err != nil {
+				return 0, coord.Stats{}, err
+			}
+		}
+	}
+
+	var samples uint64
+	for _, m := range monitors {
+		st := m.Stats()
+		samples += st.Samples + st.PollSamples
+	}
+	total := float64(n) * float64(steps)
+	return float64(samples) / total, coordinator.Stats(), nil
+}
+
+// Table renders the scheme comparison.
+func (f *Fig8Result) Table() string {
+	t := NewTable("fig8: distributed coordination, sampling ratio vs periodical",
+		"zipf skew", "adapt", "even", "adapt advantage", "global alerts (adapt)")
+	for i, s := range f.Skews {
+		adv := f.EvenRatio[i] - f.AdaptRatio[i]
+		t.AddRow(fmt.Sprintf("%g", s), f.AdaptRatio[i], f.EvenRatio[i], adv, fmt.Sprintf("%d", f.GlobalAlerts[i]))
+	}
+	return t.String()
+}

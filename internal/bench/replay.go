@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"volley/internal/core"
+	"volley/internal/task"
+)
+
+// ReplayConfig parameterizes an offline replay of the adaptation algorithm
+// over a recorded value series.
+type ReplayConfig struct {
+	// Threshold is the task threshold T.
+	Threshold float64
+	// Err is the error allowance.
+	Err float64
+	// MaxInterval is Im in default intervals.
+	MaxInterval int
+	// Estimator, Growth, Slack, Patience and StatsWindow override the
+	// sampler defaults when non-zero (for ablations).
+	Estimator   core.Estimator
+	Growth      core.Growth
+	Slack       float64
+	Patience    int
+	StatsWindow int
+	// KeepMask retains the per-step sampled mask in the result (needed by
+	// the CPU-cost experiment).
+	KeepMask bool
+}
+
+// ReplayResult summarizes one replay.
+type ReplayResult struct {
+	// Ratio is sampled steps over total steps (1.0 = periodical).
+	Ratio float64
+	// Misdetect is missed alerts over total alerts; NaN without alerts.
+	Misdetect float64
+	// EpisodeDetect is the fraction of violation episodes with at least
+	// one sampled step; NaN without episodes.
+	EpisodeDetect float64
+	// Samples, Alerts and Missed are the raw counts.
+	Samples int
+	Alerts  int
+	Missed  int
+	// Sampled is the per-step mask (only when KeepMask was set).
+	Sampled []bool
+}
+
+// ReplaySeries drives an adaptive sampler over a pre-recorded series at
+// default-interval granularity, as the evaluation does: the sampler sees
+// only the steps it samples, while accuracy is judged against every step.
+func ReplaySeries(series []float64, cfg ReplayConfig) (ReplayResult, error) {
+	if len(series) == 0 {
+		return ReplayResult{}, fmt.Errorf("bench: empty series")
+	}
+	sampler, err := core.NewSampler(core.Config{
+		Threshold:   cfg.Threshold,
+		Err:         cfg.Err,
+		MaxInterval: cfg.MaxInterval,
+		Estimator:   cfg.Estimator,
+		Growth:      cfg.Growth,
+		Slack:       cfg.Slack,
+		Patience:    cfg.Patience,
+		StatsWindow: cfg.StatsWindow,
+	})
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("bench: %w", err)
+	}
+
+	var acc task.Accuracy
+	var mask []bool
+	if cfg.KeepMask {
+		mask = make([]bool, len(series))
+	}
+	samples := 0
+	next := 0
+	for i, v := range series {
+		sampled := i == next
+		if sampled {
+			samples++
+			interval := sampler.Observe(v)
+			next = i + interval
+			if cfg.KeepMask {
+				mask[i] = true
+			}
+		}
+		acc.Record(v > cfg.Threshold, sampled)
+	}
+	return ReplayResult{
+		Ratio:         acc.SamplingRatio(),
+		Misdetect:     acc.MisdetectionRate(),
+		EpisodeDetect: acc.EpisodeDetectionRate(),
+		Samples:       samples,
+		Alerts:        acc.Alerts(),
+		Missed:        acc.Missed(),
+		Sampled:       mask,
+	}, nil
+}
+
+// PooledResult aggregates replays over many variables of one task family.
+type PooledResult struct {
+	// Ratio is total samples over total steps across variables.
+	Ratio float64
+	// Misdetect is total missed alerts over total alerts (pooled, so
+	// variables with many alerts weigh more); NaN without alerts.
+	Misdetect float64
+	// Variables is how many series were replayed.
+	Variables int
+	Alerts    int
+	Missed    int
+}
+
+// ReplayMany replays every series with a per-series threshold derived from
+// the given selectivity k (percent) and pools the results.
+func ReplayMany(series [][]float64, k float64, cfg ReplayConfig) (PooledResult, error) {
+	if len(series) == 0 {
+		return PooledResult{}, fmt.Errorf("bench: no series")
+	}
+	var totalSamples, totalSteps, alerts, missed int
+	for i, s := range series {
+		threshold, err := task.ThresholdForSelectivity(s, k)
+		if err != nil {
+			return PooledResult{}, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		c := cfg
+		c.Threshold = threshold
+		c.KeepMask = false
+		r, err := ReplaySeries(s, c)
+		if err != nil {
+			return PooledResult{}, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		totalSamples += r.Samples
+		totalSteps += len(s)
+		alerts += r.Alerts
+		missed += r.Missed
+	}
+	out := PooledResult{
+		Ratio:     float64(totalSamples) / float64(totalSteps),
+		Variables: len(series),
+		Alerts:    alerts,
+		Missed:    missed,
+		Misdetect: math.NaN(),
+	}
+	if alerts > 0 {
+		out.Misdetect = float64(missed) / float64(alerts)
+	}
+	return out, nil
+}

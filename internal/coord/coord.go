@@ -1,0 +1,656 @@
+// Package coord implements Volley's coordinator (Section IV): it receives
+// local violation reports, runs global polls to decide whether the global
+// state is violated, and distributes the task-level error allowance across
+// monitors — either evenly (the baseline of Fig. 8) or with the paper's
+// iterative yield-based scheme that moves allowance toward monitors with
+// the highest cost-reduction yield per unit of allowance.
+package coord
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"volley/internal/core"
+	"volley/internal/transport"
+)
+
+// Scheme selects the error-allowance distribution strategy.
+type Scheme int
+
+const (
+	// SchemeAdaptive is the paper's iterative tuning: err_i = err·y_i/Σy_j
+	// with throttling (Section IV-B).
+	SchemeAdaptive Scheme = iota + 1
+	// SchemeEven always divides the allowance evenly (Fig. 8's baseline).
+	SchemeEven
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAdaptive:
+		return "adapt"
+	case SchemeEven:
+		return "even"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Defaults from Section IV-B: "We set the updating period to be every
+// thousand Id and err_min to be err/100", plus our reading of the yield
+// throttle (DESIGN.md §3).
+const (
+	DefaultUpdatePeriod    = 1000
+	DefaultMinAssignFrac   = 0.01
+	DefaultYieldThrottle   = 10
+	DefaultPollExpiryTicks = 2
+	// assignmentGain damps each rebalance toward the yield-proportional
+	// target; full jumps oscillate because the winner's yield collapses
+	// once it saturates.
+	assignmentGain = 0.5
+	// saturatedReduction classifies a monitor as saturated at its maximum
+	// interval: its reported average potential reduction r_i is ≈ 0
+	// because the sampler reports no further reduction at Im.
+	saturatedReduction = 0.02
+	// donorHysteresis is how many consecutive donor classifications a
+	// monitor needs before its allowance may be taken.
+	donorHysteresis = 2
+)
+
+// AlertFunc is invoked when a global poll confirms a global violation.
+type AlertFunc func(now time.Duration, total float64)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// ID is the coordinator's network address.
+	ID string
+	// Task names the task being coordinated.
+	Task string
+	// Threshold is the global threshold T.
+	Threshold float64
+	// Direction selects the violating side of the global threshold. Zero
+	// means core.Above (the paper's setting: Σ v > T).
+	Direction core.Direction
+	// Err is the task-level error allowance to distribute.
+	Err float64
+	// Monitors lists the monitor addresses of this task.
+	Monitors []string
+	// Network connects the coordinator to its monitors.
+	Network transport.Network
+	// Scheme selects allowance distribution. Zero means SchemeAdaptive.
+	Scheme Scheme
+	// UpdatePeriod is the allowance updating period in default intervals.
+	// Zero means DefaultUpdatePeriod.
+	UpdatePeriod int
+	// MinAssignFrac sets err_min = MinAssignFrac·err. Zero means
+	// DefaultMinAssignFrac.
+	MinAssignFrac float64
+	// PollExpiry is how many ticks an unanswered poll survives before
+	// being abandoned (message-loss tolerance). Zero means
+	// DefaultPollExpiryTicks.
+	PollExpiry int
+	// DeadAfter marks a monitor dead when nothing has been heard from it
+	// for this many ticks; dead monitors are excluded from global polls so
+	// a crashed node cannot force every poll to time out. Must exceed the
+	// longest legitimate silence (the yield reporting period). Zero
+	// disables liveness tracking.
+	DeadAfter int
+	// OnAlert is invoked on confirmed global violations. Optional.
+	OnAlert AlertFunc
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	LocalViolations   uint64
+	Polls             uint64
+	PollsCompleted    uint64
+	PollsExpired      uint64
+	GlobalAlerts      uint64
+	Rebalances        uint64
+	RebalancesSkipped uint64
+	// DeadSkipped counts monitors excluded from polls for being dead.
+	DeadSkipped uint64
+}
+
+type yieldReport struct {
+	reduction float64
+	needed    float64
+	interval  float64
+	fresh     bool
+	// donorStreak counts consecutive rebalances in which this monitor was
+	// classified as a donor (hopeless or saturated); donations require a
+	// streak of at least two, so an episodic quiet spell does not strip a
+	// monitor of allowance it is about to need again.
+	donorStreak int
+}
+
+type poll struct {
+	active  bool
+	started time.Duration
+	age     int
+	pending map[string]bool
+	values  map[string]float64
+}
+
+// Coordinator is one task's coordinator. Like Monitor, its Tick and
+// handler must be driven from one goroutine in simulations; the mutex
+// protects TCP deployments.
+type Coordinator struct {
+	cfg Config
+
+	mu          sync.Mutex
+	stats       Stats
+	yields      map[string]*yieldReport
+	assignments map[string]float64
+	lastSeen    map[string]time.Duration
+	poll        poll
+	now         time.Duration
+	ticks       uint64
+	ticksToNext int
+	initialSent bool
+}
+
+// New validates cfg, builds the coordinator and registers it on the
+// network.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("coord: empty ID")
+	}
+	if len(cfg.Monitors) == 0 {
+		return nil, fmt.Errorf("coord %s: no monitors", cfg.ID)
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("coord %s: nil network", cfg.ID)
+	}
+	if cfg.Err < 0 || cfg.Err > 1 || math.IsNaN(cfg.Err) {
+		return nil, fmt.Errorf("coord %s: error allowance %v outside [0, 1]", cfg.ID, cfg.Err)
+	}
+	if math.IsNaN(cfg.Threshold) {
+		return nil, fmt.Errorf("coord %s: NaN threshold", cfg.ID)
+	}
+	if cfg.Direction == 0 {
+		cfg.Direction = core.Above
+	}
+	if cfg.Direction != core.Above && cfg.Direction != core.Below {
+		return nil, fmt.Errorf("coord %s: unknown direction %d", cfg.ID, cfg.Direction)
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = SchemeAdaptive
+	}
+	if cfg.Scheme != SchemeAdaptive && cfg.Scheme != SchemeEven {
+		return nil, fmt.Errorf("coord %s: unknown scheme %d", cfg.ID, cfg.Scheme)
+	}
+	if cfg.UpdatePeriod == 0 {
+		cfg.UpdatePeriod = DefaultUpdatePeriod
+	}
+	if cfg.UpdatePeriod < 1 {
+		return nil, fmt.Errorf("coord %s: update period %d < 1", cfg.ID, cfg.UpdatePeriod)
+	}
+	if cfg.MinAssignFrac == 0 {
+		cfg.MinAssignFrac = DefaultMinAssignFrac
+	}
+	if cfg.MinAssignFrac < 0 || cfg.MinAssignFrac > 1 {
+		return nil, fmt.Errorf("coord %s: min assign fraction %v outside [0, 1]", cfg.ID, cfg.MinAssignFrac)
+	}
+	if cfg.PollExpiry == 0 {
+		cfg.PollExpiry = DefaultPollExpiryTicks
+	}
+	if cfg.PollExpiry < 1 {
+		return nil, fmt.Errorf("coord %s: poll expiry %d < 1", cfg.ID, cfg.PollExpiry)
+	}
+	if cfg.DeadAfter < 0 {
+		return nil, fmt.Errorf("coord %s: dead-after %d < 0", cfg.ID, cfg.DeadAfter)
+	}
+	seen := make(map[string]bool, len(cfg.Monitors))
+	for _, m := range cfg.Monitors {
+		if m == "" {
+			return nil, fmt.Errorf("coord %s: empty monitor address", cfg.ID)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("coord %s: duplicate monitor %q", cfg.ID, m)
+		}
+		seen[m] = true
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		yields:      make(map[string]*yieldReport, len(cfg.Monitors)),
+		assignments: make(map[string]float64, len(cfg.Monitors)),
+		lastSeen:    make(map[string]time.Duration, len(cfg.Monitors)),
+	}
+	even := cfg.Err / float64(len(cfg.Monitors))
+	for _, m := range cfg.Monitors {
+		c.assignments[m] = even
+	}
+	if err := cfg.Network.Register(cfg.ID, c.handle); err != nil {
+		return nil, fmt.Errorf("coord %s: %w", cfg.ID, err)
+	}
+	return c, nil
+}
+
+// ID reports the coordinator's address.
+func (c *Coordinator) ID() string { return c.cfg.ID }
+
+// Tick advances one default interval: it expires stale polls, pushes the
+// initial even allowance on the first tick, and rebalances every updating
+// period.
+func (c *Coordinator) Tick(now time.Duration) {
+	var assignments map[string]float64
+
+	c.mu.Lock()
+	c.now = now
+	c.ticks++
+	if c.poll.active {
+		c.poll.age++
+		if c.poll.age > c.cfg.PollExpiry {
+			c.poll = poll{}
+			c.stats.PollsExpired++
+		}
+	}
+	if !c.initialSent {
+		c.initialSent = true
+		assignments = c.snapshotAssignmentsLocked()
+	}
+	c.ticksToNext++
+	if c.ticksToNext >= c.cfg.UpdatePeriod {
+		c.ticksToNext = 0
+		if c.rebalanceLocked() {
+			assignments = c.snapshotAssignmentsLocked()
+		}
+	}
+	c.mu.Unlock()
+
+	if assignments != nil {
+		c.sendAssignments(assignments)
+	}
+}
+
+// deadLocked reports whether nothing has been heard from a monitor for
+// longer than the liveness horizon. Monitors never heard from are judged by
+// the coordinator's own uptime. Caller holds c.mu.
+func (c *Coordinator) deadLocked(m string) bool {
+	if c.cfg.DeadAfter == 0 {
+		return false
+	}
+	horizon := time.Duration(c.cfg.DeadAfter) * c.tickUnitLocked()
+	last, heard := c.lastSeen[m]
+	if !heard {
+		last = 0
+	}
+	return c.now-last > horizon
+}
+
+// tickUnitLocked estimates the duration of one tick from the clock the
+// harness passes in. Tick timestamps advance by one default interval; using
+// the observed now makes DeadAfter unit-correct regardless of the caller's
+// time base. Caller holds c.mu.
+func (c *Coordinator) tickUnitLocked() time.Duration {
+	if c.ticks == 0 {
+		return time.Second
+	}
+	unit := c.now / time.Duration(c.ticks)
+	if unit <= 0 {
+		unit = time.Second
+	}
+	return unit
+}
+
+func (c *Coordinator) snapshotAssignmentsLocked() map[string]float64 {
+	out := make(map[string]float64, len(c.assignments))
+	for m, e := range c.assignments {
+		out[m] = e
+	}
+	return out
+}
+
+func (c *Coordinator) sendAssignments(assignments map[string]float64) {
+	for _, m := range c.cfg.Monitors {
+		e, ok := assignments[m]
+		if !ok {
+			continue
+		}
+		_ = c.cfg.Network.Send(c.cfg.ID, m, transport.Message{
+			Kind: transport.KindErrAssignment,
+			Task: c.cfg.Task,
+			Time: c.now,
+			Err:  e,
+		})
+	}
+}
+
+// rebalanceLocked recomputes assignments; it reports whether they changed.
+// Caller holds c.mu.
+func (c *Coordinator) rebalanceLocked() bool {
+	if c.cfg.Scheme == SchemeEven {
+		// The even scheme never moves allowance; nothing to resend.
+		return false
+	}
+	// Gather yields from fresh reports only; a monitor that has not
+	// reported since the last rebalance keeps its assignment.
+	//
+	// e_i is floored at err_min: allowance below the minimum assignment
+	// cannot be granted anyway, so differences below the floor carry no
+	// information — without the floor, yields of quiet monitors span many
+	// orders of magnitude and proportional assignment degenerates to
+	// winner-take-all.
+	errMin := c.cfg.MinAssignFrac * c.cfg.Err
+	eFloor := errMin
+	if eFloor <= 0 {
+		eFloor = 1e-9
+	}
+	yields := make(map[string]float64, len(c.yields))
+	floors := make(map[string]float64, len(c.yields))
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for m, r := range c.yields {
+		if !r.fresh {
+			continue
+		}
+		e := math.Max(r.needed, eFloor)
+		y := r.reduction / e
+		yields[m] = y
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+
+		// Donation floors classify each monitor by its report:
+		//
+		//   - hopeless (stuck at the default interval and needing more
+		//     allowance than the whole pool to grow): allowance cannot
+		//     help it, so it may donate down to err_min;
+		//   - saturated at the maximum interval (reported potential
+		//     reduction ≈ 0): it needs almost nothing to stay there, so it
+		//     may donate down to err_min;
+		//   - err-limited (everyone else): taking allowance away would
+		//     reset its climb and squander the accumulated gain, so its
+		//     current assignment is protected; it can only gain.
+		floor := errMin
+		hopeless := r.interval <= 1.1 && r.needed > c.cfg.Err
+		saturated := r.reduction <= saturatedReduction
+		if hopeless || saturated {
+			r.donorStreak++
+		} else {
+			r.donorStreak = 0
+		}
+		if r.donorStreak < donorHysteresis {
+			if cur := c.assignments[m]; cur > floor {
+				floor = cur
+			}
+		}
+		floors[m] = floor
+	}
+	if len(yields) < 2 {
+		return false // nothing to trade off
+	}
+	// Throttle: skip reallocation unless some pair of yields differs by
+	// at least an order of magnitude (our reading of the paper's
+	// "max{yi/yj} < 0.1" skip rule, DESIGN.md §3) — measurement noise
+	// easily produces small yield gaps that are not worth chasing. A zero
+	// minimum yield (a saturated monitor) always justifies reallocation.
+	if minY > 0 && maxY/minY < DefaultYieldThrottle {
+		c.stats.RebalancesSkipped++
+		return false
+	}
+
+	// The reporting monitors share the allowance currently assigned to
+	// them; monitors without fresh reports keep theirs. The assignment
+	// moves a fraction of the way toward the yield-proportional target
+	// each period ("an iterative scheme that gradually tunes the
+	// assignment") — the damping keeps the transfer convergent, and since
+	// every floor is at most the current assignment, the damped update
+	// never violates a floor and conserves the pool exactly.
+	var pool float64
+	for m := range yields {
+		pool += c.assignments[m]
+	}
+	target := distributeWithFloors(pool, yields, floors)
+	changed := false
+	for m, e := range target {
+		cur := c.assignments[m]
+		next := cur + assignmentGain*(e-cur)
+		if math.Abs(next-cur) > 1e-15 {
+			changed = true
+		}
+		c.assignments[m] = next
+	}
+	for _, r := range c.yields {
+		r.fresh = false
+	}
+	if changed {
+		c.stats.Rebalances++
+	} else {
+		c.stats.RebalancesSkipped++
+	}
+	return changed
+}
+
+// distributeByYield splits pool proportionally to yields, flooring every
+// assignment at errMin (the paper's throttle against starving a monitor).
+// If the floors alone exceed the pool, it degrades to an even split.
+func distributeByYield(pool float64, yields map[string]float64, errMin float64) map[string]float64 {
+	floors := make(map[string]float64, len(yields))
+	for m := range yields {
+		floors[m] = errMin
+	}
+	return distributeWithFloors(pool, yields, floors)
+}
+
+// distributeWithFloors splits pool proportionally to yields with a
+// per-monitor floor: err_i = pool·y_i/Σy_j, except that no assignment drops
+// below its floor (monitors whose proportional share would violate the
+// floor are pinned at it and the remainder is re-split). If the floors
+// alone exceed the pool, floors are scaled down proportionally.
+func distributeWithFloors(pool float64, yields, floors map[string]float64) map[string]float64 {
+	n := len(yields)
+	out := make(map[string]float64, n)
+	if pool <= 0 || n == 0 {
+		for m := range yields {
+			out[m] = 0
+		}
+		return out
+	}
+	var floorSum float64
+	for m := range yields {
+		floorSum += floors[m]
+	}
+	if floorSum >= pool {
+		scale := pool / floorSum
+		for m := range yields {
+			out[m] = floors[m] * scale
+		}
+		return out
+	}
+	// Iteratively pin monitors that would fall below their floor, then
+	// split the remainder proportionally among the rest.
+	pinned := make(map[string]bool, n)
+	for {
+		var sumY, pinnedSum float64
+		for m, y := range yields {
+			if pinned[m] {
+				pinnedSum += floors[m]
+			} else {
+				sumY += y
+			}
+		}
+		remaining := pool - pinnedSum
+		newlyPinned := false
+		for m, y := range yields {
+			if pinned[m] {
+				continue
+			}
+			share := remaining / float64(n-len(pinned))
+			if sumY > 0 {
+				share = remaining * y / sumY
+			}
+			if share < floors[m] {
+				pinned[m] = true
+				newlyPinned = true
+			}
+		}
+		if !newlyPinned {
+			for m, y := range yields {
+				if pinned[m] {
+					out[m] = floors[m]
+					continue
+				}
+				share := remaining / float64(n-len(pinned))
+				if sumY > 0 {
+					share = remaining * y / sumY
+				}
+				out[m] = share
+			}
+			return out
+		}
+	}
+}
+
+// handle processes monitor messages.
+func (c *Coordinator) handle(msg transport.Message) {
+	c.mu.Lock()
+	c.lastSeen[msg.From] = c.now
+	c.mu.Unlock()
+
+	switch msg.Kind {
+	case transport.KindLocalViolation:
+		c.onLocalViolation(msg)
+	case transport.KindPollResponse:
+		c.onPollResponse(msg)
+	case transport.KindYieldReport:
+		c.mu.Lock()
+		streak := 0
+		if prev, ok := c.yields[msg.From]; ok {
+			streak = prev.donorStreak
+		}
+		c.yields[msg.From] = &yieldReport{
+			reduction:   msg.Reduction,
+			needed:      msg.Needed,
+			interval:    msg.Interval,
+			fresh:       true,
+			donorStreak: streak,
+		}
+		c.mu.Unlock()
+	default:
+		// Monitor-bound kinds; ignore.
+	}
+}
+
+func (c *Coordinator) onLocalViolation(msg transport.Message) {
+	c.mu.Lock()
+	c.stats.LocalViolations++
+	if c.poll.active {
+		// Fold the report into the in-flight poll.
+		if c.poll.pending[msg.From] {
+			delete(c.poll.pending, msg.From)
+		}
+		c.poll.values[msg.From] = msg.Value
+		done := len(c.poll.pending) == 0
+		c.mu.Unlock()
+		if done {
+			c.finishPoll()
+		}
+		return
+	}
+	// Start a global poll: the reporter's value is already known, collect
+	// everyone else's.
+	c.stats.Polls++
+	c.poll = poll{
+		active:  true,
+		started: msg.Time,
+		pending: make(map[string]bool, len(c.cfg.Monitors)),
+		values:  map[string]float64{msg.From: msg.Value},
+	}
+	var toPoll []string
+	for _, m := range c.cfg.Monitors {
+		if m == msg.From {
+			continue
+		}
+		if c.deadLocked(m) {
+			c.stats.DeadSkipped++
+			continue
+		}
+		c.poll.pending[m] = true
+		toPoll = append(toPoll, m)
+	}
+	c.mu.Unlock()
+
+	for _, m := range toPoll {
+		// Synchronous transports may complete the poll re-entrantly
+		// during these sends; finishPoll below tolerates that.
+		_ = c.cfg.Network.Send(c.cfg.ID, m, transport.Message{
+			Kind: transport.KindPollRequest,
+			Task: c.cfg.Task,
+			Time: msg.Time,
+		})
+	}
+	c.finishPoll()
+}
+
+func (c *Coordinator) onPollResponse(msg transport.Message) {
+	c.mu.Lock()
+	if !c.poll.active || !c.poll.pending[msg.From] {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.poll.pending, msg.From)
+	c.poll.values[msg.From] = msg.Value
+	c.mu.Unlock()
+	c.finishPoll()
+}
+
+// finishPoll evaluates and clears the poll once all responses are in.
+func (c *Coordinator) finishPoll() {
+	c.mu.Lock()
+	if !c.poll.active || len(c.poll.pending) > 0 {
+		c.mu.Unlock()
+		return
+	}
+	var total float64
+	for _, v := range c.poll.values {
+		total += v
+	}
+	started := c.poll.started
+	c.poll = poll{}
+	c.stats.PollsCompleted++
+	alert := total > c.cfg.Threshold
+	if c.cfg.Direction == core.Below {
+		alert = total < c.cfg.Threshold
+	}
+	if alert {
+		c.stats.GlobalAlerts++
+	}
+	onAlert := c.cfg.OnAlert
+	c.mu.Unlock()
+
+	if alert && onAlert != nil {
+		onAlert(started, total)
+	}
+}
+
+// AliveMonitors reports the monitors currently considered alive. With
+// liveness tracking disabled it reports all monitors.
+func (c *Coordinator) AliveMonitors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.cfg.Monitors))
+	for _, m := range c.cfg.Monitors {
+		if !c.deadLocked(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Assignments returns a snapshot of the current per-monitor error
+// allowances.
+func (c *Coordinator) Assignments() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotAssignmentsLocked()
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,709 @@
+package coord
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"volley/internal/core"
+	"volley/internal/transport"
+)
+
+func validConfig(net transport.Network) Config {
+	return Config{
+		ID:        "coord",
+		Task:      "t",
+		Threshold: 800,
+		Err:       0.01,
+		Monitors:  []string{"m1", "m2"},
+		Network:   net,
+	}
+}
+
+// registerSink registers monitor addresses that record what they receive.
+func registerSink(t *testing.T, net *transport.Memory, addrs ...string) map[string]*[]transport.Message {
+	t.Helper()
+	out := make(map[string]*[]transport.Message, len(addrs))
+	for _, addr := range addrs {
+		msgs := &[]transport.Message{}
+		out[addr] = msgs
+		if err := net.Register(addr, func(m transport.Message) { *msgs = append(*msgs, m) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	net := transport.NewMemory()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "empty id", mutate: func(c *Config) { c.ID = "" }},
+		{name: "no monitors", mutate: func(c *Config) { c.Monitors = nil }},
+		{name: "nil network", mutate: func(c *Config) { c.Network = nil }},
+		{name: "bad err", mutate: func(c *Config) { c.Err = 1.5 }},
+		{name: "nan threshold", mutate: func(c *Config) { c.Threshold = math.NaN() }},
+		{name: "bad scheme", mutate: func(c *Config) { c.Scheme = Scheme(42) }},
+		{name: "negative update period", mutate: func(c *Config) { c.UpdatePeriod = -1 }},
+		{name: "bad min assign", mutate: func(c *Config) { c.MinAssignFrac = 2 }},
+		{name: "negative poll expiry", mutate: func(c *Config) { c.PollExpiry = -1 }},
+		{name: "empty monitor addr", mutate: func(c *Config) { c.Monitors = []string{"m1", ""} }},
+		{name: "duplicate monitor", mutate: func(c *Config) { c.Monitors = []string{"m1", "m1"} }},
+	}
+	for i, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig(net)
+			cfg.ID = cfg.ID + tt.name // avoid duplicate registration noise
+			_ = i
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestInitialEvenAssignments(t *testing.T) {
+	net := transport.NewMemory()
+	sinks := registerSink(t, net, "m1", "m2")
+	c, err := New(validConfig(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Assignments()
+	if got["m1"] != 0.005 || got["m2"] != 0.005 {
+		t.Errorf("initial assignments = %v, want 0.005 each", got)
+	}
+	// First tick pushes the initial assignments to the monitors.
+	c.Tick(0)
+	for addr, msgs := range sinks {
+		found := false
+		for _, m := range *msgs {
+			if m.Kind == transport.KindErrAssignment && m.Err == 0.005 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("monitor %s did not receive initial assignment", addr)
+		}
+	}
+}
+
+func TestScrStringer(t *testing.T) {
+	if SchemeAdaptive.String() != "adapt" || SchemeEven.String() != "even" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() != "scheme(9)" {
+		t.Errorf("unknown scheme = %q", Scheme(9).String())
+	}
+}
+
+func TestLocalViolationTriggersPollAndAlert(t *testing.T) {
+	net := transport.NewMemory()
+	// m2 responds to polls with 500.
+	if err := net.Register("m2", func(m transport.Message) {
+		if m.Kind == transport.KindPollRequest {
+			_ = net.Send("m2", "coord", transport.Message{
+				Kind: transport.KindPollResponse, Task: m.Task, Time: m.Time, Value: 500,
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registerSink(t, net, "m1")
+
+	var alerts []float64
+	cfg := validConfig(net)
+	cfg.OnAlert = func(_ time.Duration, total float64) { alerts = append(alerts, total) }
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1 reports 400: total = 900 > 800 → alert.
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Task: "t", Value: 400, Time: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0] != 900 {
+		t.Fatalf("alerts = %v, want [900]", alerts)
+	}
+	stats := c.Stats()
+	if stats.Polls != 1 || stats.PollsCompleted != 1 || stats.GlobalAlerts != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPollBelowThresholdNoAlert(t *testing.T) {
+	net := transport.NewMemory()
+	if err := net.Register("m2", func(m transport.Message) {
+		if m.Kind == transport.KindPollRequest {
+			_ = net.Send("m2", "coord", transport.Message{
+				Kind: transport.KindPollResponse, Value: 100,
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registerSink(t, net, "m1")
+	alerts := 0
+	cfg := validConfig(net)
+	cfg.OnAlert = func(time.Duration, float64) { alerts++ }
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alerts != 0 {
+		t.Errorf("alerts = %d, want 0 (total 500 < 800)", alerts)
+	}
+	if c.Stats().PollsCompleted != 1 {
+		t.Errorf("PollsCompleted = %d, want 1", c.Stats().PollsCompleted)
+	}
+}
+
+func TestConcurrentViolationsFoldIntoOnePoll(t *testing.T) {
+	// m2 never responds to polls, so the poll stays open until m2's own
+	// violation report arrives and completes it.
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	alerts := 0
+	cfg := validConfig(net)
+	cfg.OnAlert = func(time.Duration, float64) { alerts++ }
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().PollsCompleted != 0 {
+		t.Fatal("poll completed without m2's answer")
+	}
+	if err := net.Send("m2", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 450,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alerts != 1 {
+		t.Errorf("alerts = %d, want 1 (400+450 > 800)", alerts)
+	}
+	if stats := c.Stats(); stats.Polls != 1 {
+		t.Errorf("Polls = %d, want 1 (second violation folded in)", stats.Polls)
+	}
+}
+
+func TestPollExpiry(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2") // m2 never answers
+	cfg := validConfig(net)
+	cfg.PollExpiry = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(1 * time.Second)
+	c.Tick(2 * time.Second)
+	if c.Stats().PollsExpired != 0 {
+		t.Fatal("poll expired too early")
+	}
+	c.Tick(3 * time.Second)
+	if c.Stats().PollsExpired != 1 {
+		t.Errorf("PollsExpired = %d, want 1", c.Stats().PollsExpired)
+	}
+	// A new violation can now start a fresh poll.
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 500,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Polls != 2 {
+		t.Errorf("Polls = %d, want 2", c.Stats().Polls)
+	}
+}
+
+func TestLatePollResponseIgnored(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.PollExpiry = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(time.Second)
+	c.Tick(2 * time.Second) // expires
+	// Late response must not crash or complete anything.
+	if err := net.Send("m2", "coord", transport.Message{
+		Kind: transport.KindPollResponse, Value: 500,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().PollsCompleted != 0 {
+		t.Errorf("PollsCompleted = %d, want 0", c.Stats().PollsCompleted)
+	}
+}
+
+func TestAdaptiveRebalanceMovesAllowanceTowardHighYield(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1 is err-limited with high yield; m2 is hopeless (stuck at the
+	// default interval needing more allowance than the whole task has), so
+	// it donates.
+	sendYields := func() {
+		t.Helper()
+		if err := net.Send("m1", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.2, Needed: 0.001, Interval: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Send("m2", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.8, Interval: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Duration(0)
+	for round := 0; round < 4; round++ {
+		sendYields()
+		for i := 0; i < 5; i++ {
+			c.Tick(now)
+			now += time.Second
+		}
+	}
+	got := c.Assignments()
+	if got["m1"] <= got["m2"] {
+		t.Errorf("assignments = %v, want m1 > m2", got)
+	}
+	total := got["m1"] + got["m2"]
+	if math.Abs(total-0.01) > 1e-12 {
+		t.Errorf("assignments sum to %v, want 0.01 (conservation)", total)
+	}
+	if c.Stats().Rebalances == 0 {
+		t.Error("Rebalances = 0, want > 0")
+	}
+}
+
+func TestRebalanceRespectsFloor(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	cfg.MinAssignFrac = 0.2 // floor = 0.002 of err=0.01
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m2 is a hopeless donor; even after many rounds it must keep the
+	// minimum assignment.
+	now := time.Duration(0)
+	for round := 0; round < 10; round++ {
+		if err := net.Send("m1", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.2, Needed: 1e-9, Interval: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Send("m2", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.9, Interval: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			c.Tick(now)
+			now += time.Second
+		}
+	}
+	got := c.Assignments()
+	floor := 0.2 * 0.01
+	if got["m2"] < floor-1e-12 {
+		t.Errorf("m2 assignment %v below floor %v", got["m2"], floor)
+	}
+	if got["m1"] <= got["m2"] {
+		t.Errorf("assignments = %v, want m1 > m2", got)
+	}
+	if sum := got["m1"] + got["m2"]; math.Abs(sum-0.01) > 1e-12 {
+		t.Errorf("assignments sum to %v, want 0.01", sum)
+	}
+}
+
+func TestRebalanceProtectsErrLimitedMonitors(t *testing.T) {
+	// Neither monitor is hopeless or saturated: both are err-limited, so
+	// no allowance may be taken from either regardless of yield gap.
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.2, Needed: 0.0001, Interval: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m2", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.3, Needed: 0.004, Interval: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	got := c.Assignments()
+	if got["m1"] != 0.005 || got["m2"] != 0.005 {
+		t.Errorf("assignments = %v, want both protected at 0.005", got)
+	}
+}
+
+func TestRebalanceTakesFromSaturatedMonitor(t *testing.T) {
+	// m2 sits at its maximum interval (reported potential reduction ≈ 0):
+	// it can safely donate to the err-limited m1.
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for round := 0; round < 4; round++ {
+		if err := net.Send("m1", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.25, Needed: 0.004, Interval: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Send("m2", "coord", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: 0.0, Needed: 1e-7, Interval: 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			c.Tick(now)
+			now += time.Second
+		}
+	}
+	got := c.Assignments()
+	if got["m1"] <= got["m2"] {
+		t.Errorf("assignments = %v, want m1 > m2 (saturated m2 donates)", got)
+	}
+	if sum := got["m1"] + got["m2"]; math.Abs(sum-0.01) > 1e-12 {
+		t.Errorf("assignments sum to %v, want 0.01", sum)
+	}
+}
+
+func TestRebalanceThrottledOnSimilarYields(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yields within 10% of each other → throttle.
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.01,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m2", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.48, Needed: 0.01,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	got := c.Assignments()
+	if got["m1"] != 0.005 || got["m2"] != 0.005 {
+		t.Errorf("assignments = %v, want unchanged even split", got)
+	}
+	if c.Stats().RebalancesSkipped == 0 {
+		t.Error("throttle skip not counted")
+	}
+}
+
+func TestEvenSchemeNeverRebalances(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.Scheme = SchemeEven
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.0001,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m2", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.01, Needed: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	got := c.Assignments()
+	if got["m1"] != 0.005 || got["m2"] != 0.005 {
+		t.Errorf("even scheme moved allowance: %v", got)
+	}
+	if c.Stats().Rebalances != 0 {
+		t.Errorf("Rebalances = %d, want 0", c.Stats().Rebalances)
+	}
+}
+
+func TestRebalanceNeedsTwoFreshReports(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.001,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	got := c.Assignments()
+	if got["m1"] != 0.005 || got["m2"] != 0.005 {
+		t.Errorf("assignments moved with a single report: %v", got)
+	}
+}
+
+func TestDistributeByYield(t *testing.T) {
+	tests := []struct {
+		name   string
+		pool   float64
+		yields map[string]float64
+		floor  float64
+		want   map[string]float64
+	}{
+		{
+			name:   "proportional",
+			pool:   1.0,
+			yields: map[string]float64{"a": 3, "b": 1},
+			floor:  0.1,
+			want:   map[string]float64{"a": 0.75, "b": 0.25},
+		},
+		{
+			name:   "floor engages",
+			pool:   1.0,
+			yields: map[string]float64{"a": 100, "b": 0.0001},
+			floor:  0.2,
+			want:   map[string]float64{"a": 0.8, "b": 0.2},
+		},
+		{
+			name:   "floors exceed pool",
+			pool:   0.1,
+			yields: map[string]float64{"a": 5, "b": 1},
+			floor:  0.2,
+			want:   map[string]float64{"a": 0.05, "b": 0.05},
+		},
+		{
+			name:   "zero yields split evenly",
+			pool:   1.0,
+			yields: map[string]float64{"a": 0, "b": 0},
+			floor:  0.1,
+			want:   map[string]float64{"a": 0.5, "b": 0.5},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := distributeByYield(tt.pool, tt.yields, tt.floor)
+			var sum float64
+			for m, want := range tt.want {
+				if math.Abs(got[m]-want) > 1e-9 {
+					t.Errorf("%s = %v, want %v", m, got[m], want)
+				}
+				sum += got[m]
+			}
+			if math.Abs(sum-tt.pool) > 1e-9 {
+				t.Errorf("sum = %v, want pool %v", sum, tt.pool)
+			}
+		})
+	}
+}
+
+func TestDistributeByYieldConservationProperty(t *testing.T) {
+	// Conservation and floor hold across many shapes.
+	shapes := []map[string]float64{
+		{"a": 1, "b": 2, "c": 3},
+		{"a": 1000, "b": 0.001, "c": 1},
+		{"a": 0, "b": 0, "c": 5},
+		{"a": 7},
+	}
+	for _, yields := range shapes {
+		got := distributeByYield(0.05, yields, 0.05*0.01)
+		var sum float64
+		for m, v := range got {
+			if v < 0 {
+				t.Errorf("negative assignment %v for %s", v, m)
+			}
+			sum += v
+		}
+		if math.Abs(sum-0.05) > 1e-9 {
+			t.Errorf("yields %v: sum %v, want 0.05", yields, sum)
+		}
+	}
+}
+
+func TestDuplicatedViolationReportsIdempotent(t *testing.T) {
+	// Every message delivered twice: the coordinator must not start two
+	// polls for one violation or double-count alerts.
+	net := transport.NewMemory(transport.WithDuplication(1.0, 9))
+	if err := net.Register("m2", func(m transport.Message) {
+		if m.Kind == transport.KindPollRequest {
+			_ = net.Send("m2", "coord", transport.Message{
+				Kind: transport.KindPollResponse, Value: 500,
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registerSink(t, net, "m1")
+	alerts := 0
+	cfg := validConfig(net)
+	cfg.OnAlert = func(time.Duration, float64) { alerts++ }
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicated violation report folds into the active/finished poll;
+	// the duplicated poll responses to an inactive poll are ignored. One
+	// logical violation must yield exactly one completed poll and at most
+	// the duplicate's worth of extra polls — never a wedge or a crash.
+	st := c.Stats()
+	if st.PollsCompleted == 0 {
+		t.Fatal("no poll completed under duplication")
+	}
+	if alerts == 0 {
+		t.Fatal("no alert under duplication")
+	}
+	if st.LocalViolations != 2 {
+		t.Errorf("LocalViolations = %d, want 2 (duplicate counted as received)", st.LocalViolations)
+	}
+}
+
+func TestYieldReportFromUnknownMonitorHarmless(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.ID = "coord-unknown"
+	cfg.UpdatePeriod = 5
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report from a monitor not in the task: must not panic or corrupt
+	// assignments.
+	if err := net.Send("stranger", "coord-unknown", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.5, Needed: 0.001, Interval: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	got := c.Assignments()
+	if len(got) != 2 {
+		t.Errorf("assignments = %v, want exactly the configured monitors", got)
+	}
+	var sum float64
+	for _, e := range got {
+		sum += e
+	}
+	if math.Abs(sum-cfg.Err) > 1e-12 {
+		t.Errorf("assignments sum %v, want %v", sum, cfg.Err)
+	}
+}
+
+func TestCoordinatorBelowDirection(t *testing.T) {
+	// A Below-direction task: alert when the SUM drops below the global
+	// threshold.
+	net := transport.NewMemory()
+	if err := net.Register("bm2", func(m transport.Message) {
+		if m.Kind == transport.KindPollRequest {
+			_ = net.Send("bm2", "coord-below", transport.Message{
+				Kind: transport.KindPollResponse, Value: 30,
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registerSink(t, net, "bm1")
+	alerts := 0
+	c, err := New(Config{
+		ID:        "coord-below",
+		Task:      "t",
+		Threshold: 100,
+		Direction: core.Below,
+		Err:       0.01,
+		Monitors:  []string{"bm1", "bm2"},
+		Network:   net,
+		OnAlert:   func(time.Duration, float64) { alerts++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bm1 reports 20: total = 50 < 100 → alert.
+	if err := net.Send("bm1", "coord-below", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alerts != 1 {
+		t.Errorf("alerts = %d, want 1 (50 < 100)", alerts)
+	}
+	if c.Stats().GlobalAlerts != 1 {
+		t.Errorf("GlobalAlerts = %d, want 1", c.Stats().GlobalAlerts)
+	}
+}
+
+func TestCoordinatorRejectsBadDirection(t *testing.T) {
+	net := transport.NewMemory()
+	cfg := validConfig(net)
+	cfg.ID = "coord-baddir"
+	cfg.Direction = core.Direction(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("bogus direction accepted, want error")
+	}
+}

@@ -1,0 +1,79 @@
+package coord
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestDistributeWithFloorsProperties drives the allocation core with
+// randomized yields, floors and pools and checks the invariants every
+// rebalance relies on: conservation, floor respect, non-negativity and
+// yield-monotonicity.
+func TestDistributeWithFloorsProperties(t *testing.T) {
+	f := func(rawYields []uint16, rawFloors []uint16, rawPool uint16) bool {
+		n := len(rawYields)
+		if n == 0 || n > 12 {
+			return true
+		}
+		if len(rawFloors) < n {
+			return true
+		}
+		pool := 0.001 + float64(rawPool)/float64(math.MaxUint16)*0.1
+		yields := make(map[string]float64, n)
+		floors := make(map[string]float64, n)
+		var floorSum float64
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			yields[id] = float64(rawYields[i]) // ≥ 0, arbitrary scale
+			floors[id] = float64(rawFloors[i]) / float64(math.MaxUint16) * pool / float64(n) * 1.5
+			floorSum += floors[id]
+		}
+		out := distributeWithFloors(pool, yields, floors)
+		if len(out) != n {
+			return false
+		}
+		var sum float64
+		for id, v := range out {
+			if v < -1e-12 {
+				return false
+			}
+			// Floors hold whenever they are jointly feasible.
+			if floorSum <= pool && v < floors[id]-1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-pool) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributeWithFloorsYieldMonotone(t *testing.T) {
+	// With equal floors, a higher yield must never receive less.
+	yields := map[string]float64{"lo": 1, "mid": 5, "hi": 25}
+	floors := map[string]float64{"lo": 0.001, "mid": 0.001, "hi": 0.001}
+	out := distributeWithFloors(0.1, yields, floors)
+	if !(out["hi"] >= out["mid"] && out["mid"] >= out["lo"]) {
+		t.Errorf("allocation not monotone in yield: %v", out)
+	}
+}
+
+func TestDistributeWithFloorsInfeasibleFloorsScaled(t *testing.T) {
+	yields := map[string]float64{"a": 1, "b": 2}
+	floors := map[string]float64{"a": 0.3, "b": 0.1}
+	out := distributeWithFloors(0.2, yields, floors) // Σfloors = 0.4 > pool
+	// Floors scale proportionally: a gets 0.15, b gets 0.05.
+	if math.Abs(out["a"]-0.15) > 1e-12 || math.Abs(out["b"]-0.05) > 1e-12 {
+		t.Errorf("infeasible floors not scaled proportionally: %v", out)
+	}
+}
+
+func TestDistributeWithFloorsZeroPool(t *testing.T) {
+	out := distributeWithFloors(0, map[string]float64{"a": 1}, map[string]float64{"a": 0.1})
+	if out["a"] != 0 {
+		t.Errorf("zero pool allocated %v", out["a"])
+	}
+}

@@ -1,0 +1,153 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"volley/internal/transport"
+)
+
+// tickAll advances the coordinator n ticks with 1-second timestamps
+// starting after the given offset.
+func tickAll(c *Coordinator, start, n int) {
+	for i := 0; i < n; i++ {
+		c.Tick(time.Duration(start+i) * time.Second)
+	}
+}
+
+func TestDeadMonitorExcludedFromPolls(t *testing.T) {
+	net := transport.NewMemory()
+	// m2 answers polls; m3 is dead (registered but never sends anything).
+	if err := net.Register("m2", func(m transport.Message) {
+		if m.Kind == transport.KindPollRequest {
+			_ = net.Send("m2", "coord", transport.Message{
+				Kind: transport.KindPollResponse, Value: 300,
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registerSink(t, net, "m1", "m3")
+
+	alerts := 0
+	c, err := New(Config{
+		ID: "coord", Task: "t", Threshold: 600, Err: 0.01,
+		Monitors:  []string{"m1", "m2", "m3"},
+		Network:   net,
+		DeadAfter: 50,
+		OnAlert:   func(time.Duration, float64) { alerts++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Establish liveness for m1 and m2 early on.
+	if err := net.Send("m1", "coord", transport.Message{Kind: transport.KindYieldReport, Reduction: 0.1, Needed: 0.01, Interval: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m2", "coord", transport.Message{Kind: transport.KindYieldReport, Reduction: 0.1, Needed: 0.01, Interval: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tickAll(c, 0, 100) // m3 now silent for > DeadAfter
+
+	// Refresh m1/m2 liveness, then report a violation from m1.
+	if err := net.Send("m2", "coord", transport.Message{Kind: transport.KindYieldReport, Reduction: 0.1, Needed: 0.01, Interval: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400, Time: 100 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// m2's 300 + m1's 400 = 700 > 600: the poll must complete without m3.
+	if alerts != 1 {
+		t.Errorf("alerts = %d, want 1 (poll should exclude dead m3)", alerts)
+	}
+	st := c.Stats()
+	if st.PollsCompleted != 1 {
+		t.Errorf("PollsCompleted = %d, want 1", st.PollsCompleted)
+	}
+	if st.DeadSkipped == 0 {
+		t.Error("DeadSkipped = 0, want > 0")
+	}
+	alive := c.AliveMonitors()
+	if len(alive) != 2 {
+		t.Errorf("AliveMonitors = %v, want [m1 m2]", alive)
+	}
+}
+
+func TestLivenessDisabledPollsEveryone(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2", "m3")
+	c, err := New(validConfigN(net, 3)) // DeadAfter 0 → disabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickAll(c, 0, 200)
+	if err := net.Send("m1", "coord3", transport.Message{
+		Kind: transport.KindLocalViolation, Value: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// With liveness disabled the poll waits for silent monitors and
+	// eventually expires — nobody is skipped.
+	st := c.Stats()
+	if st.DeadSkipped != 0 {
+		t.Errorf("DeadSkipped = %d, want 0 with liveness disabled", st.DeadSkipped)
+	}
+	if got := len(c.AliveMonitors()); got != 3 {
+		t.Errorf("AliveMonitors = %d, want all 3", got)
+	}
+}
+
+// validConfigN builds a valid config with n sink monitors and a distinct
+// coordinator address so registrations don't collide across tests.
+func validConfigN(net transport.Network, n int) Config {
+	monitors := make([]string, n)
+	for i := range monitors {
+		monitors[i] = "m" + string(rune('1'+i))
+	}
+	return Config{
+		ID:        "coord3",
+		Task:      "t",
+		Threshold: 800,
+		Err:       0.01,
+		Monitors:  monitors,
+		Network:   net,
+	}
+}
+
+func TestDeadMonitorRevives(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.DeadAfter = 10
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickAll(c, 0, 50)
+	if got := len(c.AliveMonitors()); got != 0 {
+		t.Errorf("AliveMonitors = %d, want 0 after long silence", got)
+	}
+	// m1 speaks again: it revives.
+	if err := net.Send("m1", "coord", transport.Message{
+		Kind: transport.KindYieldReport, Reduction: 0.1, Needed: 0.01, Interval: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alive := c.AliveMonitors()
+	if len(alive) != 1 || alive[0] != "m1" {
+		t.Errorf("AliveMonitors = %v, want [m1]", alive)
+	}
+}
+
+func TestNewRejectsNegativeDeadAfter(t *testing.T) {
+	net := transport.NewMemory()
+	cfg := validConfig(net)
+	cfg.ID = "coord-neg"
+	cfg.DeadAfter = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative DeadAfter accepted, want error")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggregateKind selects the time-window aggregate an AggregateSampler
+// monitors.
+type AggregateKind int
+
+const (
+	// AggregateMean monitors the moving average over the window.
+	AggregateMean AggregateKind = iota + 1
+	// AggregateSum monitors the moving sum.
+	AggregateSum
+	// AggregateMax monitors the moving maximum.
+	AggregateMax
+)
+
+// String implements fmt.Stringer.
+func (k AggregateKind) String() string {
+	switch k {
+	case AggregateMean:
+		return "mean"
+	case AggregateSum:
+		return "sum"
+	case AggregateMax:
+		return "max"
+	default:
+		return fmt.Sprintf("aggregate(%d)", int(k))
+	}
+}
+
+// AggregateSampler supports monitoring tasks whose state is an aggregate
+// over a time window rather than an instantaneous value ("tasks with
+// aggregation time window" — the extension the paper lists as ongoing
+// work). An example: alert when the *average* request latency over the
+// last minute exceeds a threshold.
+//
+// The sampler keeps a ring of per-step values over the window. Steps
+// skipped by adaptive sampling are filled with the most recent sampled
+// value (zero-order hold), so the window aggregate remains defined between
+// samples; the adaptation then runs on the aggregate series, whose deltas
+// are smoother than the raw series by construction — window aggregation
+// and adaptive sampling compound.
+//
+// AggregateSampler is not safe for concurrent use.
+type AggregateSampler struct {
+	inner  *Sampler
+	kind   AggregateKind
+	ring   []float64
+	filled int
+	pos    int
+	last   float64
+	warm   bool
+}
+
+// NewAggregateSampler builds an aggregate sampler over a window of the
+// given length (in default sampling intervals, ≥ 1). The cfg threshold
+// applies to the aggregate value.
+func NewAggregateSampler(cfg Config, kind AggregateKind, window int) (*AggregateSampler, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("core: aggregation window %d < 1", window)
+	}
+	switch kind {
+	case AggregateMean, AggregateSum, AggregateMax:
+	default:
+		return nil, fmt.Errorf("core: unknown aggregate kind %d", kind)
+	}
+	inner, err := NewSampler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AggregateSampler{
+		inner: inner,
+		kind:  kind,
+		ring:  make([]float64, window),
+	}, nil
+}
+
+// Observe records a sampled raw value together with the number of steps
+// elapsed since the previous sample (the interval the sampler returned
+// then; use 1 for the first call). Skipped steps are filled with the
+// previous sample's value. It returns the interval until the next sample.
+func (a *AggregateSampler) Observe(value float64, elapsed int) (int, error) {
+	if elapsed < 1 {
+		return 0, fmt.Errorf("core: elapsed %d < 1", elapsed)
+	}
+	if !a.warm {
+		a.warm = true
+		a.last = value
+		elapsed = 1
+	}
+	// Zero-order hold for the skipped steps, then the fresh value.
+	for i := 0; i < elapsed-1; i++ {
+		a.push(a.last)
+	}
+	a.push(value)
+	a.last = value
+	return a.inner.Observe(a.Value()), nil
+}
+
+func (a *AggregateSampler) push(v float64) {
+	a.ring[a.pos] = v
+	a.pos = (a.pos + 1) % len(a.ring)
+	if a.filled < len(a.ring) {
+		a.filled++
+	}
+}
+
+// Value reports the current window aggregate. NaN before the first
+// observation.
+func (a *AggregateSampler) Value() float64 {
+	if a.filled == 0 {
+		return math.NaN()
+	}
+	switch a.kind {
+	case AggregateSum, AggregateMean:
+		var sum float64
+		for i := 0; i < a.filled; i++ {
+			sum += a.ring[i]
+		}
+		if a.kind == AggregateSum {
+			return sum
+		}
+		return sum / float64(a.filled)
+	default: // AggregateMax
+		maxV := math.Inf(-1)
+		for i := 0; i < a.filled; i++ {
+			if a.ring[i] > maxV {
+				maxV = a.ring[i]
+			}
+		}
+		return maxV
+	}
+}
+
+// Violates reports whether the current aggregate crosses the threshold in
+// the configured direction.
+func (a *AggregateSampler) Violates() bool {
+	if a.filled == 0 {
+		return false
+	}
+	return a.inner.Violates(a.Value())
+}
+
+// Interval reports the current sampling interval in default intervals.
+func (a *AggregateSampler) Interval() int { return a.inner.Interval() }
+
+// Bound reports the inner sampler's last mis-detection bound.
+func (a *AggregateSampler) Bound() float64 { return a.inner.Bound() }
+
+// Window reports the aggregation window length in default intervals.
+func (a *AggregateSampler) Window() int { return len(a.ring) }
+
+// Kind reports the aggregate being monitored.
+func (a *AggregateSampler) Kind() AggregateKind { return a.kind }
+
+// Inner exposes the wrapped adaptive sampler (for allowance updates and
+// statistics).
+func (a *AggregateSampler) Inner() *Sampler { return a.inner }

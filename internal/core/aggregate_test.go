@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func aggConfig() Config {
+	return Config{Threshold: 100, Err: 0.02, MaxInterval: 10}
+}
+
+func TestNewAggregateSamplerValidation(t *testing.T) {
+	if _, err := NewAggregateSampler(aggConfig(), AggregateMean, 0); err == nil {
+		t.Error("window 0 accepted, want error")
+	}
+	if _, err := NewAggregateSampler(aggConfig(), AggregateKind(99), 5); err == nil {
+		t.Error("bogus kind accepted, want error")
+	}
+	bad := aggConfig()
+	bad.Err = 2
+	if _, err := NewAggregateSampler(bad, AggregateMean, 5); err == nil {
+		t.Error("invalid inner config accepted, want error")
+	}
+}
+
+func TestAggregateKindString(t *testing.T) {
+	tests := []struct {
+		kind AggregateKind
+		want string
+	}{
+		{AggregateMean, "mean"},
+		{AggregateSum, "sum"},
+		{AggregateMax, "max"},
+		{AggregateKind(7), "aggregate(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestAggregateValueBeforeObserve(t *testing.T) {
+	a, err := NewAggregateSampler(aggConfig(), AggregateMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(a.Value()) {
+		t.Errorf("Value() before observations = %v, want NaN", a.Value())
+	}
+	if a.Violates() {
+		t.Error("Violates() before observations = true")
+	}
+}
+
+func TestAggregateMeanWindow(t *testing.T) {
+	a, err := NewAggregateSampler(aggConfig(), AggregateMean, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{3, 6, 9} {
+		if _, err := a.Observe(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Value(); got != 6 {
+		t.Errorf("mean = %v, want 6", got)
+	}
+	// Window slides: {6, 9, 12} → 9.
+	if _, err := a.Observe(12, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Value(); got != 9 {
+		t.Errorf("mean after slide = %v, want 9", got)
+	}
+}
+
+func TestAggregateSumAndMax(t *testing.T) {
+	sum, err := NewAggregateSampler(aggConfig(), AggregateSum, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.Observe(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.Observe(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Value(); got != 9 {
+		t.Errorf("sum = %v, want 9", got)
+	}
+
+	maxA, err := NewAggregateSampler(aggConfig(), AggregateMax, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{2, 8, 5} {
+		if _, err := maxA.Observe(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := maxA.Value(); got != 8 {
+		t.Errorf("max = %v, want 8", got)
+	}
+}
+
+func TestAggregateZeroOrderHoldFillsGaps(t *testing.T) {
+	a, err := NewAggregateSampler(aggConfig(), AggregateMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Observe(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 3 steps elapsed: two holds of 10 plus the new 22 → window {10,10,10,22}.
+	if _, err := a.Observe(22, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Value(); got != 13 {
+		t.Errorf("mean with held gaps = %v, want 13", got)
+	}
+}
+
+func TestAggregateObserveValidation(t *testing.T) {
+	a, err := NewAggregateSampler(aggConfig(), AggregateMean, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Observe(1, 0); err == nil {
+		t.Error("elapsed 0 accepted, want error")
+	}
+	if _, err := a.Observe(1, -3); err == nil {
+		t.Error("negative elapsed accepted, want error")
+	}
+}
+
+func TestAggregateViolates(t *testing.T) {
+	a, err := NewAggregateSampler(Config{Threshold: 10, Err: 0.02, MaxInterval: 5}, AggregateMean, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Observe(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Violates() {
+		t.Error("mean 9 should not violate threshold 10")
+	}
+	if _, err := a.Observe(15, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Violates() {
+		t.Error("mean 12 should violate threshold 10")
+	}
+}
+
+func TestAggregateAccessors(t *testing.T) {
+	a, err := NewAggregateSampler(aggConfig(), AggregateMax, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Window() != 7 {
+		t.Errorf("Window() = %d, want 7", a.Window())
+	}
+	if a.Kind() != AggregateMax {
+		t.Errorf("Kind() = %v, want max", a.Kind())
+	}
+	if a.Interval() != 1 {
+		t.Errorf("Interval() = %d, want 1", a.Interval())
+	}
+	if a.Inner() == nil {
+		t.Error("Inner() = nil")
+	}
+}
+
+// TestAggregateSmoothingEnablesLargerIntervals verifies the compounding
+// claim: the windowed mean of a noisy series has smaller deltas, so the
+// adaptive sampler can stretch further than on the raw series at the same
+// allowance.
+func TestAggregateSmoothingEnablesLargerIntervals(t *testing.T) {
+	const steps = 20000
+	rng := rand.New(rand.NewSource(5))
+	series := make([]float64, steps)
+	for i := range series {
+		series[i] = 50 + 10*rng.NormFloat64()
+	}
+	threshold := 95.0 // ≈ 4.5σ above the mean of the raw series
+
+	runRaw := func() int {
+		s, err := NewSampler(Config{Threshold: threshold, Err: 0.02, MaxInterval: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, next := 0, 0
+		for i := range series {
+			if i != next {
+				continue
+			}
+			samples++
+			next = i + s.Observe(series[i])
+		}
+		return samples
+	}
+	runAgg := func() int {
+		a, err := NewAggregateSampler(Config{Threshold: threshold, Err: 0.02, MaxInterval: 20},
+			AggregateMean, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, next, interval := 0, 0, 1
+		for i := range series {
+			if i != next {
+				continue
+			}
+			samples++
+			iv, err := a.Observe(series[i], interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interval = iv
+			next = i + iv
+		}
+		return samples
+	}
+	raw, agg := runRaw(), runAgg()
+	if agg >= raw {
+		t.Errorf("aggregate sampler used %d samples, raw %d — smoothing should help", agg, raw)
+	}
+	t.Logf("raw samples %d, windowed-mean samples %d", raw, agg)
+}
+
+func TestSamplerBelowDirection(t *testing.T) {
+	s, err := NewSampler(Config{Threshold: 10, Direction: Below, Err: 0.05, MaxInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Direction() != Below {
+		t.Fatalf("Direction() = %v, want below", s.Direction())
+	}
+	if !s.Violates(5) {
+		t.Error("5 < 10 should violate a Below threshold")
+	}
+	if s.Violates(15) {
+		t.Error("15 > 10 should not violate a Below threshold")
+	}
+	// A stable signal far ABOVE a Below threshold is safe: interval grows.
+	for i := 0; i < 200; i++ {
+		s.Observe(1000)
+	}
+	if s.Interval() < 2 {
+		t.Errorf("Interval() = %d, want growth on safe signal", s.Interval())
+	}
+	// Crossing below the threshold saturates the bound and resets.
+	if iv := s.Observe(5); iv != 1 {
+		t.Errorf("interval after violation = %d, want 1", iv)
+	}
+	if s.Bound() != 1 {
+		t.Errorf("bound after violation = %v, want 1", s.Bound())
+	}
+}
+
+func TestSamplerBelowMirrorsAbove(t *testing.T) {
+	// Monitoring v < T must behave exactly like monitoring −v > −T.
+	rng := rand.New(rand.NewSource(6))
+	values := make([]float64, 3000)
+	for i := range values {
+		values[i] = 50 + 8*rng.NormFloat64()
+	}
+	below, err := NewSampler(Config{Threshold: 20, Direction: Below, Err: 0.02, MaxInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := NewSampler(Config{Threshold: -20, Direction: Above, Err: 0.02, MaxInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		ib := below.Observe(v)
+		ia := above.Observe(-v)
+		if ib != ia {
+			t.Fatalf("mirrored samplers diverged: below %d, above %d", ib, ia)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Above.String() != "above" || Below.String() != "below" {
+		t.Error("direction names wrong")
+	}
+	if Direction(9).String() != "direction(9)" {
+		t.Errorf("unknown direction = %q", Direction(9).String())
+	}
+}
+
+func TestNewSamplerRejectsBadDirection(t *testing.T) {
+	cfg := validConfig()
+	cfg.Direction = Direction(42)
+	if _, err := NewSampler(cfg); err == nil {
+		t.Error("bogus direction accepted, want error")
+	}
+}

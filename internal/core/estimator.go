@@ -1,0 +1,107 @@
+// Package core implements Volley's violation-likelihood based adaptive
+// sampling — the paper's primary contribution (Sections III and IV-B's
+// monitor-side statistics).
+//
+// The unit of time throughout this package is the task's *default sampling
+// interval* Id: an interval of I means "sample every I·Id". The monitor
+// layer (internal/monitor) maps these integer intervals onto virtual or
+// wall-clock durations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"volley/internal/stats"
+)
+
+// Estimator bounds (or estimates) the probability that a random variable
+// with the given mean and standard deviation exceeds a threshold. The paper
+// uses the distribution-free one-sided Chebyshev bound; a Gaussian
+// alternative is provided for the ablation study in DESIGN.md §6.
+type Estimator interface {
+	// ExceedProb returns an upper bound on P(X > threshold) for a random
+	// variable X with the given moments. Implementations must return a
+	// value in [0, 1] and treat stddev ≤ 0 as a deterministic X.
+	ExceedProb(mean, stddev, threshold float64) float64
+	// Name identifies the estimator in reports and benchmarks.
+	Name() string
+}
+
+// ChebyshevEstimator is the paper's estimator: the one-sided Chebyshev
+// (Cantelli) inequality, valid for any distribution of δ. It is
+// deliberately loose, which makes the adaptation conservative (Section
+// III-B discusses why that is desirable).
+type ChebyshevEstimator struct{}
+
+// ExceedProb implements Estimator using the Cantelli bound.
+func (ChebyshevEstimator) ExceedProb(mean, stddev, threshold float64) float64 {
+	return stats.ChebyshevExceedProb(mean, stddev, threshold)
+}
+
+// Name implements Estimator.
+func (ChebyshevEstimator) Name() string { return "chebyshev" }
+
+// GaussianEstimator assumes δ is normally distributed and uses the exact
+// Gaussian tail. It is tighter than Chebyshev when the assumption holds and
+// wrong when it does not — exactly the trade-off the ablation measures.
+type GaussianEstimator struct{}
+
+// ExceedProb implements Estimator using the Gaussian upper tail.
+func (GaussianEstimator) ExceedProb(mean, stddev, threshold float64) float64 {
+	if stddev <= 0 {
+		if mean > threshold {
+			return 1
+		}
+		return 0
+	}
+	z := (threshold - mean) / stddev
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Name implements Estimator.
+func (GaussianEstimator) Name() string { return "gaussian" }
+
+// MisdetectBound computes β̄(I), the upper bound on the probability of
+// missing a violation within the next I default intervals (the paper's
+// Inequality 3):
+//
+//	β̄(I) = 1 − Π_{i=1..I} (1 − bound(P[v + i·δ > T]))
+//
+// where each per-step probability P[δ > (T−v)/i] is bounded by est applied
+// to δ's moments (mean, stddev). v is the current sampled value and
+// threshold is T. The result is clamped to [0, 1].
+//
+// Interval I must be ≥ 1; the function returns an error otherwise.
+func MisdetectBound(est Estimator, value, threshold, mean, stddev float64, interval int) (float64, error) {
+	if est == nil {
+		return 0, fmt.Errorf("core: nil estimator")
+	}
+	if interval < 1 {
+		return 0, fmt.Errorf("core: interval %d < 1", interval)
+	}
+	noViolation := 1.0
+	for i := 1; i <= interval; i++ {
+		// P[v + iδ > T] = P[δ > (T − v)/i].
+		stepThreshold := (threshold - value) / float64(i)
+		p := est.ExceedProb(mean, stddev, stepThreshold)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		noViolation *= 1 - p
+		if noViolation == 0 {
+			break
+		}
+	}
+	bound := 1 - noViolation
+	if bound < 0 {
+		bound = 0
+	}
+	if bound > 1 {
+		bound = 1
+	}
+	return bound, nil
+}

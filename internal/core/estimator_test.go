@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChebyshevEstimatorMatchesPaperBound(t *testing.T) {
+	est := ChebyshevEstimator{}
+	// k = 2 → 1/(1+4) = 0.2.
+	got := est.ExceedProb(0, 1, 2)
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ExceedProb = %v, want 0.2", got)
+	}
+	if est.Name() != "chebyshev" {
+		t.Errorf("Name() = %q", est.Name())
+	}
+}
+
+func TestGaussianEstimatorKnownValues(t *testing.T) {
+	est := GaussianEstimator{}
+	tests := []struct {
+		name             string
+		mean, sd, thresh float64
+		want             float64
+		tol              float64
+	}{
+		{name: "median", mean: 0, sd: 1, thresh: 0, want: 0.5, tol: 1e-12},
+		{name: "one sigma", mean: 0, sd: 1, thresh: 1, want: 0.15865525, tol: 1e-6},
+		{name: "two sigma", mean: 0, sd: 1, thresh: 2, want: 0.02275013, tol: 1e-6},
+		{name: "deterministic below", mean: 1, sd: 0, thresh: 2, want: 0, tol: 0},
+		{name: "deterministic above", mean: 3, sd: 0, thresh: 2, want: 1, tol: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := est.ExceedProb(tt.mean, tt.sd, tt.thresh)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("ExceedProb = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if est.Name() != "gaussian" {
+		t.Errorf("Name() = %q", est.Name())
+	}
+}
+
+func TestGaussianTighterThanChebyshevInTail(t *testing.T) {
+	// For normal data, Gaussian tails are far smaller than the Chebyshev
+	// bound at the same distance; this gap is what the estimator ablation
+	// exploits.
+	for _, k := range []float64{1, 2, 3, 5} {
+		g := GaussianEstimator{}.ExceedProb(0, 1, k)
+		c := ChebyshevEstimator{}.ExceedProb(0, 1, k)
+		if g >= c {
+			t.Errorf("k=%v: gaussian %v not tighter than chebyshev %v", k, g, c)
+		}
+	}
+}
+
+func TestMisdetectBoundValidation(t *testing.T) {
+	if _, err := MisdetectBound(nil, 0, 1, 0, 1, 1); err == nil {
+		t.Error("nil estimator accepted, want error")
+	}
+	if _, err := MisdetectBound(ChebyshevEstimator{}, 0, 1, 0, 1, 0); err == nil {
+		t.Error("interval 0 accepted, want error")
+	}
+	if _, err := MisdetectBound(ChebyshevEstimator{}, 0, 1, 0, 1, -3); err == nil {
+		t.Error("negative interval accepted, want error")
+	}
+}
+
+func TestMisdetectBoundIntervalOne(t *testing.T) {
+	// With I = 1 the bound is exactly the single-step Chebyshev bound.
+	value, threshold, mean, sd := 10.0, 20.0, 1.0, 2.0
+	got, err := MisdetectBound(ChebyshevEstimator{}, value, threshold, mean, sd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChebyshevEstimator{}.ExceedProb(mean, sd, threshold-value)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestMisdetectBoundMonotoneInInterval(t *testing.T) {
+	// Longer gaps can only increase the chance of missing a violation.
+	prev := 0.0
+	for i := 1; i <= 30; i++ {
+		got, err := MisdetectBound(ChebyshevEstimator{}, 50, 100, 0.5, 3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("bound decreased at I=%d: %v < %v", i, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMisdetectBoundSaturatesWhenValueAboveThreshold(t *testing.T) {
+	// Already in violation: the step threshold is negative, so the
+	// Chebyshev bound is vacuous and β̄ = 1, which forces a reset.
+	got, err := MisdetectBound(ChebyshevEstimator{}, 150, 100, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("bound = %v, want 1 when already violating", got)
+	}
+}
+
+func TestMisdetectBoundDeterministicDelta(t *testing.T) {
+	tests := []struct {
+		name     string
+		value    float64
+		mean     float64
+		interval int
+		want     float64
+	}{
+		{name: "drifting away stays safe", value: 50, mean: -1, interval: 10, want: 0},
+		{name: "drifting slowly under threshold", value: 50, mean: 4, interval: 10, want: 0},
+		{name: "drift crosses threshold", value: 50, mean: 11, interval: 10, want: 1},
+		{name: "flat", value: 50, mean: 0, interval: 5, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MisdetectBound(ChebyshevEstimator{}, tt.value, 100, tt.mean, 0, tt.interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("bound = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMisdetectBoundRangeProperty(t *testing.T) {
+	f := func(value, threshold, mean, sd float64, rawI uint8) bool {
+		for _, v := range []float64{value, threshold, mean, sd} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		interval := int(rawI%50) + 1
+		got, err := MisdetectBound(ChebyshevEstimator{}, value, threshold, mean, math.Abs(sd), interval)
+		if err != nil {
+			return false
+		}
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMisdetectBoundDominatesEmpirical checks the central soundness claim:
+// β̄(I) upper-bounds the true probability of a violation within the next I
+// steps when δ is drawn i.i.d. from the estimated distribution.
+func TestMisdetectBoundDominatesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const (
+		trials    = 20000
+		value     = 80.0
+		threshold = 100.0
+		mean      = 0.5
+		sd        = 4.0
+	)
+	for _, interval := range []int{1, 2, 4, 8} {
+		var violated int
+		for trial := 0; trial < trials; trial++ {
+			v := value
+			for i := 0; i < interval; i++ {
+				v += mean + sd*rng.NormFloat64()
+				if v > threshold {
+					violated++
+					break
+				}
+			}
+		}
+		empirical := float64(violated) / trials
+		bound, err := MisdetectBound(ChebyshevEstimator{}, value, threshold, mean, sd, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empirical > bound+0.01 {
+			t.Errorf("I=%d: empirical %v exceeds bound %v", interval, empirical, bound)
+		}
+	}
+}
+
+func TestMisdetectBoundGaussianAlsoWorks(t *testing.T) {
+	got, err := MisdetectBound(GaussianEstimator{}, 50, 100, 0, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheb, err := MisdetectBound(ChebyshevEstimator{}, 50, 100, 0, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= cheb {
+		t.Errorf("gaussian bound %v not tighter than chebyshev %v", got, cheb)
+	}
+}

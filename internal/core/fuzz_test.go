@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMisdetectBound checks the bound's range invariant over arbitrary
+// inputs (run with `go test -fuzz=FuzzMisdetectBound` for deep exploration;
+// the seed corpus runs as a regular test).
+func FuzzMisdetectBound(f *testing.F) {
+	f.Add(50.0, 100.0, 0.5, 3.0, 5)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1)
+	f.Add(-10.0, -100.0, -0.5, 0.1, 20)
+	f.Add(1e300, -1e300, 1e10, 1e-10, 50)
+	f.Fuzz(func(t *testing.T, value, threshold, mean, stddev float64, interval int) {
+		for _, v := range []float64{value, threshold, mean, stddev} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		if interval < 1 || interval > 1000 {
+			t.Skip()
+		}
+		got, err := MisdetectBound(ChebyshevEstimator{}, value, threshold, mean, math.Abs(stddev), interval)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("bound %v outside [0, 1] for v=%v T=%v μ=%v σ=%v I=%d",
+				got, value, threshold, mean, stddev, interval)
+		}
+	})
+}
+
+// FuzzSamplerObserve drives a sampler with arbitrary value streams and
+// checks the interval/bound invariants never break.
+func FuzzSamplerObserve(f *testing.F) {
+	f.Add(int64(1), 100.0, uint16(100))
+	f.Add(int64(7), -5.0, uint16(500))
+	f.Fuzz(func(t *testing.T, seed int64, threshold float64, steps uint16) {
+		if math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+			t.Skip()
+		}
+		s, err := NewSampler(Config{
+			Threshold:   threshold,
+			Err:         0.02,
+			MaxInterval: 15,
+			Patience:    3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic pseudo-random walk from the seed.
+		x := uint64(seed)
+		v := threshold - 10
+		for i := 0; i < int(steps%2000); i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v += float64(int64(x%2001)-1000) / 100
+			iv := s.Observe(v)
+			if iv < 1 || iv > 15 {
+				t.Fatalf("interval %d outside [1, 15]", iv)
+			}
+			if b := s.Bound(); math.IsNaN(b) || b < 0 || b > 1 {
+				t.Fatalf("bound %v outside [0, 1]", b)
+			}
+		}
+	})
+}

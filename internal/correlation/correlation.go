@@ -1,0 +1,307 @@
+// Package correlation implements Volley's multi-task level: exploiting
+// state correlation between monitoring tasks to skip sampling on expensive
+// tasks unless a correlated cheap task signals elevated violation
+// likelihood (Section II-B's Multi-Task Level State Correlation; the paper
+// defers details to its technical report, so this package documents its own
+// concrete design — see DESIGN.md §4).
+//
+// The pipeline has three stages:
+//
+//  1. Detector accumulates aligned value series per task and finds
+//     predictor→target rules: pairs whose violation indicators co-occur
+//     with high recall at some small lag (e.g. "traffic-difference
+//     violations precede response-time violations").
+//  2. BuildPlan selects, for each expensive target task, the best usable
+//     rule — the predictor with the highest recall, breaking ties toward
+//     cheaper predictors — while refusing cycles (a task cannot transitively
+//     gate itself).
+//  3. Gate applies a rule at runtime: the target samples at a relaxed
+//     interval until the predictor arms it, then at its adaptive interval
+//     for a hold-down period.
+//
+// Gating a target on a predictor with recall r loses at most a (1−r)
+// fraction of the target's alerts (those not anticipated by the predictor),
+// which is the quantity BuildPlan bounds via MinRecall.
+package correlation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"volley/internal/stats"
+)
+
+// Rule is one detected predictor→target relationship.
+type Rule struct {
+	// Predictor and Target are task identifiers.
+	Predictor string
+	Target    string
+	// Lag is the delay (in default intervals) from predictor violation to
+	// target violation at which co-occurrence was strongest.
+	Lag int
+	// Corr is the lagged Pearson correlation of the raw value series.
+	Corr float64
+	// Precision is the fraction of predictor violations followed by a
+	// target violation within the slack window.
+	Precision float64
+	// Recall is the fraction of target violations preceded by a predictor
+	// violation — the safety metric for gating.
+	Recall float64
+}
+
+// series holds one task's observations for detection.
+type series struct {
+	values    []float64
+	threshold float64
+}
+
+// Detector accumulates task series and finds rules.
+type Detector struct {
+	tasks map[string]*series
+	// MaxLag bounds the predictor→target lag scanned, in default
+	// intervals.
+	maxLag int
+	// Slack is the co-occurrence window, in default intervals.
+	slack int
+}
+
+// NewDetector returns a detector scanning lags in [0, maxLag] with the
+// given co-occurrence slack.
+func NewDetector(maxLag, slack int) (*Detector, error) {
+	if maxLag < 0 {
+		return nil, fmt.Errorf("correlation: negative max lag %d", maxLag)
+	}
+	if slack < 0 {
+		return nil, fmt.Errorf("correlation: negative slack %d", slack)
+	}
+	return &Detector{
+		tasks:  make(map[string]*series),
+		maxLag: maxLag,
+		slack:  slack,
+	}, nil
+}
+
+// AddSeries registers a task's value series (at default-interval
+// granularity) and its violation threshold. Re-adding a task replaces its
+// series.
+func (d *Detector) AddSeries(taskID string, values []float64, threshold float64) error {
+	if taskID == "" {
+		return fmt.Errorf("correlation: empty task id")
+	}
+	if len(values) < 2 {
+		return fmt.Errorf("correlation: task %s: need ≥ 2 values, got %d", taskID, len(values))
+	}
+	if math.IsNaN(threshold) {
+		return fmt.Errorf("correlation: task %s: NaN threshold", taskID)
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	d.tasks[taskID] = &series{values: vals, threshold: threshold}
+	return nil
+}
+
+// Detect returns all predictor→target rules whose recall is at least
+// minRecall, sorted by descending recall then ascending lag. Series of
+// differing lengths are truncated to the shortest common prefix.
+func (d *Detector) Detect(minRecall float64) ([]Rule, error) {
+	if minRecall < 0 || minRecall > 1 || math.IsNaN(minRecall) {
+		return nil, fmt.Errorf("correlation: min recall %v outside [0, 1]", minRecall)
+	}
+	ids := make([]string, 0, len(d.tasks))
+	for id := range d.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // determinism
+
+	var rules []Rule
+	for _, p := range ids {
+		for _, t := range ids {
+			if p == t {
+				continue
+			}
+			rule, ok := d.evaluate(p, t)
+			if ok && rule.Recall >= minRecall {
+				rules = append(rules, rule)
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Recall != rules[j].Recall {
+			return rules[i].Recall > rules[j].Recall
+		}
+		if rules[i].Lag != rules[j].Lag {
+			return rules[i].Lag < rules[j].Lag
+		}
+		if rules[i].Predictor != rules[j].Predictor {
+			return rules[i].Predictor < rules[j].Predictor
+		}
+		return rules[i].Target < rules[j].Target
+	})
+	return rules, nil
+}
+
+func (d *Detector) evaluate(predictorID, targetID string) (Rule, bool) {
+	p, t := d.tasks[predictorID], d.tasks[targetID]
+	n := len(p.values)
+	if len(t.values) < n {
+		n = len(t.values)
+	}
+	pv, tv := p.values[:n], t.values[:n]
+
+	lag, corr := stats.BestLag(pv, tv, d.maxLag)
+	pViol := violations(pv, p.threshold)
+	tViol := violations(tv, t.threshold)
+
+	// Shift the target back by the lag so co-occurrence is measured at the
+	// aligned offset, then allow the configured slack.
+	if lag >= n {
+		return Rule{}, false
+	}
+	alignedP := pViol[:n-lag]
+	alignedT := tViol[lag:]
+	precision, recall := stats.CoOccurrence(alignedP, alignedT, d.slack)
+	if math.IsNaN(recall) {
+		return Rule{}, false
+	}
+	return Rule{
+		Predictor: predictorID,
+		Target:    targetID,
+		Lag:       lag,
+		Corr:      corr,
+		Precision: precision,
+		Recall:    recall,
+	}, true
+}
+
+func violations(values []float64, threshold float64) []bool {
+	out := make([]bool, len(values))
+	for i, v := range values {
+		out[i] = v > threshold
+	}
+	return out
+}
+
+// Plan maps each gated target task to the rule that gates it.
+type Plan struct {
+	// Gates maps target task → rule.
+	Gates map[string]Rule
+}
+
+// BuildPlan chooses at most one gating rule per target from the candidate
+// rules, preferring higher recall and, on ties, cheaper predictors (per the
+// costs map; missing costs default to 1). Rules whose recall is below
+// minRecall are ignored. A task that is gated by another task is never used
+// as a predictor itself — gating must bottom out at always-sampled tasks,
+// otherwise a chain of gated tasks could all go quiet together.
+func BuildPlan(rules []Rule, costs map[string]float64, minRecall float64) (Plan, error) {
+	if minRecall < 0 || minRecall > 1 || math.IsNaN(minRecall) {
+		return Plan{}, fmt.Errorf("correlation: min recall %v outside [0, 1]", minRecall)
+	}
+	costOf := func(id string) float64 {
+		if c, ok := costs[id]; ok {
+			return c
+		}
+		return 1
+	}
+	// Consider rules in preference order: recall desc, predictor cost asc.
+	ordered := make([]Rule, 0, len(rules))
+	for _, r := range rules {
+		if r.Recall >= minRecall && r.Predictor != r.Target {
+			ordered = append(ordered, r)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Recall != ordered[j].Recall {
+			return ordered[i].Recall > ordered[j].Recall
+		}
+		ci, cj := costOf(ordered[i].Predictor), costOf(ordered[j].Predictor)
+		if ci != cj {
+			return ci < cj
+		}
+		if ordered[i].Target != ordered[j].Target {
+			return ordered[i].Target < ordered[j].Target
+		}
+		return ordered[i].Predictor < ordered[j].Predictor
+	})
+
+	plan := Plan{Gates: make(map[string]Rule)}
+	gated := make(map[string]bool)
+	usedAsPredictor := make(map[string]bool)
+	for _, r := range ordered {
+		if gated[r.Target] {
+			continue // already gated by a better rule
+		}
+		if gated[r.Predictor] {
+			continue // predictor itself is gated; chain not allowed
+		}
+		if usedAsPredictor[r.Target] {
+			continue // target anchors other gates; must stay always-on
+		}
+		plan.Gates[r.Target] = r
+		gated[r.Target] = true
+		usedAsPredictor[r.Predictor] = true
+	}
+	return plan, nil
+}
+
+// Gate applies one rule at runtime. The target's monitor asks the gate for
+// its effective interval each time it samples: relaxed while unarmed, the
+// adaptive sampler's interval while armed.
+//
+// Gate is not safe for concurrent use.
+type Gate struct {
+	relaxedInterval int
+	holdDown        int
+	armedFor        int
+	arms            uint64
+}
+
+// NewGate builds a gate. relaxedInterval is the (large) interval used while
+// unarmed; holdDown is how many default intervals the gate stays armed
+// after the last predictor signal.
+func NewGate(relaxedInterval, holdDown int) (*Gate, error) {
+	if relaxedInterval < 1 {
+		return nil, fmt.Errorf("correlation: relaxed interval %d < 1", relaxedInterval)
+	}
+	if holdDown < 1 {
+		return nil, fmt.Errorf("correlation: hold-down %d < 1", holdDown)
+	}
+	return &Gate{relaxedInterval: relaxedInterval, holdDown: holdDown}, nil
+}
+
+// Signal feeds the predictor's state: high violation likelihood arms the
+// gate for the hold-down period.
+func (g *Gate) Signal(high bool) {
+	if high {
+		if g.armedFor == 0 {
+			g.arms++
+		}
+		g.armedFor = g.holdDown
+	}
+}
+
+// Tick advances one default interval, decaying the arm timer.
+func (g *Gate) Tick() {
+	if g.armedFor > 0 {
+		g.armedFor--
+	}
+}
+
+// Armed reports whether the gate is currently armed.
+func (g *Gate) Armed() bool { return g.armedFor > 0 }
+
+// Interval returns the effective sampling interval for the target given its
+// adaptive sampler's interval.
+func (g *Gate) Interval(adaptive int) int {
+	if g.Armed() {
+		return adaptive
+	}
+	if adaptive > g.relaxedInterval {
+		return adaptive
+	}
+	return g.relaxedInterval
+}
+
+// Arms reports how many times the gate transitioned from unarmed to armed.
+func (g *Gate) Arms() uint64 { return g.arms }

@@ -1,0 +1,346 @@
+package correlation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeCorrelatedSeries builds a predictor series and a target series whose
+// violations follow the predictor's with the given lag.
+func makeCorrelatedSeries(n, lag int, seed int64) (pred, tgt []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pred = make([]float64, n)
+	tgt = make([]float64, n)
+	for i := range pred {
+		pred[i] = rng.NormFloat64()
+	}
+	// Inject bursts into the predictor; the target mirrors them lag later.
+	for b := 0; b < n/50; b++ {
+		at := rng.Intn(n - lag - 5)
+		for j := 0; j < 3; j++ {
+			pred[at+j] = 10 + rng.Float64()
+			tgt[at+j+lag] = 10 + rng.Float64()
+		}
+	}
+	for i := range tgt {
+		if tgt[i] == 0 {
+			tgt[i] = rng.NormFloat64()
+		}
+	}
+	return pred, tgt
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(-1, 0); err == nil {
+		t.Error("negative max lag accepted, want error")
+	}
+	if _, err := NewDetector(0, -1); err == nil {
+		t.Error("negative slack accepted, want error")
+	}
+}
+
+func TestAddSeriesValidation(t *testing.T) {
+	d, err := NewDetector(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("", []float64{1, 2}, 0); err == nil {
+		t.Error("empty id accepted, want error")
+	}
+	if err := d.AddSeries("a", []float64{1}, 0); err == nil {
+		t.Error("single-value series accepted, want error")
+	}
+	if err := d.AddSeries("a", []float64{1, 2}, math.NaN()); err == nil {
+		t.Error("NaN threshold accepted, want error")
+	}
+	if err := d.AddSeries("a", []float64{1, 2}, 0); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestAddSeriesCopiesInput(t *testing.T) {
+	d, err := NewDetector(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, 2, 3}
+	if err := d.AddSeries("a", values, 0); err != nil {
+		t.Fatal(err)
+	}
+	values[0] = 99
+	if d.tasks["a"].values[0] != 1 {
+		t.Error("detector aliases caller's slice")
+	}
+}
+
+func TestDetectFindsInjectedRule(t *testing.T) {
+	const lag = 3
+	pred, tgt := makeCorrelatedSeries(3000, lag, 1)
+	d, err := NewDetector(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("traffic", pred, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("latency", tgt, 5); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := d.Detect(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Rule
+	for i := range rules {
+		if rules[i].Predictor == "traffic" && rules[i].Target == "latency" {
+			found = &rules[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("injected rule not detected; rules = %+v", rules)
+	}
+	if found.Recall < 0.8 {
+		t.Errorf("recall = %v, want ≥ 0.8", found.Recall)
+	}
+	if found.Lag < lag-2 || found.Lag > lag+2 {
+		t.Errorf("lag = %d, want ≈ %d", found.Lag, lag)
+	}
+}
+
+func TestDetectNoRuleBetweenIndependentSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d, err := NewDetector(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("a", a, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("b", b, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := d.Detect(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("independent series produced rules: %+v", rules)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	d, err := NewDetector(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := d.Detect(bad); err == nil {
+			t.Errorf("min recall %v accepted, want error", bad)
+		}
+	}
+}
+
+func TestDetectDeterministicOrder(t *testing.T) {
+	pred, tgt := makeCorrelatedSeries(2000, 2, 3)
+	build := func() []Rule {
+		d, err := NewDetector(5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddSeries("x", pred, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddSeries("y", tgt, 5); err != nil {
+			t.Fatal(err)
+		}
+		rules, err := d.Detect(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rules
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildPlanPrefersHighRecallThenCheapPredictor(t *testing.T) {
+	rules := []Rule{
+		{Predictor: "cheap", Target: "expensive", Recall: 0.95},
+		{Predictor: "costly", Target: "expensive", Recall: 0.95},
+		{Predictor: "weak", Target: "expensive", Recall: 0.5},
+	}
+	costs := map[string]float64{"cheap": 1, "costly": 10}
+	plan, err := BuildPlan(rules, costs, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, ok := plan.Gates["expensive"]
+	if !ok {
+		t.Fatal("expensive task not gated")
+	}
+	if gate.Predictor != "cheap" {
+		t.Errorf("gated by %s, want cheap", gate.Predictor)
+	}
+}
+
+func TestBuildPlanRefusesChains(t *testing.T) {
+	rules := []Rule{
+		{Predictor: "a", Target: "b", Recall: 1},
+		{Predictor: "b", Target: "c", Recall: 0.9},
+	}
+	plan, err := BuildPlan(rules, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Gates["b"]; !ok {
+		t.Fatal("b not gated")
+	}
+	if _, ok := plan.Gates["c"]; ok {
+		t.Error("c gated by b which is itself gated; chains must be refused")
+	}
+}
+
+func TestBuildPlanRefusesCycles(t *testing.T) {
+	rules := []Rule{
+		{Predictor: "a", Target: "b", Recall: 1},
+		{Predictor: "b", Target: "a", Recall: 0.9},
+	}
+	plan, err := BuildPlan(rules, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Gates) != 1 {
+		t.Errorf("plan gates %d tasks, want 1 (no mutual gating)", len(plan.Gates))
+	}
+	if _, ok := plan.Gates["b"]; !ok {
+		t.Error("higher-recall rule a→b should win")
+	}
+}
+
+func TestBuildPlanPredictorStaysAlwaysOn(t *testing.T) {
+	// If x anchors a gate, x itself must not be gated afterward.
+	rules := []Rule{
+		{Predictor: "x", Target: "y", Recall: 1},
+		{Predictor: "z", Target: "x", Recall: 0.9},
+	}
+	plan, err := BuildPlan(rules, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Gates["x"]; ok {
+		t.Error("x is a predictor and must stay always-on")
+	}
+}
+
+func TestBuildPlanMinRecallFilters(t *testing.T) {
+	rules := []Rule{{Predictor: "a", Target: "b", Recall: 0.6}}
+	plan, err := BuildPlan(rules, nil, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Gates) != 0 {
+		t.Errorf("low-recall rule used: %+v", plan.Gates)
+	}
+	if _, err := BuildPlan(rules, nil, math.NaN()); err == nil {
+		t.Error("NaN min recall accepted, want error")
+	}
+}
+
+func TestNewGateValidation(t *testing.T) {
+	if _, err := NewGate(0, 5); err == nil {
+		t.Error("relaxed interval 0 accepted, want error")
+	}
+	if _, err := NewGate(10, 0); err == nil {
+		t.Error("hold-down 0 accepted, want error")
+	}
+}
+
+func TestGateLifecycle(t *testing.T) {
+	g, err := NewGate(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Armed() {
+		t.Error("gate armed at birth")
+	}
+	if got := g.Interval(2); got != 20 {
+		t.Errorf("unarmed interval = %d, want relaxed 20", got)
+	}
+	g.Signal(true)
+	if !g.Armed() {
+		t.Error("gate not armed after signal")
+	}
+	if got := g.Interval(2); got != 2 {
+		t.Errorf("armed interval = %d, want adaptive 2", got)
+	}
+	g.Tick()
+	g.Tick()
+	if !g.Armed() {
+		t.Error("gate disarmed before hold-down elapsed")
+	}
+	g.Tick()
+	if g.Armed() {
+		t.Error("gate still armed after hold-down")
+	}
+	if g.Arms() != 1 {
+		t.Errorf("Arms() = %d, want 1", g.Arms())
+	}
+}
+
+func TestGateSignalRefreshesHoldDown(t *testing.T) {
+	g, err := NewGate(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Signal(true)
+	g.Tick()
+	g.Signal(true) // refresh
+	g.Tick()
+	if !g.Armed() {
+		t.Error("refreshed gate disarmed too early")
+	}
+	if g.Arms() != 1 {
+		t.Errorf("Arms() = %d, want 1 (refresh is not a new arming)", g.Arms())
+	}
+}
+
+func TestGateAdaptiveAboveRelaxed(t *testing.T) {
+	g, err := NewGate(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If the adaptive interval is already larger than the relaxed one, use
+	// it (never sample more often than the sampler wants while unarmed).
+	if got := g.Interval(9); got != 9 {
+		t.Errorf("Interval(9) = %d, want 9", got)
+	}
+}
+
+func TestGateFalseSignalDoesNotArm(t *testing.T) {
+	g, err := NewGate(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Signal(false)
+	if g.Armed() {
+		t.Error("gate armed by false signal")
+	}
+	if g.Arms() != 0 {
+		t.Errorf("Arms() = %d, want 0", g.Arms())
+	}
+}

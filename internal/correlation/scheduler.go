@@ -1,0 +1,212 @@
+package correlation
+
+import (
+	"fmt"
+	"sort"
+
+	"volley/internal/core"
+)
+
+// Agent samples one task's monitored value.
+type Agent func() (float64, error)
+
+// Scheduler runs a set of monitoring tasks under a correlation plan: every
+// task has its own adaptive sampler; gated tasks additionally sample at a
+// relaxed interval until their predictor signals elevated violation
+// likelihood. This is the datacenter-level scheduling component of the
+// multi-task level ("schedules sampling for different tasks at the
+// datacenter level considering both cost factors and degree of state
+// correlation").
+//
+// Scheduler is not safe for concurrent use.
+type Scheduler struct {
+	tasks map[string]*schedTask
+	order []string // deterministic iteration
+}
+
+type schedTask struct {
+	id      string
+	agent   Agent
+	sampler *core.Sampler
+	cost    float64
+
+	gate      *Gate
+	predictor string
+	targets   []string
+
+	untilNext int
+
+	samples      uint64
+	violations   uint64
+	agentErrors  uint64
+	steps        uint64
+	weightedCost float64
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{tasks: make(map[string]*schedTask)}
+}
+
+// AddTask registers an always-on task with the given per-sample cost
+// (relative units; used for reporting and plan building).
+func (s *Scheduler) AddTask(id string, agent Agent, sampler *core.Sampler, cost float64) error {
+	if id == "" {
+		return fmt.Errorf("correlation: empty task id")
+	}
+	if agent == nil {
+		return fmt.Errorf("correlation: task %s: nil agent", id)
+	}
+	if sampler == nil {
+		return fmt.Errorf("correlation: task %s: nil sampler", id)
+	}
+	if cost <= 0 {
+		return fmt.Errorf("correlation: task %s: cost %v must be positive", id, cost)
+	}
+	if _, ok := s.tasks[id]; ok {
+		return fmt.Errorf("correlation: task %s already registered", id)
+	}
+	s.tasks[id] = &schedTask{id: id, agent: agent, sampler: sampler, cost: cost}
+	s.order = append(s.order, id)
+	sort.Strings(s.order)
+	return nil
+}
+
+// Apply installs a monitoring plan: each gated target gets a gate with the
+// given relaxed interval and hold-down, driven by its predictor. Every
+// task named by the plan must already be registered.
+func (s *Scheduler) Apply(plan Plan, relaxedInterval, holdDown int) error {
+	for target, rule := range plan.Gates {
+		tt, ok := s.tasks[target]
+		if !ok {
+			return fmt.Errorf("correlation: plan gates unknown task %q", target)
+		}
+		pt, ok := s.tasks[rule.Predictor]
+		if !ok {
+			return fmt.Errorf("correlation: plan uses unknown predictor %q", rule.Predictor)
+		}
+		gate, err := NewGate(relaxedInterval, holdDown)
+		if err != nil {
+			return err
+		}
+		tt.gate = gate
+		tt.predictor = rule.Predictor
+		pt.targets = append(pt.targets, target)
+	}
+	return nil
+}
+
+// StepResult reports one step's activity.
+type StepResult struct {
+	// Sampled lists the tasks that performed a sampling operation.
+	Sampled []string
+	// Violations lists the tasks whose sampled value violated their
+	// threshold.
+	Violations []string
+	// Cost is the weighted sampling cost incurred this step.
+	Cost float64
+}
+
+// Step advances all tasks one default interval.
+func (s *Scheduler) Step() (StepResult, error) {
+	var out StepResult
+	for _, id := range s.order {
+		t := s.tasks[id]
+		t.steps++
+		if t.gate != nil {
+			t.gate.Tick()
+		}
+		if t.untilNext > 0 {
+			t.untilNext--
+			continue
+		}
+
+		v, err := t.agent()
+		if err != nil {
+			t.agentErrors++
+			t.untilNext = 0 // retry next step
+			continue
+		}
+		t.samples++
+		t.weightedCost += t.cost
+		out.Sampled = append(out.Sampled, id)
+		out.Cost += t.cost
+
+		interval := t.sampler.Observe(v)
+		if t.gate != nil {
+			interval = t.gate.Interval(interval)
+		}
+		t.untilNext = interval - 1
+
+		violated := t.sampler.Violates(v)
+		if violated {
+			t.violations++
+			out.Violations = append(out.Violations, id)
+		}
+		// Arm this task's gated targets on a violation — the event the
+		// plan's recall guarantee is measured on. A freshly armed target
+		// samples at the very next step instead of waiting out the
+		// remainder of its relaxed gap.
+		if violated {
+			for _, target := range t.targets {
+				tt := s.tasks[target]
+				if tt.gate == nil {
+					continue
+				}
+				wasArmed := tt.gate.Armed()
+				tt.gate.Signal(true)
+				if !wasArmed {
+					tt.untilNext = 0
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TaskStats reports one task's counters.
+type TaskStats struct {
+	Steps        uint64
+	Samples      uint64
+	Violations   uint64
+	AgentErrors  uint64
+	WeightedCost float64
+	Gated        bool
+	Armed        bool
+}
+
+// Stats reports the counters for a task.
+func (s *Scheduler) Stats(id string) (TaskStats, error) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return TaskStats{}, fmt.Errorf("correlation: unknown task %q", id)
+	}
+	st := TaskStats{
+		Steps:        t.steps,
+		Samples:      t.samples,
+		Violations:   t.violations,
+		AgentErrors:  t.agentErrors,
+		WeightedCost: t.weightedCost,
+		Gated:        t.gate != nil,
+	}
+	if t.gate != nil {
+		st.Armed = t.gate.Armed()
+	}
+	return st, nil
+}
+
+// TotalCost reports the weighted sampling cost across all tasks.
+func (s *Scheduler) TotalCost() float64 {
+	var sum float64
+	for _, t := range s.tasks {
+		sum += t.weightedCost
+	}
+	return sum
+}
+
+// Tasks lists registered task IDs in deterministic order.
+func (s *Scheduler) Tasks() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}

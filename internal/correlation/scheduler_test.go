@@ -1,0 +1,325 @@
+package correlation
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"volley/internal/core"
+)
+
+func mkSampler(t *testing.T, threshold, errAllow float64) *core.Sampler {
+	t.Helper()
+	s, err := core.NewSampler(core.Config{
+		Threshold: threshold, Err: errAllow, MaxInterval: 10, Patience: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchedulerAddTaskValidation(t *testing.T) {
+	s := NewScheduler()
+	sampler := mkSampler(t, 10, 0.01)
+	agent := func() (float64, error) { return 1, nil }
+	if err := s.AddTask("", agent, sampler, 1); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := s.AddTask("a", nil, sampler, 1); err == nil {
+		t.Error("nil agent accepted")
+	}
+	if err := s.AddTask("a", agent, nil, 1); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if err := s.AddTask("a", agent, sampler, 0); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if err := s.AddTask("a", agent, sampler, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask("a", agent, sampler, 1); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestSchedulerApplyValidation(t *testing.T) {
+	s := NewScheduler()
+	sampler := mkSampler(t, 10, 0.01)
+	agent := func() (float64, error) { return 1, nil }
+	if err := s.AddTask("a", agent, sampler, 1); err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{Gates: map[string]Rule{"missing": {Predictor: "a", Target: "missing"}}}
+	if err := s.Apply(plan, 10, 5); err == nil {
+		t.Error("plan with unknown target accepted")
+	}
+	plan = Plan{Gates: map[string]Rule{"a": {Predictor: "missing", Target: "a"}}}
+	if err := s.Apply(plan, 10, 5); err == nil {
+		t.Error("plan with unknown predictor accepted")
+	}
+}
+
+func TestSchedulerUngatedRunsAdaptively(t *testing.T) {
+	s := NewScheduler()
+	if err := s.AddTask("quiet", func() (float64, error) { return 1, nil },
+		mkSampler(t, 1000, 0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats("quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 500 {
+		t.Errorf("Steps = %d, want 500", st.Steps)
+	}
+	if st.Samples >= 500 {
+		t.Errorf("Samples = %d, want adaptive savings", st.Samples)
+	}
+	if st.Gated {
+		t.Error("task reported gated without a plan")
+	}
+}
+
+func TestSchedulerGatedTaskRelaxesUntilArmed(t *testing.T) {
+	s := NewScheduler()
+	predictorValue := 1.0
+	targetValue := 1.0
+	if err := s.AddTask("cheap", func() (float64, error) { return predictorValue, nil },
+		mkSampler(t, 100, 0.05), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask("expensive", func() (float64, error) { return targetValue, nil },
+		mkSampler(t, 100, 0.05), 50); err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{Gates: map[string]Rule{
+		"expensive": {Predictor: "cheap", Target: "expensive", Recall: 0.95},
+	}}
+	if err := s.Apply(plan, 20 /* relaxed */, 10 /* hold-down */); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet phase: the expensive task should sample ~steps/20.
+	for i := 0; i < 400; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiet, err := s.Stats("expensive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Samples > 400/20+4 {
+		t.Errorf("gated task sampled %d times in quiet phase, want ≈ %d", quiet.Samples, 400/20)
+	}
+	if !quiet.Gated {
+		t.Error("task not reported gated")
+	}
+
+	// Predictor violation: the gate must arm and the target must sample at
+	// its adaptive (dense) interval.
+	predictorValue = 150
+	targetValue = 150
+	var violated bool
+	for i := 0; i < 10; i++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			if v == "expensive" {
+				violated = true
+			}
+		}
+	}
+	armed, err := s.Stats("expensive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !armed.Armed {
+		t.Error("gate not armed after predictor violation")
+	}
+	if !violated {
+		t.Error("expensive task never observed its violation while armed")
+	}
+	if armed.Samples-quiet.Samples < 5 {
+		t.Errorf("armed task sampled only %d times in 10 hot steps", armed.Samples-quiet.Samples)
+	}
+}
+
+func TestSchedulerCostAccounting(t *testing.T) {
+	s := NewScheduler()
+	if err := s.AddTask("a", func() (float64, error) { return 1, nil },
+		mkSampler(t, 1000, 0), 2); err != nil { // err=0 → samples every step
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != 2 {
+			t.Fatalf("step cost = %v, want 2", res.Cost)
+		}
+	}
+	if got := s.TotalCost(); got != 20 {
+		t.Errorf("TotalCost = %v, want 20", got)
+	}
+}
+
+func TestSchedulerAgentErrorRetries(t *testing.T) {
+	s := NewScheduler()
+	fail := true
+	if err := s.AddTask("flaky", func() (float64, error) {
+		if fail {
+			return 0, errors.New("down")
+		}
+		return 1, nil
+	}, mkSampler(t, 100, 0.05), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fail = false
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AgentErrors != 5 {
+		t.Errorf("AgentErrors = %d, want 5", st.AgentErrors)
+	}
+	if st.Samples != 1 {
+		t.Errorf("Samples = %d, want 1 after recovery", st.Samples)
+	}
+}
+
+func TestSchedulerStatsUnknownTask(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.Stats("nope"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestSchedulerDeterministicOrder(t *testing.T) {
+	s := NewScheduler()
+	for _, id := range []string{"z", "a", "m"} {
+		if err := s.AddTask(id, func() (float64, error) { return 1, nil },
+			mkSampler(t, 100, 0), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Tasks()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tasks() = %v, want %v", got, want)
+		}
+	}
+	res, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Sampled[i] != want[i] {
+			t.Fatalf("Sampled = %v, want %v", res.Sampled, want)
+		}
+	}
+}
+
+// TestSchedulerEndToEndSavings runs a full detect→plan→schedule pipeline on
+// synthetic correlated tasks and verifies the weighted cost drops while
+// target episodes stay detected.
+func TestSchedulerEndToEndSavings(t *testing.T) {
+	const steps = 8000
+	rng := rand.New(rand.NewSource(21))
+	cheap := make([]float64, steps)
+	costly := make([]float64, steps)
+	ttl := 0
+	for i := range cheap {
+		if ttl == 0 && rng.Float64() < 0.002 {
+			ttl = 50
+		}
+		cheap[i] = 10 + rng.NormFloat64()
+		costly[i] = 20 + 2*rng.NormFloat64()
+		if ttl > 0 {
+			cheap[i] += 100
+			costly[i] += 300
+			ttl--
+		}
+	}
+
+	// Detect + plan on a training prefix.
+	d, err := NewDetector(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("cheap", cheap[:3000], 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSeries("costly", costly[:3000], 150); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := d.Detect(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(rules, map[string]float64{"cheap": 1, "costly": 40}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Gates["costly"]; !ok {
+		t.Fatalf("costly not gated; rules %+v", rules)
+	}
+
+	// Schedule the remainder.
+	s := NewScheduler()
+	cursor := 3000
+	if err := s.AddTask("cheap", func() (float64, error) { return cheap[cursor], nil },
+		mkSampler(t, 50, 0.02), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask("costly", func() (float64, error) { return costly[cursor], nil },
+		mkSampler(t, 150, 0.02), 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(plan, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+
+	costlyViolationsSeen := 0
+	for ; cursor < steps; cursor++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			if v == "costly" {
+				costlyViolationsSeen++
+			}
+		}
+	}
+	st, err := s.Stats("costly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(st.Samples) / float64(st.Steps)
+	if ratio > 0.4 {
+		t.Errorf("gated expensive task ratio %.3f, want deep savings", ratio)
+	}
+	if costlyViolationsSeen == 0 {
+		t.Error("no costly violations observed despite episodes — gating missed everything")
+	}
+	t.Logf("costly ratio %.3f, violations seen %d", ratio, costlyViolationsSeen)
+}

@@ -1,0 +1,115 @@
+// Package cost models the resource and monetary cost of sampling — the
+// quantity Volley minimizes. It provides the calibrated Dom0 CPU model
+// behind Figure 6 (packet capture + deep packet inspection consuming 20–34%
+// CPU at full-rate sampling) and a pay-per-sample fee model matching
+// CloudWatch-style monitoring services.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// CPUModel maps a server's per-window monitoring work to a Dom0 CPU
+// utilization percentage. CPU is spent capturing and inspecting the packets
+// of VMs whose monitors sample in that window; skipped windows cost only
+// the idle residual.
+type CPUModel struct {
+	// IdlePct is the residual utilization of an idle monitoring stack
+	// (timer wheels, agent heartbeats).
+	IdlePct float64
+	// PerPacketPct is the utilization contributed per inspected packet.
+	PerPacketPct float64
+	// MaxPct caps utilization at saturation.
+	MaxPct float64
+}
+
+// NewCPUModel validates and returns a CPU model.
+func NewCPUModel(idlePct, perPacketPct, maxPct float64) (*CPUModel, error) {
+	if idlePct < 0 || math.IsNaN(idlePct) {
+		return nil, fmt.Errorf("cost: negative idle utilization %v", idlePct)
+	}
+	if perPacketPct <= 0 || math.IsNaN(perPacketPct) {
+		return nil, fmt.Errorf("cost: non-positive per-packet utilization %v", perPacketPct)
+	}
+	if maxPct <= idlePct {
+		return nil, fmt.Errorf("cost: max utilization %v not above idle %v", maxPct, idlePct)
+	}
+	return &CPUModel{IdlePct: idlePct, PerPacketPct: perPacketPct, MaxPct: maxPct}, nil
+}
+
+// Calibrate builds a model whose full-rate sampling cost matches the
+// paper's observation: with every VM sampled every window, a server with
+// the given mean packet volume per window sits at targetPct CPU (the
+// paper's band is 20–34% with a midpoint near 27).
+func Calibrate(meanPacketsPerWindow, targetPct float64) (*CPUModel, error) {
+	if meanPacketsPerWindow <= 0 || math.IsNaN(meanPacketsPerWindow) {
+		return nil, fmt.Errorf("cost: non-positive packet volume %v", meanPacketsPerWindow)
+	}
+	if targetPct <= 0 || targetPct > 100 {
+		return nil, fmt.Errorf("cost: target utilization %v outside (0, 100]", targetPct)
+	}
+	const idle = 1.0
+	if targetPct <= idle {
+		return nil, fmt.Errorf("cost: target utilization %v below idle %v", targetPct, idle)
+	}
+	return NewCPUModel(idle, (targetPct-idle)/meanPacketsPerWindow, 100)
+}
+
+// WindowPct reports the Dom0 CPU utilization for one window in which
+// inspectedPackets packets were captured and inspected (the sum over VMs
+// whose monitors sampled this window).
+func (m *CPUModel) WindowPct(inspectedPackets int) float64 {
+	if inspectedPackets < 0 {
+		inspectedPackets = 0
+	}
+	pct := m.IdlePct + m.PerPacketPct*float64(inspectedPackets)
+	if pct > m.MaxPct {
+		return m.MaxPct
+	}
+	return pct
+}
+
+// FeeModel prices sampling operations the way metered cloud monitoring
+// services do.
+type FeeModel struct {
+	// PerThousandSamples is the fee per 1000 sampling operations.
+	PerThousandSamples float64
+}
+
+// Cost reports the fee for the given number of sampling operations.
+func (f FeeModel) Cost(samples uint64) float64 {
+	return f.PerThousandSamples * float64(samples) / 1000
+}
+
+// Meter accumulates sampling operations and derived costs for one entity
+// (a monitor, server or task).
+type Meter struct {
+	samples uint64
+	windows uint64
+}
+
+// RecordWindow registers one elapsed window and how many sampling
+// operations it performed.
+func (m *Meter) RecordWindow(samples int) {
+	m.windows++
+	if samples > 0 {
+		m.samples += uint64(samples)
+	}
+}
+
+// Samples reports total sampling operations.
+func (m *Meter) Samples() uint64 { return m.samples }
+
+// Windows reports total elapsed windows.
+func (m *Meter) Windows() uint64 { return m.windows }
+
+// RatioVersusPeriodical reports performed samples relative to sampling
+// every window with the given number of monitored variables (the
+// evaluation's y-axis). NaN before any window.
+func (m *Meter) RatioVersusPeriodical(variables int) float64 {
+	if m.windows == 0 || variables <= 0 {
+		return math.NaN()
+	}
+	return float64(m.samples) / (float64(m.windows) * float64(variables))
+}

@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCPUModelValidation(t *testing.T) {
+	tests := []struct {
+		name               string
+		idle, perPkt, cmax float64
+	}{
+		{name: "negative idle", idle: -1, perPkt: 0.1, cmax: 100},
+		{name: "zero per-packet", idle: 1, perPkt: 0, cmax: 100},
+		{name: "max below idle", idle: 10, perPkt: 0.1, cmax: 5},
+		{name: "nan idle", idle: math.NaN(), perPkt: 0.1, cmax: 100},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCPUModel(tt.idle, tt.perPkt, tt.cmax); err == nil {
+				t.Error("invalid model accepted, want error")
+			}
+		})
+	}
+	if _, err := NewCPUModel(1, 0.01, 100); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestCalibrateHitsTarget(t *testing.T) {
+	m, err := Calibrate(10000, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WindowPct(10000); math.Abs(got-27) > 1e-9 {
+		t.Errorf("WindowPct(mean volume) = %v, want 27", got)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(0, 27); err == nil {
+		t.Error("zero volume accepted, want error")
+	}
+	if _, err := Calibrate(100, 0); err == nil {
+		t.Error("zero target accepted, want error")
+	}
+	if _, err := Calibrate(100, 101); err == nil {
+		t.Error("target above 100 accepted, want error")
+	}
+	if _, err := Calibrate(100, 0.5); err == nil {
+		t.Error("target below idle accepted, want error")
+	}
+}
+
+func TestWindowPct(t *testing.T) {
+	m, err := NewCPUModel(1, 0.001, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WindowPct(0); got != 1 {
+		t.Errorf("idle window = %v, want 1", got)
+	}
+	if got := m.WindowPct(1000); got != 2 {
+		t.Errorf("WindowPct(1000) = %v, want 2", got)
+	}
+	if got := m.WindowPct(1e9); got != 50 {
+		t.Errorf("saturated = %v, want capped 50", got)
+	}
+	if got := m.WindowPct(-5); got != 1 {
+		t.Errorf("negative packets = %v, want idle 1", got)
+	}
+}
+
+func TestWindowPctMonotone(t *testing.T) {
+	m, err := NewCPUModel(1, 0.01, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for p := 0; p < 20000; p += 500 {
+		got := m.WindowPct(p)
+		if got < prev {
+			t.Fatalf("utilization decreased at %d packets", p)
+		}
+		prev = got
+	}
+}
+
+func TestFeeModel(t *testing.T) {
+	f := FeeModel{PerThousandSamples: 0.3}
+	if got := f.Cost(0); got != 0 {
+		t.Errorf("Cost(0) = %v, want 0", got)
+	}
+	if got := f.Cost(1000); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Cost(1000) = %v, want 0.3", got)
+	}
+	if got := f.Cost(2500); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Cost(2500) = %v, want 0.75", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if !math.IsNaN(m.RatioVersusPeriodical(1)) {
+		t.Error("ratio before windows should be NaN")
+	}
+	m.RecordWindow(2)
+	m.RecordWindow(0)
+	m.RecordWindow(-3) // negative clamps to zero samples
+	m.RecordWindow(1)
+	if m.Samples() != 3 {
+		t.Errorf("Samples() = %d, want 3", m.Samples())
+	}
+	if m.Windows() != 4 {
+		t.Errorf("Windows() = %d, want 4", m.Windows())
+	}
+	// 3 samples over 4 windows with 2 variables: periodical would do 8.
+	if got := m.RatioVersusPeriodical(2); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("RatioVersusPeriodical(2) = %v, want 0.375", got)
+	}
+	if !math.IsNaN(m.RatioVersusPeriodical(0)) {
+		t.Error("ratio with zero variables should be NaN")
+	}
+}

@@ -1,0 +1,158 @@
+// Package export exposes the runtime state of Volley monitors and
+// coordinators in the Prometheus text exposition format, over stdlib
+// net/http — so a Volley deployment plugs into the scrape-based monitoring
+// stacks it is designed to make cheaper.
+//
+// Only the text format is implemented (no client library dependency); the
+// handler emits gauges and counters with a `volley_` prefix and an
+// `instance` label per registered component.
+package export
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"volley/internal/coord"
+	"volley/internal/monitor"
+)
+
+// Registry collects named monitors and coordinators to expose.
+type Registry struct {
+	mu           sync.Mutex
+	monitors     map[string]*monitor.Monitor
+	coordinators map[string]*coord.Coordinator
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		monitors:     make(map[string]*monitor.Monitor),
+		coordinators: make(map[string]*coord.Coordinator),
+	}
+}
+
+// AddMonitor registers a monitor under the given instance name.
+func (r *Registry) AddMonitor(name string, m *monitor.Monitor) error {
+	if name == "" {
+		return fmt.Errorf("export: empty instance name")
+	}
+	if m == nil {
+		return fmt.Errorf("export: nil monitor %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.monitors[name]; ok {
+		return fmt.Errorf("export: monitor %q already registered", name)
+	}
+	r.monitors[name] = m
+	return nil
+}
+
+// AddCoordinator registers a coordinator under the given instance name.
+func (r *Registry) AddCoordinator(name string, c *coord.Coordinator) error {
+	if name == "" {
+		return fmt.Errorf("export: empty instance name")
+	}
+	if c == nil {
+		return fmt.Errorf("export: nil coordinator %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.coordinators[name]; ok {
+		return fmt.Errorf("export: coordinator %q already registered", name)
+	}
+	r.coordinators[name] = c
+	return nil
+}
+
+// Handler returns an http.Handler serving the current metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}
+
+// metric is one sample to render.
+type metric struct {
+	name     string
+	help     string
+	kind     string // "gauge" or "counter"
+	instance string
+	value    float64
+}
+
+// Render produces the exposition-format payload.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var samples []metric
+	add := func(name, help, kind, instance string, value float64) {
+		samples = append(samples, metric{name: name, help: help, kind: kind, instance: instance, value: value})
+	}
+
+	monNames := sortedKeys(r.monitors)
+	for _, name := range monNames {
+		m := r.monitors[name]
+		st := m.Stats()
+		add("volley_monitor_interval", "Current sampling interval in default intervals.", "gauge", name, float64(m.Interval()))
+		add("volley_monitor_bound", "Last mis-detection bound.", "gauge", name, m.Bound())
+		add("volley_monitor_err_allowance", "Current error allowance.", "gauge", name, m.ErrAllowance())
+		add("volley_monitor_ticks_total", "Elapsed default intervals.", "counter", name, float64(st.Ticks))
+		add("volley_monitor_samples_total", "Adaptive sampling operations.", "counter", name, float64(st.Samples))
+		add("volley_monitor_poll_samples_total", "Samples taken for global polls.", "counter", name, float64(st.PollSamples))
+		add("volley_monitor_local_violations_total", "Local threshold crossings.", "counter", name, float64(st.LocalViolations))
+		add("volley_monitor_agent_errors_total", "Failed sampling attempts.", "counter", name, float64(st.AgentErrors))
+	}
+	coordNames := sortedKeys(r.coordinators)
+	for _, name := range coordNames {
+		c := r.coordinators[name]
+		st := c.Stats()
+		add("volley_coordinator_local_violations_total", "Local violation reports received.", "counter", name, float64(st.LocalViolations))
+		add("volley_coordinator_polls_total", "Global polls started.", "counter", name, float64(st.Polls))
+		add("volley_coordinator_polls_completed_total", "Global polls completed.", "counter", name, float64(st.PollsCompleted))
+		add("volley_coordinator_polls_expired_total", "Global polls abandoned.", "counter", name, float64(st.PollsExpired))
+		add("volley_coordinator_global_alerts_total", "Confirmed global violations.", "counter", name, float64(st.GlobalAlerts))
+		add("volley_coordinator_rebalances_total", "Allowance rebalances applied.", "counter", name, float64(st.Rebalances))
+	}
+
+	// Group by metric name so each gets exactly one HELP/TYPE header.
+	byName := make(map[string][]metric)
+	var order []string
+	for _, s := range samples {
+		if _, ok := byName[s.name]; !ok {
+			order = append(order, s.name)
+		}
+		byName[s.name] = append(byName[s.name], s)
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		group := byName[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, group[0].help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, group[0].kind)
+		for _, s := range group {
+			fmt.Fprintf(&b, "%s{instance=%s} %s\n",
+				s.name, strconv.Quote(s.instance), formatValue(s.value))
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,170 @@
+package export
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"volley/internal/coord"
+	"volley/internal/core"
+	"volley/internal/monitor"
+	"volley/internal/transport"
+)
+
+func testMonitor(t *testing.T, net transport.Network, id string) *monitor.Monitor {
+	t.Helper()
+	cfg := monitor.Config{
+		ID:      id,
+		Agent:   monitor.AgentFunc(func() (float64, error) { return 5, nil }),
+		Sampler: core.Config{Threshold: 100, Err: 0.05, MaxInterval: 10},
+	}
+	if net != nil {
+		cfg.Network = net
+		cfg.Coordinator = "coord"
+		cfg.Task = "t"
+	}
+	m, err := monitor.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	m := testMonitor(t, nil, "m1")
+	if err := r.AddMonitor("", m); err == nil {
+		t.Error("empty name accepted, want error")
+	}
+	if err := r.AddMonitor("m1", nil); err == nil {
+		t.Error("nil monitor accepted, want error")
+	}
+	if err := r.AddMonitor("m1", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddMonitor("m1", m); err == nil {
+		t.Error("duplicate name accepted, want error")
+	}
+	if err := r.AddCoordinator("", nil); err == nil {
+		t.Error("empty coordinator name accepted, want error")
+	}
+	if err := r.AddCoordinator("c", nil); err == nil {
+		t.Error("nil coordinator accepted, want error")
+	}
+}
+
+func TestRenderMonitorMetrics(t *testing.T) {
+	r := NewRegistry()
+	m := testMonitor(t, nil, "m1")
+	for i := 0; i < 10; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddMonitor("web-1", m); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP volley_monitor_interval",
+		"# TYPE volley_monitor_interval gauge",
+		`volley_monitor_interval{instance="web-1"}`,
+		"# TYPE volley_monitor_samples_total counter",
+		`volley_monitor_ticks_total{instance="web-1"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCoordinatorMetrics(t *testing.T) {
+	net := transport.NewMemory()
+	if err := net.Register("m1", func(transport.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := coord.New(coord.Config{
+		ID: "coord", Task: "t", Threshold: 100, Err: 0.01,
+		Monitors: []string{"m1"}, Network: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.AddCoordinator("task-a", c); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		`volley_coordinator_polls_total{instance="task-a"} 0`,
+		"# TYPE volley_coordinator_global_alerts_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderHeadersOncePerMetric(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddMonitor("a", testMonitor(t, nil, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddMonitor("b", testMonitor(t, nil, "b")); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if got := strings.Count(out, "# HELP volley_monitor_interval "); got != 1 {
+		t.Errorf("HELP header appears %d times, want 1", got)
+	}
+	if got := strings.Count(out, `volley_monitor_interval{instance=`); got != 2 {
+		t.Errorf("interval sample appears %d times, want 2", got)
+	}
+}
+
+func TestHandlerServesHTTP(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddMonitor("m", testMonitor(t, nil, "m")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "volley_monitor_interval") {
+		t.Errorf("body missing metrics:\n%s", body)
+	}
+}
+
+func TestRenderEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+	if out := r.Render(); out != "" {
+		t.Errorf("empty registry rendered %q, want empty", out)
+	}
+}
+
+func TestInstanceNamesEscaped(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddMonitor(`we"ird`, testMonitor(t, nil, "x")); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, `instance="we\"ird"`) {
+		t.Errorf("quotes not escaped:\n%s", out)
+	}
+}

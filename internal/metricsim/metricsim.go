@@ -1,0 +1,101 @@
+// Package metricsim implements the system-level monitoring substrate: VMs
+// whose agents serve OS performance metrics from the synthetic 66-metric
+// dataset (the stand-in for the production dataset the paper ports onto its
+// VMs; see DESIGN.md §2).
+//
+// Like the paper's setup, an agent "responds with the value recorded in the
+// dataset" when queried — here the dataset is generated lazily, one step
+// per default sampling interval (5 seconds in the paper).
+package metricsim
+
+import (
+	"fmt"
+
+	"volley/internal/trace"
+)
+
+// Node is one VM's agent: 66 metric streams advanced in lockstep.
+type Node struct {
+	streams []*trace.MetricStream
+	current []float64
+	step    int
+}
+
+// NewNode builds a node whose metric regimes are decorrelated from other
+// nodes by the seed.
+func NewNode(seed int64) *Node {
+	streams := trace.StandardMetrics(seed)
+	return &Node{
+		streams: streams,
+		current: make([]float64, len(streams)),
+	}
+}
+
+// NumMetrics reports how many metrics the node serves.
+func (n *Node) NumMetrics() int { return len(n.streams) }
+
+// MetricName reports the name of metric m.
+func (n *Node) MetricName(m int) (string, error) {
+	if m < 0 || m >= len(n.streams) {
+		return "", fmt.Errorf("metricsim: metric %d outside [0, %d)", m, len(n.streams))
+	}
+	return n.streams[m].Name(), nil
+}
+
+// Step advances every metric one default sampling interval.
+func (n *Node) Step() {
+	for i, s := range n.streams {
+		n.current[i] = s.Next()
+	}
+	n.step++
+}
+
+// Step reports how many steps have been simulated.
+func (n *Node) Steps() int { return n.step }
+
+// Value reports the current value of metric m (what the in-VM agent would
+// return to a monitor's query).
+func (n *Node) Value(m int) (float64, error) {
+	if m < 0 || m >= len(n.streams) {
+		return 0, fmt.Errorf("metricsim: metric %d outside [0, %d)", m, len(n.streams))
+	}
+	if n.step == 0 {
+		return 0, fmt.Errorf("metricsim: no data before the first Step")
+	}
+	return n.current[m], nil
+}
+
+// Cluster is a convenience over a set of nodes stepped together.
+type Cluster struct {
+	nodes []*Node
+}
+
+// NewCluster builds n nodes with consecutive seeds derived from base.
+func NewCluster(n int, base int64) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("metricsim: need ≥ 1 node, got %d", n)
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(base + int64(i))
+	}
+	return &Cluster{nodes: nodes}, nil
+}
+
+// NumNodes reports the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) (*Node, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("metricsim: node %d outside [0, %d)", i, len(c.nodes))
+	}
+	return c.nodes[i], nil
+}
+
+// Step advances every node one default sampling interval.
+func (c *Cluster) Step() {
+	for _, n := range c.nodes {
+		n.Step()
+	}
+}

@@ -1,0 +1,180 @@
+package metricsim
+
+import (
+	"math"
+	"testing"
+
+	"volley/internal/trace"
+)
+
+func TestNodeShape(t *testing.T) {
+	n := NewNode(1)
+	if n.NumMetrics() != trace.StandardMetricCount {
+		t.Errorf("NumMetrics() = %d, want %d", n.NumMetrics(), trace.StandardMetricCount)
+	}
+	name, err := n.MetricName(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Error("empty metric name")
+	}
+	if _, err := n.MetricName(-1); err == nil {
+		t.Error("MetricName(-1) accepted, want error")
+	}
+	if _, err := n.MetricName(999); err == nil {
+		t.Error("MetricName(999) accepted, want error")
+	}
+}
+
+func TestNodeValueBeforeStep(t *testing.T) {
+	n := NewNode(2)
+	if _, err := n.Value(0); err == nil {
+		t.Error("Value before first Step accepted, want error")
+	}
+}
+
+func TestNodeStepAndValue(t *testing.T) {
+	n := NewNode(3)
+	n.Step()
+	if n.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1", n.Steps())
+	}
+	for m := 0; m < n.NumMetrics(); m++ {
+		v, err := n.Value(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("metric %d = %v", m, v)
+		}
+	}
+	if _, err := n.Value(-1); err == nil {
+		t.Error("Value(-1) accepted, want error")
+	}
+	if _, err := n.Value(n.NumMetrics()); err == nil {
+		t.Error("Value(out of range) accepted, want error")
+	}
+}
+
+func TestNodeValuesEvolve(t *testing.T) {
+	n := NewNode(4)
+	n.Step()
+	first, err := n.Value(1) // rate-style metric: noisy
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := 0; i < 50; i++ {
+		n.Step()
+		v, err := n.Value(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("metric never changed over 50 steps")
+	}
+}
+
+func TestNodesDeterministic(t *testing.T) {
+	run := func() float64 {
+		n := NewNode(5)
+		var sum float64
+		for i := 0; i < 100; i++ {
+			n.Step()
+			v, err := n.Value(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 1); err == nil {
+		t.Error("NewCluster(0) accepted, want error")
+	}
+}
+
+func TestClusterStepsAllNodes(t *testing.T) {
+	c, err := NewCluster(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes() = %d, want 3", c.NumNodes())
+	}
+	c.Step()
+	for i := 0; i < 3; i++ {
+		n, err := c.Node(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Steps() != 1 {
+			t.Errorf("node %d Steps() = %d, want 1", i, n.Steps())
+		}
+	}
+	if _, err := c.Node(-1); err == nil {
+		t.Error("Node(-1) accepted, want error")
+	}
+	if _, err := c.Node(3); err == nil {
+		t.Error("Node(3) accepted, want error")
+	}
+}
+
+func TestClusterNodesDiffer(t *testing.T) {
+	c, err := NewCluster(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	a, err := c.nodes[0].Value(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.nodes[1].Value(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		// One coincidence is possible but unlikely for a noisy metric;
+		// check a few more steps before declaring failure.
+		same := true
+		for i := 0; i < 10; i++ {
+			c.Step()
+			av, _ := c.nodes[0].Value(1)
+			bv, _ := c.nodes[1].Value(1)
+			if av != bv {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("two nodes produced identical series; seeds not decorrelating")
+		}
+	}
+}
+
+func TestUtilizationMetricsBounded(t *testing.T) {
+	n := NewNode(30)
+	for i := 0; i < 1000; i++ {
+		n.Step()
+		v, err := n.Value(0) // util-style metric
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 100 {
+			t.Fatalf("utilization = %v outside [0, 100]", v)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package monitor implements Volley's monitor node: the per-variable
+// sampling loop that drives an adaptive sampler against a data-providing
+// agent, detects local violations, reports them to a coordinator, serves
+// global polls and ships the yield statistics that power distributed
+// error-allowance coordination (Sections III and IV).
+//
+// Monitors advance in ticks of the task's default sampling interval; the
+// harness (or a real deployment's timer loop) calls Tick once per default
+// interval and the monitor decides internally whether this tick performs a
+// sampling operation.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"volley/internal/core"
+	"volley/internal/transport"
+)
+
+// Agent provides the monitored variable; sampling it is the costly
+// operation Volley economizes (packet capture + inspection, metric query,
+// log analysis).
+type Agent interface {
+	Sample() (float64, error)
+}
+
+// AgentFunc adapts a function to the Agent interface.
+type AgentFunc func() (float64, error)
+
+// Sample implements Agent.
+func (f AgentFunc) Sample() (float64, error) { return f() }
+
+// Config parameterizes a monitor.
+type Config struct {
+	// ID is the monitor's network address / name.
+	ID string
+	// Task names the task this monitor belongs to.
+	Task string
+	// Agent provides sampled values.
+	Agent Agent
+	// Sampler configures the local adaptive sampler; Sampler.Threshold is
+	// the monitor's local threshold and Sampler.Err its initial local
+	// error allowance.
+	Sampler core.Config
+	// Network connects the monitor to its coordinator. Nil for standalone
+	// monitors (single-node tasks, as in Fig. 5).
+	Network transport.Network
+	// Coordinator is the coordinator's address; required when Network is
+	// set.
+	Coordinator string
+	// YieldEvery is the number of default intervals between yield reports
+	// to the coordinator (the paper's updating period is 1000·Id). Zero
+	// disables reporting (standalone monitors).
+	YieldEvery int
+}
+
+// Stats counts a monitor's activity.
+type Stats struct {
+	// Ticks is the number of default intervals elapsed.
+	Ticks uint64
+	// Samples is the number of sampling operations performed by the
+	// adaptive loop (excluding poll-triggered samples).
+	Samples uint64
+	// PollSamples counts samples taken to answer global polls.
+	PollSamples uint64
+	// LocalViolations counts local threshold crossings observed.
+	LocalViolations uint64
+	// AgentErrors counts failed sampling attempts.
+	AgentErrors uint64
+}
+
+// Monitor is one monitor node. Tick and the message handler must be driven
+// from the same goroutine (the simulation loop); the mutex exists for the
+// TCP transport, whose deliveries come from receive goroutines.
+type Monitor struct {
+	cfg     Config
+	sampler *core.Sampler
+
+	mu        sync.Mutex
+	untilNext int // ticks remaining until the next sample
+	lastValue float64
+	hasValue  bool
+	stats     Stats
+
+	// Yield accumulation over the current updating period.
+	yieldTicks int
+	sumR       float64
+	sumE       float64
+	sumI       float64
+	yieldN     int
+}
+
+// New validates cfg, builds the monitor and registers it on the network.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("monitor: empty ID")
+	}
+	if cfg.Agent == nil {
+		return nil, fmt.Errorf("monitor %s: nil agent", cfg.ID)
+	}
+	if cfg.Network != nil && cfg.Coordinator == "" {
+		return nil, fmt.Errorf("monitor %s: network without coordinator address", cfg.ID)
+	}
+	if cfg.YieldEvery < 0 {
+		return nil, fmt.Errorf("monitor %s: negative YieldEvery", cfg.ID)
+	}
+	sampler, err := core.NewSampler(cfg.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("monitor %s: %w", cfg.ID, err)
+	}
+	m := &Monitor{cfg: cfg, sampler: sampler}
+	if cfg.Network != nil {
+		if err := cfg.Network.Register(cfg.ID, m.handle); err != nil {
+			return nil, fmt.Errorf("monitor %s: %w", cfg.ID, err)
+		}
+	}
+	return m, nil
+}
+
+// ID reports the monitor's address.
+func (m *Monitor) ID() string { return m.cfg.ID }
+
+// Tick advances one default interval. It returns whether this tick
+// performed a sampling operation and, if so, the sampled value.
+//
+// Outgoing messages are sent after the monitor's lock is released, so
+// synchronous transports (the in-memory simulation network) can re-enter
+// this or other monitors without deadlocking.
+func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err error) {
+	var outgoing []transport.Message
+
+	m.mu.Lock()
+	m.stats.Ticks++
+	if msg, ok := m.yieldReportLocked(now); ok {
+		outgoing = append(outgoing, msg)
+	}
+
+	if m.untilNext > 0 {
+		m.untilNext--
+		m.mu.Unlock()
+		m.sendAll(outgoing)
+		return false, 0, nil
+	}
+
+	v, sampleErr := m.cfg.Agent.Sample()
+	if sampleErr != nil {
+		m.stats.AgentErrors++
+		// Retry at the next default interval: data gaps must not enlarge
+		// silently.
+		m.untilNext = 0
+		m.mu.Unlock()
+		m.sendAll(outgoing)
+		return false, 0, fmt.Errorf("monitor %s: sample: %w", m.cfg.ID, sampleErr)
+	}
+	m.stats.Samples++
+	interval := m.sampler.Observe(v)
+	m.untilNext = interval - 1
+	m.lastValue = v
+	m.hasValue = true
+
+	// Accumulate yield statistics (Section IV-B: r_i and e_i are "the
+	// average of values observed on monitors within an updating period").
+	m.sumR += m.sampler.CostReduction()
+	m.sumE += m.sampler.ErrNeeded()
+	m.sumI += float64(interval)
+	m.yieldN++
+
+	if m.sampler.Violates(v) {
+		m.stats.LocalViolations++
+		outgoing = append(outgoing, transport.Message{
+			Kind:  transport.KindLocalViolation,
+			Task:  m.cfg.Task,
+			Time:  now,
+			Value: v,
+		})
+	}
+	m.mu.Unlock()
+	m.sendAll(outgoing)
+	return true, v, nil
+}
+
+// yieldReportLocked prepares the periodic yield report. Caller holds m.mu.
+func (m *Monitor) yieldReportLocked(now time.Duration) (transport.Message, bool) {
+	if m.cfg.Network == nil || m.cfg.YieldEvery == 0 {
+		return transport.Message{}, false
+	}
+	m.yieldTicks++
+	if m.yieldTicks < m.cfg.YieldEvery {
+		return transport.Message{}, false
+	}
+	m.yieldTicks = 0
+	if m.yieldN == 0 {
+		return transport.Message{}, false
+	}
+	msg := transport.Message{
+		Kind:      transport.KindYieldReport,
+		Task:      m.cfg.Task,
+		Time:      now,
+		Reduction: m.sumR / float64(m.yieldN),
+		Needed:    m.sumE / float64(m.yieldN),
+		Interval:  m.sumI / float64(m.yieldN),
+	}
+	m.sumR, m.sumE, m.sumI, m.yieldN = 0, 0, 0, 0
+	return msg, true
+}
+
+// sendAll delivers queued messages to the coordinator. Delivery failures
+// are the coordinator's problem to tolerate (polls expire); the monitor
+// must keep sampling regardless.
+func (m *Monitor) sendAll(msgs []transport.Message) {
+	if m.cfg.Network == nil {
+		return
+	}
+	for _, msg := range msgs {
+		_ = m.cfg.Network.Send(m.cfg.ID, m.cfg.Coordinator, msg)
+	}
+}
+
+// handle processes coordinator messages.
+func (m *Monitor) handle(msg transport.Message) {
+	switch msg.Kind {
+	case transport.KindPollRequest:
+		m.mu.Lock()
+		v, err := m.cfg.Agent.Sample()
+		if err != nil {
+			m.stats.AgentErrors++
+			// Fall back to the last known value so the poll can complete.
+			v = m.lastValue
+			if !m.hasValue {
+				m.mu.Unlock()
+				return
+			}
+		} else {
+			m.stats.PollSamples++
+		}
+		net, id, coord, taskID := m.cfg.Network, m.cfg.ID, m.cfg.Coordinator, m.cfg.Task
+		m.mu.Unlock()
+		_ = net.Send(id, coord, transport.Message{
+			Kind:  transport.KindPollResponse,
+			Task:  taskID,
+			Time:  msg.Time,
+			Value: v,
+		})
+	case transport.KindErrAssignment:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if math.IsNaN(msg.Err) {
+			return
+		}
+		// Invalid assignments are ignored; the previous allowance stands.
+		_ = m.sampler.SetErr(msg.Err)
+	default:
+		// Other kinds are coordinator-bound; ignore.
+	}
+}
+
+// Interval reports the sampler's current interval in default intervals.
+func (m *Monitor) Interval() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampler.Interval()
+}
+
+// ErrAllowance reports the sampler's current local error allowance.
+func (m *Monitor) ErrAllowance() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampler.Err()
+}
+
+// Bound reports the sampler's last mis-detection bound β̄(I).
+func (m *Monitor) Bound() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampler.Bound()
+}
+
+// Stats returns a snapshot of the monitor's counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// SamplingRatio reports performed samples over elapsed ticks (1.0 =
+// periodical sampling at the default interval). NaN before the first tick.
+func (m *Monitor) SamplingRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats.Ticks == 0 {
+		return math.NaN()
+	}
+	return float64(m.stats.Samples) / float64(m.stats.Ticks)
+}

@@ -1,0 +1,396 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"volley/internal/core"
+	"volley/internal/transport"
+)
+
+func quietAgent() Agent {
+	return AgentFunc(func() (float64, error) { return 1, nil })
+}
+
+func samplerCfg(threshold, errAllow float64) core.Config {
+	return core.Config{Threshold: threshold, Err: errAllow, MaxInterval: 10}
+}
+
+func TestNewValidation(t *testing.T) {
+	net := transport.NewMemory()
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "empty id", cfg: Config{Agent: quietAgent(), Sampler: samplerCfg(10, 0.1)}},
+		{name: "nil agent", cfg: Config{ID: "m", Sampler: samplerCfg(10, 0.1)}},
+		{name: "network without coordinator", cfg: Config{
+			ID: "m", Agent: quietAgent(), Sampler: samplerCfg(10, 0.1), Network: net,
+		}},
+		{name: "negative yield period", cfg: Config{
+			ID: "m", Agent: quietAgent(), Sampler: samplerCfg(10, 0.1), YieldEvery: -1,
+		}},
+		{name: "bad sampler", cfg: Config{
+			ID: "m", Agent: quietAgent(), Sampler: core.Config{Threshold: 1, Err: 2, MaxInterval: 1},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestStandaloneSampling(t *testing.T) {
+	calls := 0
+	agent := AgentFunc(func() (float64, error) {
+		calls++
+		return 5, nil
+	})
+	m, err := New(Config{ID: "m1", Agent: agent, Sampler: samplerCfg(1000, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := m.Stats()
+	if stats.Ticks != 100 {
+		t.Errorf("Ticks = %d, want 100", stats.Ticks)
+	}
+	if int(stats.Samples) != calls {
+		t.Errorf("Samples = %d but agent called %d times", stats.Samples, calls)
+	}
+	// Quiet signal far below threshold: the interval must have grown, so
+	// fewer than 100 samples.
+	if stats.Samples >= 100 {
+		t.Errorf("Samples = %d, want < 100 (interval growth)", stats.Samples)
+	}
+	if m.Interval() < 2 {
+		t.Errorf("Interval() = %d, want ≥ 2", m.Interval())
+	}
+	if r := m.SamplingRatio(); r >= 1 || r <= 0 {
+		t.Errorf("SamplingRatio() = %v, want in (0, 1)", r)
+	}
+}
+
+func TestTickRespectsInterval(t *testing.T) {
+	m, err := New(Config{ID: "m1", Agent: quietAgent(), Sampler: samplerCfg(1000, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 200; i++ {
+		sampled, _, err := m.Tick(time.Duration(i) * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern = append(pattern, sampled)
+	}
+	// Gaps between samples must match the interval in effect: count that
+	// consecutive sampled ticks are never closer than 1 (trivially true)
+	// and that at least one gap widened beyond 1 tick.
+	last := -1
+	sawGap := false
+	for i, s := range pattern {
+		if !s {
+			continue
+		}
+		if last >= 0 && i-last > 1 {
+			sawGap = true
+		}
+		last = i
+	}
+	if !sawGap {
+		t.Error("no widened sampling gap observed on quiet signal")
+	}
+}
+
+func TestAgentErrorRetriesNextTick(t *testing.T) {
+	fail := true
+	agent := AgentFunc(func() (float64, error) {
+		if fail {
+			return 0, errors.New("agent down")
+		}
+		return 5, nil
+	})
+	m, err := New(Config{ID: "m1", Agent: agent, Sampler: samplerCfg(1000, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Tick(0); err == nil {
+		t.Error("Tick with failing agent returned nil error")
+	}
+	fail = false
+	sampled, v, err := m.Tick(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled || v != 5 {
+		t.Errorf("retry tick: sampled=%v v=%v, want true, 5", sampled, v)
+	}
+	if m.Stats().AgentErrors != 1 {
+		t.Errorf("AgentErrors = %d, want 1", m.Stats().AgentErrors)
+	}
+}
+
+func TestLocalViolationReported(t *testing.T) {
+	net := transport.NewMemory()
+	var reports []transport.Message
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindLocalViolation {
+			reports = append(reports, msg)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	agent := AgentFunc(func() (float64, error) { return 50, nil })
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: agent,
+		Sampler: samplerCfg(10, 0.1), Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Tick(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d violation reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Value != 50 || r.From != "m1" || r.Task != "t" || r.Time != 7*time.Second {
+		t.Errorf("report = %+v", r)
+	}
+	if m.Stats().LocalViolations != 1 {
+		t.Errorf("LocalViolations = %d, want 1", m.Stats().LocalViolations)
+	}
+}
+
+func TestPollRequestSamplesAndResponds(t *testing.T) {
+	net := transport.NewMemory()
+	var responses []transport.Message
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindPollResponse {
+			responses = append(responses, msg)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: AgentFunc(func() (float64, error) { return 3.5, nil }),
+		Sampler: samplerCfg(10, 0.1), Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("coord", "m1", transport.Message{
+		Kind: transport.KindPollRequest, Task: "t", Time: 9 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(responses) != 1 {
+		t.Fatalf("got %d responses, want 1", len(responses))
+	}
+	if responses[0].Value != 3.5 || responses[0].Time != 9*time.Second {
+		t.Errorf("response = %+v", responses[0])
+	}
+	if m.Stats().PollSamples != 1 {
+		t.Errorf("PollSamples = %d, want 1", m.Stats().PollSamples)
+	}
+}
+
+func TestPollWithFailingAgentUsesLastValue(t *testing.T) {
+	net := transport.NewMemory()
+	var responses []transport.Message
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindPollResponse {
+			responses = append(responses, msg)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fail := false
+	m, err := New(Config{
+		ID: "m1", Task: "t",
+		Agent: AgentFunc(func() (float64, error) {
+			if fail {
+				return 0, errors.New("down")
+			}
+			return 8, nil
+		}),
+		Sampler: samplerCfg(100, 0.1), Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Tick(0); err != nil { // records lastValue = 8
+		t.Fatal(err)
+	}
+	fail = true
+	if err := net.Send("coord", "m1", transport.Message{Kind: transport.KindPollRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if len(responses) != 1 {
+		t.Fatalf("got %d responses, want 1 (fallback to last value)", len(responses))
+	}
+	if responses[0].Value != 8 {
+		t.Errorf("fallback value = %v, want 8", responses[0].Value)
+	}
+}
+
+func TestPollWithNoHistoryAndFailingAgentStaysSilent(t *testing.T) {
+	net := transport.NewMemory()
+	responses := 0
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindPollResponse {
+			responses++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{
+		ID: "m1", Task: "t",
+		Agent:   AgentFunc(func() (float64, error) { return 0, errors.New("down") }),
+		Sampler: samplerCfg(100, 0.1), Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("coord", "m1", transport.Message{Kind: transport.KindPollRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if responses != 0 {
+		t.Errorf("got %d responses from a monitor with no data, want 0", responses)
+	}
+}
+
+func TestErrAssignmentApplied(t *testing.T) {
+	net := transport.NewMemory()
+	if err := net.Register("coord", func(transport.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: quietAgent(),
+		Sampler: samplerCfg(100, 0.1), Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send("coord", "m1", transport.Message{
+		Kind: transport.KindErrAssignment, Err: 0.03,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ErrAllowance(); got != 0.03 {
+		t.Errorf("ErrAllowance() = %v, want 0.03", got)
+	}
+	// Invalid assignments are ignored.
+	for _, bad := range []float64{-1, 2, math.NaN()} {
+		if err := net.Send("coord", "m1", transport.Message{
+			Kind: transport.KindErrAssignment, Err: bad,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.ErrAllowance(); got != 0.03 {
+			t.Errorf("ErrAllowance() after invalid %v = %v, want unchanged 0.03", bad, got)
+		}
+	}
+}
+
+func TestYieldReportsSentPeriodically(t *testing.T) {
+	net := transport.NewMemory()
+	var yields []transport.Message
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindYieldReport {
+			yields = append(yields, msg)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: quietAgent(),
+		Sampler: samplerCfg(1000, 0.5), Network: net, Coordinator: "coord",
+		YieldEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(yields) != 3 {
+		t.Fatalf("got %d yield reports over 35 ticks with period 10, want 3", len(yields))
+	}
+	for _, y := range yields {
+		if y.Reduction <= 0 || y.Reduction > 1 {
+			t.Errorf("yield reduction = %v, want in (0, 1]", y.Reduction)
+		}
+		if y.Needed < 0 {
+			t.Errorf("yield needed = %v, want ≥ 0", y.Needed)
+		}
+	}
+}
+
+func TestNoYieldReportWithoutSamples(t *testing.T) {
+	net := transport.NewMemory()
+	yields := 0
+	if err := net.Register("coord", func(msg transport.Message) {
+		if msg.Kind == transport.KindYieldReport {
+			yields++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Agent always fails → no samples → no yield data to report.
+	m, err := New(Config{
+		ID: "m1", Task: "t",
+		Agent:   AgentFunc(func() (float64, error) { return 0, errors.New("down") }),
+		Sampler: samplerCfg(100, 0.1), Network: net, Coordinator: "coord",
+		YieldEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Tick(time.Duration(i) * time.Second) //nolint:errcheck // failures expected
+	}
+	if yields != 0 {
+		t.Errorf("got %d yield reports without any samples, want 0", yields)
+	}
+}
+
+func TestSamplingRatioBeforeTicks(t *testing.T) {
+	m, err := New(Config{ID: "m1", Agent: quietAgent(), Sampler: samplerCfg(10, 0.1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.SamplingRatio()) {
+		t.Errorf("SamplingRatio() before ticks = %v, want NaN", m.SamplingRatio())
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	net := transport.NewMemory()
+	if err := net.Register("coord", func(transport.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		ID: "dup", Agent: quietAgent(), Sampler: samplerCfg(10, 0.1),
+		Network: net, Coordinator: "coord",
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Error("duplicate monitor address accepted, want error")
+	}
+}

@@ -1,0 +1,49 @@
+package monitor
+
+import (
+	"fmt"
+
+	"volley/internal/core"
+)
+
+// State is a serializable snapshot of a monitor's sampling position,
+// allowing a restarted monitor process to resume exactly where it left off
+// — same interval, same δ statistics, same phase within the sampling gap —
+// instead of cold-starting and re-learning.
+type State struct {
+	Sampler   core.SamplerState `json:"sampler"`
+	UntilNext int               `json:"untilNext"`
+	LastValue float64           `json:"lastValue"`
+	HasValue  bool              `json:"hasValue"`
+}
+
+// Snapshot captures the monitor's sampling position. Lifetime counters
+// (Stats) are not part of the snapshot; a restarted monitor starts fresh
+// counters.
+func (m *Monitor) Snapshot() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return State{
+		Sampler:   m.sampler.Snapshot(),
+		UntilNext: m.untilNext,
+		LastValue: m.lastValue,
+		HasValue:  m.hasValue,
+	}
+}
+
+// Restore resumes from a snapshot taken by a monitor with the same
+// configuration.
+func (m *Monitor) Restore(st State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st.UntilNext < 0 {
+		return fmt.Errorf("monitor %s: snapshot untilNext %d < 0", m.cfg.ID, st.UntilNext)
+	}
+	if err := m.sampler.Restore(st.Sampler); err != nil {
+		return fmt.Errorf("monitor %s: %w", m.cfg.ID, err)
+	}
+	m.untilNext = st.UntilNext
+	m.lastValue = st.LastValue
+	m.hasValue = st.HasValue
+	return nil
+}

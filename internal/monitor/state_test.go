@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"volley/internal/core"
+)
+
+// TestSnapshotRestoreResumesExactly replays a signal on one continuous
+// monitor and on a monitor that is snapshotted, "restarted" and restored
+// midway; both must perform identical sampling from then on.
+func TestSnapshotRestoreResumesExactly(t *testing.T) {
+	const steps = 2000
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, steps)
+	level := 0.0
+	for i := range series {
+		level = 0.98*level + rng.NormFloat64()
+		series[i] = 40 + 2*level
+	}
+	cfg := func(id string, cursor *int) Config {
+		return Config{
+			ID: id,
+			Agent: AgentFunc(func() (float64, error) {
+				return series[*cursor], nil
+			}),
+			Sampler: core.Config{Threshold: 100, Err: 0.05, MaxInterval: 10, Patience: 5},
+		}
+	}
+
+	var curA, curB int
+	continuous, err := New(cfg("a", &curA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := New(cfg("b", &curB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const restartAt = 1000
+	var patternA, patternB []bool
+	for i := 0; i < steps; i++ {
+		curA, curB = i, i
+		now := time.Duration(i) * time.Second
+		sa, _, err := continuous.Tick(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patternA = append(patternA, sa)
+
+		if i == restartAt {
+			// Serialize the snapshot through JSON, as a real deployment
+			// persisting to disk would.
+			raw, err := json.Marshal(restarted.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(cfg("b-restarted", &curB))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st State
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(st); err != nil {
+				t.Fatal(err)
+			}
+			restarted = fresh
+		}
+		sb, _, err := restarted.Tick(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patternB = append(patternB, sb)
+	}
+	for i := range patternA {
+		if patternA[i] != patternB[i] {
+			t.Fatalf("sampling diverged at step %d (restart at %d)", i, restartAt)
+		}
+	}
+	if continuous.Interval() != restarted.Interval() {
+		t.Errorf("final intervals differ: %d vs %d", continuous.Interval(), restarted.Interval())
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	m, err := New(Config{
+		ID:      "m",
+		Agent:   AgentFunc(func() (float64, error) { return 1, nil }),
+		Sampler: core.Config{Threshold: 100, Err: 0.05, MaxInterval: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := m.Snapshot()
+
+	bad := good
+	bad.UntilNext = -1
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative untilNext accepted")
+	}
+	bad = good
+	bad.Sampler.Interval = 0
+	if err := m.Restore(bad); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	bad = good
+	bad.Sampler.Interval = 99
+	if err := m.Restore(bad); err == nil {
+		t.Error("interval above max accepted")
+	}
+	bad = good
+	bad.Sampler.DeltaVariance = -1
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative variance accepted")
+	}
+	bad = good
+	bad.Sampler.LastBound = 2
+	if err := m.Restore(bad); err == nil {
+		t.Error("bound above 1 accepted")
+	}
+	bad = good
+	bad.Sampler.Streak = -2
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative streak accepted")
+	}
+	bad = good
+	bad.Sampler.DeltaN = -2
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative delta count accepted")
+	}
+	if err := m.Restore(good); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestSnapshotCapturesGrownInterval(t *testing.T) {
+	m, err := New(Config{
+		ID:      "m",
+		Agent:   AgentFunc(func() (float64, error) { return 1, nil }),
+		Sampler: core.Config{Threshold: 1000, Err: 0.2, MaxInterval: 10, Patience: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Snapshot()
+	if st.Sampler.Interval < 2 {
+		t.Fatalf("snapshot interval = %d, want grown", st.Sampler.Interval)
+	}
+	if st.Sampler.Samples == 0 {
+		t.Error("snapshot lost sample counter")
+	}
+}

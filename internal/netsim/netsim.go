@@ -1,0 +1,286 @@
+// Package netsim implements the virtual datacenter network that stands in
+// for the paper's Emulab testbed (20 physical servers × 40 VMs, a virtual
+// network forwarding packets among 800 VMs).
+//
+// The simulation operates at the granularity of monitoring windows (the
+// paper's default 15-second tcpdump report interval): each Step consumes
+// one window of synthetic flows, maps addresses onto VMs and accumulates
+// the per-VM counters the DDoS monitoring task needs — incoming packets
+// with SYN set (Pi) and outgoing packets with SYN+ACK set (Po). The
+// monitored state value is the traffic difference ρ = Pi − Po.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"volley/internal/trace"
+)
+
+// Config parameterizes the virtual datacenter.
+type Config struct {
+	// Servers is the number of physical servers (each with one Dom0).
+	Servers int
+	// VMsPerServer is the number of user VMs per server.
+	VMsPerServer int
+	// SYNProb is the probability that a packet carries a SYN flag (the
+	// paper fixes p = 0.1; ρ is insensitive to its exact value).
+	SYNProb float64
+	// NormalResponseRate is the fraction of incoming SYNs a healthy VM
+	// answers with SYN-ACKs (slightly below 1 to model timeouts).
+	NormalResponseRate float64
+	// AttackResponseRate is the fraction answered while under SYN flood
+	// (the victim's backlog overflows, so it is far below 1).
+	AttackResponseRate float64
+	// Flows configures the underlying traffic generator. Its Addresses
+	// field is overridden to cover all VMs if left zero.
+	Flows trace.FlowConfig
+	// Seed drives the packet-level randomness (flag assignment).
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's testbed shape scaled by the caller:
+// servers × vmsPerServer VMs, 15-second windows.
+func DefaultConfig(servers, vmsPerServer int, seed int64) Config {
+	flows := trace.DefaultFlowConfig(servers*vmsPerServer*2, seed+1)
+	return Config{
+		Servers:            servers,
+		VMsPerServer:       vmsPerServer,
+		SYNProb:            0.1,
+		NormalResponseRate: 0.97,
+		AttackResponseRate: 0.15,
+		Flows:              flows,
+		Seed:               seed,
+	}
+}
+
+// VMTraffic holds one VM's counters for the current window.
+type VMTraffic struct {
+	// SynIn is Pi: incoming packets with the SYN flag set.
+	SynIn int
+	// SynAckOut is Po: outgoing packets with SYN and ACK set.
+	SynAckOut int
+	// Packets is the total packet count touching the VM this window; the
+	// Dom0 cost model charges deep-packet-inspection work against it.
+	Packets int
+}
+
+// Diff reports the monitored traffic difference ρ = Pi − Po.
+func (t VMTraffic) Diff() float64 { return float64(t.SynIn - t.SynAckOut) }
+
+// respAR and respNoise parameterize each VM's responsiveness process: the
+// fraction of incoming SYNs it answers follows an AR(1) walk around the
+// configured normal rate. Server load (and therefore timeout probability)
+// is autocorrelated in real systems; modelling response failures as
+// independent per-SYN coin flips would inject white noise into ρ that real
+// traffic does not have.
+const (
+	respAR    = 0.9
+	respNoise = 0.001
+)
+
+// Degradation episodes: every VM occasionally suffers a load-induced
+// responsiveness dip (a timeout storm), ramping smoothly down to a random
+// depth and back. They give ρ a graded upper tail between everyday noise
+// and full SYN floods — which is what percentile thresholds at moderate
+// selectivities (the paper's k = 6.4%…0.8%) end up measuring.
+const (
+	degradeProb     = 0.004 // per-VM per-window episode start probability
+	degradeMeanTTL  = 30    // mean episode length in windows
+	degradeMaxDepth = 0.15  // deepest responsiveness drop
+	degradeRamp     = 0.25  // per-window approach rate toward the depth
+)
+
+// Datacenter is the virtual datacenter. It is not safe for concurrent use.
+type Datacenter struct {
+	cfg      Config
+	gen      *trace.FlowGen
+	rng      *rand.Rand
+	traffic  []VMTraffic // current window, indexed by VM
+	respDev  []float64   // per-VM AR(1) deviation of responsiveness
+	attacked []bool      // per-VM: received attack flows this window
+
+	// Degradation episode state, per VM.
+	degradeTTL   []int
+	degradeDepth []float64 // episode target depth
+	degradeLevel []float64 // current smooth drop in responsiveness
+
+	window int
+}
+
+// New validates cfg and builds the datacenter.
+func New(cfg Config) (*Datacenter, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("netsim: need ≥ 1 server, got %d", cfg.Servers)
+	}
+	if cfg.VMsPerServer < 1 {
+		return nil, fmt.Errorf("netsim: need ≥ 1 VM per server, got %d", cfg.VMsPerServer)
+	}
+	if cfg.SYNProb <= 0 || cfg.SYNProb > 1 {
+		return nil, fmt.Errorf("netsim: SYNProb %v outside (0, 1]", cfg.SYNProb)
+	}
+	if cfg.NormalResponseRate < 0 || cfg.NormalResponseRate > 1 {
+		return nil, fmt.Errorf("netsim: NormalResponseRate %v outside [0, 1]", cfg.NormalResponseRate)
+	}
+	if cfg.AttackResponseRate < 0 || cfg.AttackResponseRate > 1 {
+		return nil, fmt.Errorf("netsim: AttackResponseRate %v outside [0, 1]", cfg.AttackResponseRate)
+	}
+	vms := cfg.Servers * cfg.VMsPerServer
+	if cfg.Flows.Addresses == 0 {
+		cfg.Flows.Addresses = vms * 2
+	}
+	if cfg.Flows.Addresses < vms {
+		return nil, fmt.Errorf("netsim: address space %d smaller than VM count %d",
+			cfg.Flows.Addresses, vms)
+	}
+	gen, err := trace.NewFlowGen(cfg.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: flow generator: %w", err)
+	}
+	return &Datacenter{
+		cfg:          cfg,
+		gen:          gen,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		traffic:      make([]VMTraffic, vms),
+		respDev:      make([]float64, vms),
+		attacked:     make([]bool, vms),
+		degradeTTL:   make([]int, vms),
+		degradeDepth: make([]float64, vms),
+		degradeLevel: make([]float64, vms),
+	}, nil
+}
+
+// NumVMs reports the total VM count.
+func (d *Datacenter) NumVMs() int { return len(d.traffic) }
+
+// NumServers reports the server count.
+func (d *Datacenter) NumServers() int { return d.cfg.Servers }
+
+// Window reports how many windows have been simulated.
+func (d *Datacenter) Window() int { return d.window }
+
+// ServerOf reports which server hosts the given VM.
+func (d *Datacenter) ServerOf(vm int) int { return vm / d.cfg.VMsPerServer }
+
+// vmOf maps a synthetic address onto a VM ("We uniformly map addresses
+// observed in netflow logs into VMs in our testbed").
+func (d *Datacenter) vmOf(addr int) int { return addr % len(d.traffic) }
+
+// Step simulates one monitoring window: it drains one window of flows,
+// accumulates per-VM SYN counts, and answers them according to each VM's
+// current responsiveness — collapsed to the attack response rate on VMs
+// receiving SYN-flood traffic (a flooded backlog drops legitimate and
+// attack SYNs alike).
+func (d *Datacenter) Step() {
+	for i := range d.traffic {
+		d.traffic[i] = VMTraffic{}
+		d.attacked[i] = false
+		d.respDev[i] = respAR*d.respDev[i] + respNoise*d.rng.NormFloat64()
+
+		// Degradation episode lifecycle: smooth ramp toward the episode
+		// depth while active, smooth recovery afterwards.
+		if d.degradeTTL[i] == 0 && d.rng.Float64() < degradeProb {
+			d.degradeTTL[i] = 1 + d.rng.Intn(2*degradeMeanTTL)
+			d.degradeDepth[i] = degradeMaxDepth * d.rng.Float64()
+		}
+		target := 0.0
+		if d.degradeTTL[i] > 0 {
+			target = d.degradeDepth[i]
+			d.degradeTTL[i]--
+		}
+		d.degradeLevel[i] += degradeRamp * (target - d.degradeLevel[i])
+	}
+	flows := d.gen.NextWindow()
+	for _, f := range flows {
+		src, dst := d.vmOf(f.Src), d.vmOf(f.Dst)
+
+		syns := binomial(d.rng, f.Packets, d.cfg.SYNProb)
+		d.traffic[dst].SynIn += syns
+		d.traffic[dst].Packets += f.Packets
+		if src != dst {
+			d.traffic[src].Packets += f.Packets
+		}
+		if f.Attack {
+			d.attacked[dst] = true
+		}
+	}
+	for vm := range d.traffic {
+		rate := d.cfg.NormalResponseRate + d.respDev[vm] - d.degradeLevel[vm]
+		if d.attacked[vm] {
+			rate = d.cfg.AttackResponseRate
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		synAcks := int(rate * float64(d.traffic[vm].SynIn))
+		d.traffic[vm].SynAckOut = synAcks
+		d.traffic[vm].Packets += synAcks
+	}
+	d.window++
+}
+
+// Traffic reports the given VM's counters for the current window.
+func (d *Datacenter) Traffic(vm int) (VMTraffic, error) {
+	if vm < 0 || vm >= len(d.traffic) {
+		return VMTraffic{}, fmt.Errorf("netsim: vm %d outside [0, %d)", vm, len(d.traffic))
+	}
+	return d.traffic[vm], nil
+}
+
+// ServerPackets reports the total packets traversing a server's VMs in the
+// current window — the amount of traffic its Dom0 would capture and inspect
+// when sampling.
+func (d *Datacenter) ServerPackets(server int) (int, error) {
+	if server < 0 || server >= d.cfg.Servers {
+		return 0, fmt.Errorf("netsim: server %d outside [0, %d)", server, d.cfg.Servers)
+	}
+	total := 0
+	for vm := server * d.cfg.VMsPerServer; vm < (server+1)*d.cfg.VMsPerServer; vm++ {
+		total += d.traffic[vm].Packets
+	}
+	return total, nil
+}
+
+// UnderAttack reports the VM currently targeted by a SYN-flood episode, if
+// any.
+func (d *Datacenter) UnderAttack() (vm int, ok bool) {
+	addr, ok := d.gen.ActiveAttack()
+	if !ok {
+		return 0, false
+	}
+	return d.vmOf(addr), true
+}
+
+// binomial draws Binomial(n, p). For large n it uses a clamped normal
+// approximation; exact sampling below that keeps small windows faithful.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n > 100 {
+		mean := float64(n) * p
+		variance := mean * (1 - p)
+		v := mean + rng.NormFloat64()*math.Sqrt(variance)
+		if v < 0 {
+			return 0
+		}
+		if v > float64(n) {
+			return n
+		}
+		return int(v + 0.5)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,396 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"volley/internal/trace"
+)
+
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig(2, 5, seed)
+	cfg.Flows.MeanFlowsPerWindow = 100
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "no servers", mutate: func(c *Config) { c.Servers = 0 }},
+		{name: "no VMs", mutate: func(c *Config) { c.VMsPerServer = 0 }},
+		{name: "zero syn prob", mutate: func(c *Config) { c.SYNProb = 0 }},
+		{name: "syn prob above one", mutate: func(c *Config) { c.SYNProb = 1.5 }},
+		{name: "bad normal response", mutate: func(c *Config) { c.NormalResponseRate = -0.1 }},
+		{name: "bad attack response", mutate: func(c *Config) { c.AttackResponseRate = 2 }},
+		{name: "address space too small", mutate: func(c *Config) { c.Flows.Addresses = 3 }},
+		{name: "bad flow config", mutate: func(c *Config) { c.Flows.MeanFlowsPerWindow = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig(1)
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestDatacenterShape(t *testing.T) {
+	dc, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.NumVMs() != 10 {
+		t.Errorf("NumVMs() = %d, want 10", dc.NumVMs())
+	}
+	if dc.NumServers() != 2 {
+		t.Errorf("NumServers() = %d, want 2", dc.NumServers())
+	}
+	if got := dc.ServerOf(0); got != 0 {
+		t.Errorf("ServerOf(0) = %d, want 0", got)
+	}
+	if got := dc.ServerOf(7); got != 1 {
+		t.Errorf("ServerOf(7) = %d, want 1", got)
+	}
+}
+
+func TestDefaultAddressSpace(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Flows.Addresses = 0
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.cfg.Flows.Addresses != 20 {
+		t.Errorf("default address space = %d, want 20 (2× VMs)", dc.cfg.Flows.Addresses)
+	}
+}
+
+func TestStepAccumulatesTraffic(t *testing.T) {
+	dc, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Step()
+	if dc.Window() != 1 {
+		t.Errorf("Window() = %d, want 1", dc.Window())
+	}
+	totalPackets := 0
+	for vm := 0; vm < dc.NumVMs(); vm++ {
+		tr, err := dc.Traffic(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.SynIn < 0 || tr.SynAckOut < 0 || tr.Packets < 0 {
+			t.Fatalf("negative counters: %+v", tr)
+		}
+		if tr.SynAckOut > tr.SynIn {
+			t.Errorf("vm %d responded to more SYNs (%d) than it received (%d)",
+				vm, tr.SynAckOut, tr.SynIn)
+		}
+		totalPackets += tr.Packets
+	}
+	if totalPackets == 0 {
+		t.Error("no packets simulated")
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	dc, err := New(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Traffic(-1); err == nil {
+		t.Error("Traffic(-1) accepted, want error")
+	}
+	if _, err := dc.Traffic(10); err == nil {
+		t.Error("Traffic(out of range) accepted, want error")
+	}
+	if _, err := dc.ServerPackets(-1); err == nil {
+		t.Error("ServerPackets(-1) accepted, want error")
+	}
+	if _, err := dc.ServerPackets(2); err == nil {
+		t.Error("ServerPackets(out of range) accepted, want error")
+	}
+}
+
+func TestServerPacketsSumOverVMs(t *testing.T) {
+	dc, err := New(testConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Step()
+	for server := 0; server < 2; server++ {
+		got, err := dc.ServerPackets(server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for vm := server * 5; vm < (server+1)*5; vm++ {
+			tr, err := dc.Traffic(vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += tr.Packets
+		}
+		if got != want {
+			t.Errorf("server %d packets = %d, want %d", server, got, want)
+		}
+	}
+}
+
+func TestNormalTrafficNearBalance(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.Flows.AttackProb = 0
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumDiff, sumSyn float64
+	for w := 0; w < 200; w++ {
+		dc.Step()
+		for vm := 0; vm < dc.NumVMs(); vm++ {
+			tr, err := dc.Traffic(vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumDiff += tr.Diff()
+			sumSyn += float64(tr.SynIn)
+		}
+	}
+	if sumSyn == 0 {
+		t.Fatal("no SYN traffic")
+	}
+	// With a 97% response rate, ρ should be ≈ 3% of incoming SYNs.
+	ratio := sumDiff / sumSyn
+	if math.Abs(ratio-0.03) > 0.02 {
+		t.Errorf("normal-traffic asymmetry ratio = %v, want ≈ 0.03", ratio)
+	}
+}
+
+func TestAttackRaisesVictimDiff(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Flows.AttackProb = 1
+	cfg.Flows.AttackWindows = 50
+	cfg.Flows.AttackFlowsPerWindow = 100
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Step()
+	victim, ok := dc.UnderAttack()
+	if !ok {
+		t.Fatal("no attack active with AttackProb=1")
+	}
+	vt, err := dc.Traffic(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim's ρ should dwarf the median VM's ρ.
+	var others []float64
+	for vm := 0; vm < dc.NumVMs(); vm++ {
+		if vm == victim {
+			continue
+		}
+		tr, err := dc.Traffic(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, tr.Diff())
+	}
+	maxOther := 0.0
+	for _, o := range others {
+		if o > maxOther {
+			maxOther = o
+		}
+	}
+	if vt.Diff() <= maxOther {
+		t.Errorf("victim ρ = %v not above any normal VM (max %v)", vt.Diff(), maxOther)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		dc, err := New(testConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for w := 0; w < 100; w++ {
+			dc.Step()
+			for vm := 0; vm < dc.NumVMs(); vm++ {
+				tr, err := dc.Traffic(vm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += tr.Diff()
+			}
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	rng := newTestRand()
+	if got := binomial(rng, 0, 0.5); got != 0 {
+		t.Errorf("binomial(0) = %d, want 0", got)
+	}
+	if got := binomial(rng, 10, 0); got != 0 {
+		t.Errorf("binomial(p=0) = %d, want 0", got)
+	}
+	if got := binomial(rng, 10, 1); got != 10 {
+		t.Errorf("binomial(p=1) = %d, want 10", got)
+	}
+	for _, n := range []int{50, 5000} { // exact and approximated paths
+		var sum float64
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			k := binomial(rng, n, 0.3)
+			if k < 0 || k > n {
+				t.Fatalf("binomial(%d, 0.3) = %d out of range", n, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / trials
+		want := float64(n) * 0.3
+		if math.Abs(mean-want) > 0.05*want {
+			t.Errorf("binomial(%d) mean = %v, want ≈ %v", n, mean, want)
+		}
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }
+
+func TestScaleTo800VMs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 800-VM scale test in short mode")
+	}
+	cfg := DefaultConfig(20, 40, 10)
+	cfg.Flows.MeanFlowsPerWindow = 2000
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.NumVMs() != 800 {
+		t.Fatalf("NumVMs() = %d, want 800", dc.NumVMs())
+	}
+	for w := 0; w < 50; w++ {
+		dc.Step()
+	}
+	total := 0
+	for s := 0; s < 20; s++ {
+		p, err := dc.ServerPackets(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += p
+	}
+	if total == 0 {
+		t.Error("no traffic at 800-VM scale")
+	}
+}
+
+func TestVictimMapping(t *testing.T) {
+	dc, err := New(testConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.UnderAttack(); ok {
+		t.Error("attack active before any window with low AttackProb — suspicious")
+	}
+	_ = trace.Flow{} // keep the trace import meaningful for the address contract below
+	// Address mapping is modulo: address NumVMs+1 lands on VM 1.
+	if got := dc.vmOf(dc.NumVMs() + 1); got != 1 {
+		t.Errorf("vmOf(%d) = %d, want 1", dc.NumVMs()+1, got)
+	}
+}
+
+func TestDegradationEpisodesCreateGradedTail(t *testing.T) {
+	// Without attacks, ρ's upper tail should still be populated by
+	// responsiveness-degradation episodes: the p99.5/p90 ratio must
+	// clearly exceed what plain noise produces, without the huge jump a
+	// SYN flood would add.
+	cfg := testConfig(21)
+	cfg.Flows.AttackProb = 0
+	cfg.Flows.MeanFlowsPerWindow = 200
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const windows = 6000
+	values := make([]float64, 0, windows)
+	for w := 0; w < windows; w++ {
+		dc.Step()
+		tr, err := dc.Traffic(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, tr.Diff())
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	p90 := sorted[len(sorted)*90/100]
+	p995 := sorted[len(sorted)*995/1000]
+	if p90 <= 0 {
+		t.Fatalf("p90 = %v, want positive baseline asymmetry", p90)
+	}
+	ratio := p995 / p90
+	if ratio < 1.5 {
+		t.Errorf("p99.5/p90 = %.2f, want ≥ 1.5 (graded degradation tail)", ratio)
+	}
+	if ratio > 50 {
+		t.Errorf("p99.5/p90 = %.2f, want < 50 without attacks", ratio)
+	}
+}
+
+func TestGradedAttackIntensities(t *testing.T) {
+	// Across many attack episodes, peak ρ values should span roughly an
+	// order of magnitude (log-uniform episode intensity).
+	cfg := testConfig(22)
+	cfg.Flows.AttackProb = 0.01
+	cfg.Flows.AttackWindows = 10
+	cfg.Flows.AttackFlowsPerWindow = 400
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peaks []float64
+	episodePeak := 0.0
+	inEpisode := false
+	for w := 0; w < 20000; w++ {
+		dc.Step()
+		vm, ok := dc.UnderAttack()
+		if ok {
+			tr, err := dc.Traffic(vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Diff() > episodePeak {
+				episodePeak = tr.Diff()
+			}
+			inEpisode = true
+			continue
+		}
+		if inEpisode {
+			peaks = append(peaks, episodePeak)
+			episodePeak = 0
+			inEpisode = false
+		}
+	}
+	if len(peaks) < 10 {
+		t.Fatalf("only %d attack episodes observed", len(peaks))
+	}
+	sort.Float64s(peaks)
+	lo, hi := peaks[len(peaks)/10], peaks[len(peaks)*9/10]
+	if lo <= 0 || hi/lo < 3 {
+		t.Errorf("attack peak spread p10=%v p90=%v, want ≥ 3× span", lo, hi)
+	}
+}

@@ -1,0 +1,29 @@
+package stats
+
+// ChebyshevUpperTail bounds P(X − μ ≥ kσ) for any distribution with finite
+// mean μ and standard deviation σ, using the one-sided (Cantelli) form of
+// Chebyshev's inequality:
+//
+//	P(X − μ ≥ kσ) ≤ 1 / (1 + k²)   for k > 0.
+//
+// For k ≤ 0 the bound is vacuous and the function returns 1.
+func ChebyshevUpperTail(k float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 / (1 + k*k)
+}
+
+// ChebyshevExceedProb bounds P(X > threshold) for a random variable with the
+// given mean and standard deviation. It handles the degenerate σ = 0 case by
+// treating X as deterministic (probability 0 or 1).
+func ChebyshevExceedProb(mean, stddev, threshold float64) float64 {
+	if stddev <= 0 {
+		if mean > threshold {
+			return 1
+		}
+		return 0
+	}
+	k := (threshold - mean) / stddev
+	return ChebyshevUpperTail(k)
+}

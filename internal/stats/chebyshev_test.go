@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChebyshevUpperTailKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		k    float64
+		want float64
+	}{
+		{name: "k=1", k: 1, want: 0.5},
+		{name: "k=2", k: 2, want: 0.2},
+		{name: "k=3", k: 3, want: 0.1},
+		{name: "k=0 vacuous", k: 0, want: 1},
+		{name: "negative vacuous", k: -2, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ChebyshevUpperTail(tt.k); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("ChebyshevUpperTail(%v) = %v, want %v", tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestChebyshevUpperTailMonotone(t *testing.T) {
+	prev := 1.0
+	for k := 0.0; k <= 20; k += 0.25 {
+		got := ChebyshevUpperTail(k)
+		if got > prev+1e-15 {
+			t.Fatalf("bound increased at k=%v: %v > %v", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestChebyshevExceedProbDeterministic(t *testing.T) {
+	tests := []struct {
+		name             string
+		mean, sd, thresh float64
+		want             float64
+	}{
+		{name: "below threshold", mean: 1, sd: 0, thresh: 2, want: 0},
+		{name: "at threshold", mean: 2, sd: 0, thresh: 2, want: 0},
+		{name: "above threshold", mean: 3, sd: 0, thresh: 2, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ChebyshevExceedProb(tt.mean, tt.sd, tt.thresh); got != tt.want {
+				t.Errorf("ChebyshevExceedProb(%v, %v, %v) = %v, want %v",
+					tt.mean, tt.sd, tt.thresh, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestChebyshevExceedProbRange(t *testing.T) {
+	f := func(mean, sd, thresh float64) bool {
+		if math.IsNaN(mean) || math.IsNaN(sd) || math.IsNaN(thresh) ||
+			math.IsInf(mean, 0) || math.IsInf(sd, 0) || math.IsInf(thresh, 0) {
+			return true
+		}
+		p := ChebyshevExceedProb(mean, math.Abs(sd), thresh)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChebyshevIsATrueBound empirically verifies that the Cantelli bound
+// dominates the observed tail probability for several distribution families.
+// This is the property the whole adaptation algorithm leans on.
+func TestChebyshevIsATrueBound(t *testing.T) {
+	const samples = 200000
+	rng := rand.New(rand.NewSource(1))
+	families := []struct {
+		name string
+		draw func() float64
+	}{
+		{name: "normal", draw: rng.NormFloat64},
+		{name: "uniform", draw: func() float64 { return rng.Float64()*2 - 1 }},
+		{name: "exponential", draw: rng.ExpFloat64},
+		{name: "bimodal", draw: func() float64 {
+			if rng.Float64() < 0.5 {
+				return rng.NormFloat64() - 3
+			}
+			return rng.NormFloat64() + 3
+		}},
+		{name: "heavy-tail", draw: func() float64 {
+			// Student-t-like heavy tails built from a normal ratio, clamped
+			// so moments exist empirically.
+			v := rng.NormFloat64() / (math.Abs(rng.NormFloat64()) + 0.5)
+			return math.Max(-50, math.Min(50, v))
+		}},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			values := make([]float64, samples)
+			var o Online
+			for i := range values {
+				values[i] = fam.draw()
+				o.Observe(values[i])
+			}
+			mean, sd := o.Mean(), o.StdDev()
+			for _, k := range []float64{0.5, 1, 2, 4} {
+				thresh := mean + k*sd
+				var exceed int
+				for _, v := range values {
+					if v > thresh {
+						exceed++
+					}
+				}
+				empirical := float64(exceed) / samples
+				bound := ChebyshevExceedProb(mean, sd, thresh)
+				// Allow a sliver of sampling noise.
+				if empirical > bound+0.01 {
+					t.Errorf("k=%v: empirical tail %v exceeds bound %v", k, empirical, bound)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import "math"
+
+// Pearson computes the Pearson correlation coefficient of two equal-length
+// series. It returns NaN when the series differ in length, are shorter than
+// two points, or either has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	n := float64(len(x))
+	mx /= n
+	my /= n
+
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LaggedPearson computes Pearson correlation between x(t) and y(t+lag) for
+// lag ≥ 0 (y lags x: x leads). For negative lag the roles are swapped. It
+// returns NaN when the overlap after shifting is shorter than two points.
+func LaggedPearson(x, y []float64, lag int) float64 {
+	if lag < 0 {
+		return LaggedPearson(y, x, -lag)
+	}
+	if len(x) != len(y) || len(x) <= lag+1 {
+		return math.NaN()
+	}
+	return Pearson(x[:len(x)-lag], y[lag:])
+}
+
+// BestLag scans lags in [0, maxLag] and returns the lag maximizing
+// |LaggedPearson(x, y, lag)| along with the correlation at that lag. It
+// returns (0, NaN) when no lag yields a defined correlation.
+func BestLag(x, y []float64, maxLag int) (lag int, corr float64) {
+	best, bestLag := math.NaN(), 0
+	for l := 0; l <= maxLag; l++ {
+		c := LaggedPearson(x, y, l)
+		if math.IsNaN(c) {
+			continue
+		}
+		if math.IsNaN(best) || math.Abs(c) > math.Abs(best) {
+			best, bestLag = c, l
+		}
+	}
+	return bestLag, best
+}
+
+// CoOccurrence measures how well boolean predictor events anticipate target
+// events within a window of `slack` steps. It returns the precision (the
+// fraction of predictor events followed by a target event within slack) and
+// recall (the fraction of target events preceded by a predictor event
+// within slack). Both are NaN when the respective denominator is zero.
+//
+// The correlation-gated monitoring planner uses recall as its safety metric:
+// gating an expensive task on a predictor with recall r loses at most a
+// (1−r) fraction of that task's alerts.
+func CoOccurrence(predictor, target []bool, slack int) (precision, recall float64) {
+	if len(predictor) != len(target) || slack < 0 {
+		return math.NaN(), math.NaN()
+	}
+	var predHits, predTotal int
+	for i, p := range predictor {
+		if !p {
+			continue
+		}
+		predTotal++
+		for j := i; j < len(target) && j <= i+slack; j++ {
+			if target[j] {
+				predHits++
+				break
+			}
+		}
+	}
+	var tgtHits, tgtTotal int
+	for i, t := range target {
+		if !t {
+			continue
+		}
+		tgtTotal++
+		for j := i; j >= 0 && j >= i-slack; j-- {
+			if predictor[j] {
+				tgtHits++
+				break
+			}
+		}
+	}
+	precision, recall = math.NaN(), math.NaN()
+	if predTotal > 0 {
+		precision = float64(predHits) / float64(predTotal)
+	}
+	if tgtTotal > 0 {
+		recall = float64(tgtHits) / float64(tgtTotal)
+	}
+	return precision, recall
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{name: "perfect positive", x: []float64{1, 2, 3}, y: []float64{2, 4, 6}, want: 1},
+		{name: "perfect negative", x: []float64{1, 2, 3}, y: []float64{6, 4, 2}, want: -1},
+		{name: "affine shift", x: []float64{1, 2, 3, 4}, y: []float64{11, 12, 13, 14}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Pearson(tt.x, tt.y); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Pearson = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPearsonUndefinedCases(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+	}{
+		{name: "length mismatch", x: []float64{1, 2}, y: []float64{1}},
+		{name: "too short", x: []float64{1}, y: []float64{1}},
+		{name: "zero variance x", x: []float64{3, 3, 3}, y: []float64{1, 2, 3}},
+		{name: "zero variance y", x: []float64{1, 2, 3}, y: []float64{5, 5, 5}},
+		{name: "empty", x: nil, y: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Pearson(tt.x, tt.y); !math.IsNaN(got) {
+				t.Errorf("Pearson = %v, want NaN", got)
+			}
+		})
+	}
+}
+
+func TestPearsonRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		c := Pearson(x, y)
+		if math.IsNaN(c) {
+			continue
+		}
+		if c < -1-1e-12 || c > 1+1e-12 {
+			t.Fatalf("Pearson = %v out of [-1, 1]", c)
+		}
+	}
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 20000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	if c := Pearson(x, y); math.Abs(c) > 0.05 {
+		t.Errorf("independent series correlation = %v, want ≈ 0", c)
+	}
+}
+
+func TestLaggedPearsonRecoversLag(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	const trueLag = 5
+	// y(t) = x(t − trueLag): x leads y by trueLag.
+	x := base[:n-trueLag]
+	y := base[trueLag:]
+	shiftedY := make([]float64, len(x))
+	copy(shiftedY, x) // y series aligned so that y[t] = x[t-trueLag]
+	for i := range shiftedY {
+		if i < trueLag {
+			shiftedY[i] = rng.NormFloat64()
+		} else {
+			shiftedY[i] = x[i-trueLag]
+		}
+	}
+	_ = y
+	lag, corr := BestLag(x, shiftedY, 10)
+	if lag != trueLag {
+		t.Errorf("BestLag = %d, want %d", lag, trueLag)
+	}
+	if corr < 0.9 {
+		t.Errorf("correlation at best lag = %v, want ≥ 0.9", corr)
+	}
+}
+
+func TestLaggedPearsonNegativeLagSwapsRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	a := LaggedPearson(x, y, 3)
+	b := LaggedPearson(y, x, -3)
+	if !almostEqual(a, b, 1e-12) {
+		t.Errorf("LaggedPearson(x,y,3) = %v != LaggedPearson(y,x,-3) = %v", a, b)
+	}
+}
+
+func TestLaggedPearsonTooShort(t *testing.T) {
+	if got := LaggedPearson([]float64{1, 2, 3}, []float64{1, 2, 3}, 2); !math.IsNaN(got) {
+		t.Errorf("LaggedPearson on too-short overlap = %v, want NaN", got)
+	}
+}
+
+func TestBestLagAllUndefined(t *testing.T) {
+	lag, corr := BestLag([]float64{1, 1}, []float64{2, 2}, 3)
+	if lag != 0 || !math.IsNaN(corr) {
+		t.Errorf("BestLag on constant series = (%d, %v), want (0, NaN)", lag, corr)
+	}
+}
+
+func TestCoOccurrencePerfectPredictor(t *testing.T) {
+	predictor := []bool{false, true, false, true, false, false}
+	target := []bool{false, true, false, true, false, false}
+	precision, recall := CoOccurrence(predictor, target, 0)
+	if precision != 1 || recall != 1 {
+		t.Errorf("perfect predictor: precision=%v recall=%v, want 1, 1", precision, recall)
+	}
+}
+
+func TestCoOccurrenceWithSlack(t *testing.T) {
+	// Predictor fires two steps before each target event.
+	predictor := []bool{true, false, false, true, false, false}
+	target := []bool{false, false, true, false, false, true}
+	precision, recall := CoOccurrence(predictor, target, 2)
+	if precision != 1 || recall != 1 {
+		t.Errorf("slack=2: precision=%v recall=%v, want 1, 1", precision, recall)
+	}
+	precision, recall = CoOccurrence(predictor, target, 1)
+	if precision != 0 || recall != 0 {
+		t.Errorf("slack=1: precision=%v recall=%v, want 0, 0", precision, recall)
+	}
+}
+
+func TestCoOccurrenceNoEvents(t *testing.T) {
+	precision, recall := CoOccurrence([]bool{false, false}, []bool{false, false}, 1)
+	if !math.IsNaN(precision) || !math.IsNaN(recall) {
+		t.Errorf("no events: precision=%v recall=%v, want NaN, NaN", precision, recall)
+	}
+}
+
+func TestCoOccurrenceInvalidInput(t *testing.T) {
+	precision, recall := CoOccurrence([]bool{true}, []bool{true, false}, 1)
+	if !math.IsNaN(precision) || !math.IsNaN(recall) {
+		t.Errorf("length mismatch: precision=%v recall=%v, want NaN, NaN", precision, recall)
+	}
+	precision, recall = CoOccurrence([]bool{true}, []bool{true}, -1)
+	if !math.IsNaN(precision) || !math.IsNaN(recall) {
+		t.Errorf("negative slack: precision=%v recall=%v, want NaN, NaN", precision, recall)
+	}
+}
+
+func TestCoOccurrencePartial(t *testing.T) {
+	predictor := []bool{true, false, true, false}
+	target := []bool{true, false, false, false}
+	precision, recall := CoOccurrence(predictor, target, 0)
+	if !almostEqual(precision, 0.5, 1e-12) {
+		t.Errorf("precision = %v, want 0.5", precision)
+	}
+	if !almostEqual(recall, 1, 1e-12) {
+		t.Errorf("recall = %v, want 1", recall)
+	}
+}

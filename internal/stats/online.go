@@ -1,0 +1,131 @@
+// Package stats provides the statistical building blocks used throughout the
+// Volley reproduction: online moment tracking, distribution-free tail bounds,
+// quantile estimation, Zipf-distributed weights, correlation measures and
+// box-plot summaries.
+//
+// All types are deterministic and allocation-light; none of them spawn
+// goroutines. Concurrency control, if needed, belongs to the caller.
+package stats
+
+import "math"
+
+// Online tracks the mean and variance of a stream of observations using the
+// incremental update equations from the paper (Section III-B), which are the
+// classic Welford/Knuth recurrences:
+//
+//	μ_n = μ_{n-1} + (x − μ_{n-1})/n
+//	σ²_n = ((n−1)σ²_{n-1} + (x − μ_n)(x − μ_{n-1})) / n
+//
+// The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64 // n * variance (sum of squared deviations)
+}
+
+// Observe adds one observation to the stream.
+func (o *Online) Observe(x float64) {
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N reports the number of observations seen since the last Reset.
+func (o *Online) N() int { return o.n }
+
+// Mean reports the running mean. It is 0 for an empty stream.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance reports the running population variance (the paper divides by n,
+// not n−1). It is 0 for streams with fewer than two observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev reports the population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Reset discards all state, returning the tracker to its zero value.
+func (o *Online) Reset() {
+	o.n = 0
+	o.mean = 0
+	o.m2 = 0
+}
+
+// Seed restarts the tracker as if it had seen n observations with the given
+// mean and variance. The adaptive sampler uses this to restart its δ
+// statistics window without transiently losing its distribution estimate
+// (see DESIGN.md §3).
+func (o *Online) Seed(n int, mean, variance float64) {
+	if n < 0 {
+		n = 0
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	o.n = n
+	o.mean = mean
+	o.m2 = variance * float64(n)
+}
+
+// Windowed tracks mean/variance like Online but restarts its statistics
+// every maxN observations, seeding the fresh window with the previous
+// window's moments so estimates never collapse to zero mid-stream. This is
+// the paper's "set n = 0 when n > 1000" rule made safe for continuous
+// operation.
+type Windowed struct {
+	online Online
+	maxN   int
+	seedN  int
+}
+
+// NewWindowed returns a windowed tracker that restarts after maxN
+// observations. A maxN of 0 or less disables restarting. seedN controls how
+// many synthetic observations carry over at restart; the reproduction uses a
+// small value so that fresh data dominates quickly.
+func NewWindowed(maxN, seedN int) *Windowed {
+	if seedN < 0 {
+		seedN = 0
+	}
+	return &Windowed{maxN: maxN, seedN: seedN}
+}
+
+// Observe adds one observation, restarting the window when full.
+func (w *Windowed) Observe(x float64) {
+	if w.maxN > 0 && w.online.N() >= w.maxN {
+		mean, variance := w.online.Mean(), w.online.Variance()
+		w.online.Reset()
+		if w.seedN > 0 {
+			w.online.Seed(w.seedN, mean, variance)
+		}
+	}
+	w.online.Observe(x)
+}
+
+// N reports the number of observations in the current window (including any
+// carried-over synthetic seed observations).
+func (w *Windowed) N() int { return w.online.N() }
+
+// Mean reports the current window's mean.
+func (w *Windowed) Mean() float64 { return w.online.Mean() }
+
+// Variance reports the current window's population variance.
+func (w *Windowed) Variance() float64 { return w.online.Variance() }
+
+// StdDev reports the current window's population standard deviation.
+func (w *Windowed) StdDev() float64 { return w.online.StdDev() }
+
+// Reset discards all state.
+func (w *Windowed) Reset() { w.online.Reset() }
+
+// Restore replaces the current window with the given moments, as if n
+// observations with that mean and variance had been seen. Used to restore
+// persisted sampler state across restarts.
+func (w *Windowed) Restore(n int, mean, variance float64) {
+	w.online.Reset()
+	w.online.Seed(n, mean, variance)
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func batchMeanVar(values []float64) (mean, variance float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	for _, v := range values {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(values))
+	return mean, variance
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.N() != 0 {
+		t.Errorf("N() = %d, want 0", o.N())
+	}
+	if o.Mean() != 0 {
+		t.Errorf("Mean() = %v, want 0", o.Mean())
+	}
+	if o.Variance() != 0 {
+		t.Errorf("Variance() = %v, want 0", o.Variance())
+	}
+}
+
+func TestOnlineSingleObservation(t *testing.T) {
+	var o Online
+	o.Observe(42)
+	if o.N() != 1 {
+		t.Errorf("N() = %d, want 1", o.N())
+	}
+	if o.Mean() != 42 {
+		t.Errorf("Mean() = %v, want 42", o.Mean())
+	}
+	if o.Variance() != 0 {
+		t.Errorf("Variance() = %v, want 0 for single observation", o.Variance())
+	}
+}
+
+func TestOnlineKnownSeries(t *testing.T) {
+	tests := []struct {
+		name     string
+		values   []float64
+		wantMean float64
+		wantVar  float64
+	}{
+		{name: "constant", values: []float64{5, 5, 5, 5}, wantMean: 5, wantVar: 0},
+		{name: "pair", values: []float64{1, 3}, wantMean: 2, wantVar: 1},
+		{name: "symmetric", values: []float64{-2, 0, 2}, wantMean: 0, wantVar: 8.0 / 3.0},
+		{name: "mixed", values: []float64{1, 2, 3, 4, 5}, wantMean: 3, wantVar: 2},
+		{name: "negative", values: []float64{-10, -20, -30}, wantMean: -20, wantVar: 200.0 / 3.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var o Online
+			for _, v := range tt.values {
+				o.Observe(v)
+			}
+			if !almostEqual(o.Mean(), tt.wantMean, 1e-12) {
+				t.Errorf("Mean() = %v, want %v", o.Mean(), tt.wantMean)
+			}
+			if !almostEqual(o.Variance(), tt.wantVar, 1e-12) {
+				t.Errorf("Variance() = %v, want %v", o.Variance(), tt.wantVar)
+			}
+		})
+	}
+}
+
+func TestOnlineMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Clamp magnitude so the batch computation itself stays stable.
+			values = append(values, math.Mod(v, 1e6))
+		}
+		if len(values) == 0 {
+			return true
+		}
+		var o Online
+		for _, v := range values {
+			o.Observe(v)
+		}
+		wantMean, wantVar := batchMeanVar(values)
+		tol := 1e-6 * (1 + math.Abs(wantMean) + wantVar)
+		return almostEqual(o.Mean(), wantMean, tol) && almostEqual(o.Variance(), wantVar, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	var o Online
+	o.Observe(1)
+	o.Observe(2)
+	o.Reset()
+	if o.N() != 0 || o.Mean() != 0 || o.Variance() != 0 {
+		t.Errorf("after Reset: n=%d mean=%v var=%v, want zeros", o.N(), o.Mean(), o.Variance())
+	}
+}
+
+func TestOnlineSeed(t *testing.T) {
+	var o Online
+	o.Seed(10, 4, 2)
+	if o.N() != 10 {
+		t.Errorf("N() = %d, want 10", o.N())
+	}
+	if !almostEqual(o.Mean(), 4, 1e-12) {
+		t.Errorf("Mean() = %v, want 4", o.Mean())
+	}
+	if !almostEqual(o.Variance(), 2, 1e-12) {
+		t.Errorf("Variance() = %v, want 2", o.Variance())
+	}
+	// Observing the seeded mean should not disturb the mean.
+	o.Observe(4)
+	if !almostEqual(o.Mean(), 4, 1e-12) {
+		t.Errorf("Mean() after observing mean = %v, want 4", o.Mean())
+	}
+}
+
+func TestOnlineSeedClampsNegatives(t *testing.T) {
+	var o Online
+	o.Seed(-5, 1, -3)
+	if o.N() != 0 {
+		t.Errorf("N() = %d, want 0 for negative seed count", o.N())
+	}
+	if o.Variance() != 0 {
+		t.Errorf("Variance() = %v, want 0 for negative seed variance", o.Variance())
+	}
+}
+
+func TestWindowedRestarts(t *testing.T) {
+	w := NewWindowed(10, 2)
+	for i := 0; i < 10; i++ {
+		w.Observe(float64(i))
+	}
+	if w.N() != 10 {
+		t.Fatalf("N() = %d, want 10 before restart", w.N())
+	}
+	w.Observe(100)
+	// Restart seeds 2 synthetic observations plus the new one.
+	if w.N() != 3 {
+		t.Errorf("N() = %d, want 3 after restart", w.N())
+	}
+}
+
+func TestWindowedDisabled(t *testing.T) {
+	w := NewWindowed(0, 2)
+	for i := 0; i < 5000; i++ {
+		w.Observe(1)
+	}
+	if w.N() != 5000 {
+		t.Errorf("N() = %d, want 5000 with restarting disabled", w.N())
+	}
+}
+
+func TestWindowedSeedCarriesMoments(t *testing.T) {
+	w := NewWindowed(100, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		w.Observe(5 + rng.NormFloat64())
+	}
+	preMean := w.Mean()
+	w.Observe(5) // triggers restart
+	if math.Abs(w.Mean()-preMean) > 1.0 {
+		t.Errorf("mean jumped from %v to %v across restart", preMean, w.Mean())
+	}
+	if w.Variance() < 0 {
+		t.Errorf("variance %v negative after restart", w.Variance())
+	}
+}
+
+func TestWindowedTracksDistributionShift(t *testing.T) {
+	// After a restart plus one window of new data, the estimate should be
+	// dominated by the new regime.
+	w := NewWindowed(50, 5)
+	for i := 0; i < 50; i++ {
+		w.Observe(0)
+	}
+	for i := 0; i < 200; i++ {
+		w.Observe(100)
+	}
+	if w.Mean() < 90 {
+		t.Errorf("Mean() = %v, want ≥ 90 after regime shift", w.Mean())
+	}
+}
+
+func TestWindowedNegativeSeedN(t *testing.T) {
+	w := NewWindowed(5, -1)
+	for i := 0; i < 6; i++ {
+		w.Observe(float64(i))
+	}
+	if w.N() != 1 {
+		t.Errorf("N() = %d, want 1 (restart with no seed)", w.N())
+	}
+}
+
+func TestOnlineStdDev(t *testing.T) {
+	var o Online
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		o.Observe(v)
+	}
+	want := math.Sqrt(2)
+	if !almostEqual(o.StdDev(), want, 1e-12) {
+		t.Errorf("StdDev() = %v, want %v", o.StdDev(), want)
+	}
+}
+
+func TestWindowedReset(t *testing.T) {
+	w := NewWindowed(10, 2)
+	w.Observe(3)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Errorf("after Reset: n=%d mean=%v, want zeros", w.N(), w.Mean())
+	}
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{name: "min", q: 0, want: 1},
+		{name: "q1", q: 0.25, want: 2},
+		{name: "median", q: 0.5, want: 3},
+		{name: "q3", q: 0.75, want: 4},
+		{name: "max", q: 1, want: 5},
+		{name: "interpolated", q: 0.1, want: 1.4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Quantile(values, tt.q); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(nil) = %v, want NaN", got)
+	}
+	if got := Quantile([]float64{1, 2}, -0.1); !math.IsNaN(got) {
+		t.Errorf("Quantile(q<0) = %v, want NaN", got)
+	}
+	if got := Quantile([]float64{1, 2}, 1.1); !math.IsNaN(got) {
+		t.Errorf("Quantile(q>1) = %v, want NaN", got)
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("Quantile(single) = %v, want 7", got)
+	}
+	if got := Quantile([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(q=NaN) = %v, want NaN", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	values := []float64{3, 1, 2}
+	Quantile(values, 0.5)
+	if values[0] != 3 || values[1] != 1 || values[2] != 2 {
+		t.Errorf("input mutated: %v", values)
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	if got := Quantile([]float64{9, 1, 5, 3, 7}, 0.5); got != 5 {
+		t.Errorf("median of unsorted = %v, want 5", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	values := make([]float64, 101)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		if got := Percentile(values, p); !almostEqual(got, p, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, qRaw float64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		q := math.Abs(math.Mod(qRaw, 1))
+		got := Quantile(values, q)
+		lo, hi := values[0], values[0]
+		for _, v := range values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 10
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0001; q += 0.05 {
+		qq := math.Min(q, 1)
+		got := Quantile(values, qq)
+		if got < prev-1e-12 {
+			t.Fatalf("quantile decreased at q=%v: %v < %v", qq, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestNewP2QuantileValidation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(q); err == nil {
+			t.Errorf("NewP2Quantile(%v) succeeded, want error", q)
+		}
+	}
+	if _, err := NewP2Quantile(0.5); err != nil {
+		t.Errorf("NewP2Quantile(0.5) error: %v", err)
+	}
+}
+
+func TestP2QuantileEmpty(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Value(); !math.IsNaN(got) {
+		t.Errorf("Value() on empty stream = %v, want NaN", got)
+	}
+}
+
+func TestP2QuantileFewObservations(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(3)
+	p.Observe(1)
+	p.Observe(2)
+	if got := p.Value(); got != 2 {
+		t.Errorf("Value() with 3 observations = %v, want exact median 2", got)
+	}
+	if p.N() != 3 {
+		t.Errorf("N() = %d, want 3", p.N())
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	tests := []struct {
+		name string
+		q    float64
+		draw func(*rand.Rand) float64
+	}{
+		{name: "uniform median", q: 0.5, draw: func(r *rand.Rand) float64 { return r.Float64() }},
+		{name: "uniform p90", q: 0.9, draw: func(r *rand.Rand) float64 { return r.Float64() }},
+		{name: "normal p95", q: 0.95, draw: func(r *rand.Rand) float64 { return r.NormFloat64() }},
+		{name: "exp p99", q: 0.99, draw: func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			p, err := NewP2Quantile(tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = tt.draw(rng)
+				p.Observe(values[i])
+			}
+			exact := Quantile(values, tt.q)
+			spread := Quantile(values, 0.99) - Quantile(values, 0.01)
+			if math.Abs(p.Value()-exact) > 0.05*spread+1e-9 {
+				t.Errorf("P2 estimate %v far from exact %v (spread %v)", p.Value(), exact, spread)
+			}
+		})
+	}
+}
+
+func TestP2QuantileSortedAndReversedStreams(t *testing.T) {
+	for _, name := range []string{"ascending", "descending"} {
+		t.Run(name, func(t *testing.T) {
+			p, err := NewP2Quantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 10001
+			for i := 0; i < n; i++ {
+				v := float64(i)
+				if name == "descending" {
+					v = float64(n - i)
+				}
+				p.Observe(v)
+			}
+			// True median is ~n/2; P² should land within a few percent.
+			if math.Abs(p.Value()-float64(n)/2) > 0.05*float64(n) {
+				t.Errorf("median estimate %v, want ≈ %v", p.Value(), float64(n)/2)
+			}
+		})
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := QuantileSorted(sorted, 0.5); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("QuantileSorted = %v, want 2.5", got)
+	}
+	if got := QuantileSorted(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("QuantileSorted(nil) = %v, want NaN", got)
+	}
+}

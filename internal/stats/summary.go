@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BoxSummary is the five-number summary (plus mean and count) used to render
+// the box plots of Figure 6: quartiles with 1.5·IQR whiskers clipped to the
+// data range.
+type BoxSummary struct {
+	N           int
+	Min, Max    float64
+	Q1, Med, Q3 float64
+	LowWhisker  float64
+	HighWhisker float64
+	Mean        float64
+}
+
+// Summarize computes a BoxSummary of values. It returns a zero summary with
+// N = 0 for empty input. Values must have finite pairwise differences
+// (max − min below math.MaxFloat64); beyond that float64 arithmetic itself
+// overflows.
+func Summarize(values []float64) BoxSummary {
+	if len(values) == 0 {
+		return BoxSummary{}
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+
+	// Incremental mean (Welford): a plain sum overflows for values near
+	// ±MaxFloat64, pushing the mean outside [min, max].
+	var mean Online
+	for _, v := range sorted {
+		mean.Observe(v)
+	}
+	s := BoxSummary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Q1:   quantileSorted(sorted, 0.25),
+		Med:  quantileSorted(sorted, 0.5),
+		Q3:   quantileSorted(sorted, 0.75),
+		Mean: mean.Mean(),
+	}
+	iqr := s.Q3 - s.Q1
+	s.LowWhisker = math.Max(s.Min, s.Q1-1.5*iqr)
+	s.HighWhisker = math.Min(s.Max, s.Q3+1.5*iqr)
+	return s
+}
+
+// String renders the summary as a compact single-line report.
+func (s BoxSummary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		s.N, s.Min, s.Q1, s.Med, s.Q3, s.Max, s.Mean)
+}
+
+// Histogram counts values into equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the first/last bin so totals are
+// preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over [lo, hi].
+// It returns an error if bins < 1 or hi ≤ lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs ≥ 1 bin, got %d", bins)
+	}
+	if hi <= lo || math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%v, %v]", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Observe adds one value to the histogram.
+func (h *Histogram) Observe(v float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total reports the number of observed values.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction reports the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Mean computes the arithmetic mean of a slice; it returns NaN for an empty
+// slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws ranks from a generalized Zipf distribution over {0, …, n−1}
+// where rank i has weight 1/(i+1)^s. Unlike math/rand.Zipf it supports any
+// skew s ≥ 0 (s = 0 is the uniform distribution), which the coordination
+// experiment (Fig. 8) needs because its x-axis starts at skewness 0.
+//
+// Sampling uses inverse-transform over the precomputed CDF (O(log n) per
+// draw), which is plenty fast for the population sizes in this repo.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf sampler over n ranks with skew s, driven by rng.
+// It returns an error if n < 1, s < 0, or rng is nil.
+func NewZipf(rng *rand.Rand, n int, s float64) (*Zipf, error) {
+	weights, err := ZipfWeights(n, s)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("stats: zipf sampler requires a rand source")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cdf[i] = sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// ZipfWeights returns the normalized probability of each rank in {0, …,
+// n−1} under weight 1/(i+1)^s. It returns an error if n < 1 or s < 0.
+func ZipfWeights(n int, s float64) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: zipf needs n ≥ 1, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("stats: zipf needs skew ≥ 0, got %v", s)
+	}
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		w := math.Pow(float64(i+1), -s)
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return weights, nil
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfWeightsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		s       float64
+		wantErr bool
+	}{
+		{name: "valid", n: 10, s: 1, wantErr: false},
+		{name: "uniform", n: 5, s: 0, wantErr: false},
+		{name: "single rank", n: 1, s: 2, wantErr: false},
+		{name: "zero ranks", n: 0, s: 1, wantErr: true},
+		{name: "negative skew", n: 10, s: -1, wantErr: true},
+		{name: "nan skew", n: 10, s: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ZipfWeights(tt.n, tt.s)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("ZipfWeights(%d, %v) error = %v, wantErr %v", tt.n, tt.s, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		weights, err := ZipfWeights(100, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, w := range weights {
+			sum += w
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("s=%v: weights sum to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestZipfWeightsUniformWhenSkewZero(t *testing.T) {
+	weights, err := ZipfWeights(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if !almostEqual(w, 0.25, 1e-12) {
+			t.Errorf("weight[%d] = %v, want 0.25", i, w)
+		}
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	weights, err := ZipfWeights(50, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(weights); i++ {
+		if weights[i] > weights[i-1] {
+			t.Fatalf("weights not non-increasing at %d: %v > %v", i, weights[i], weights[i-1])
+		}
+	}
+}
+
+func TestZipfWeightsClassicRatios(t *testing.T) {
+	// With s = 1, weight of rank 0 should be twice that of rank 1.
+	weights, err := ZipfWeights(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(weights[0]/weights[1], 2, 1e-9) {
+		t.Errorf("rank0/rank1 = %v, want 2", weights[0]/weights[1])
+	}
+}
+
+func TestNewZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(nil, 10, 1); err == nil {
+		t.Error("NewZipf(nil rng) succeeded, want error")
+	}
+	if _, err := NewZipf(rng, 0, 1); err == nil {
+		t.Error("NewZipf(n=0) succeeded, want error")
+	}
+	if _, err := NewZipf(rng, 10, -0.1); err == nil {
+		t.Error("NewZipf(s<0) succeeded, want error")
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z, err := NewZipf(rng, 7, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		r := z.Draw()
+		if r < 0 || r >= 7 {
+			t.Fatalf("Draw() = %d out of [0, 7)", r)
+		}
+	}
+}
+
+func TestZipfDrawMatchesWeights(t *testing.T) {
+	const n, draws = 10, 200000
+	rng := rand.New(rand.NewSource(3))
+	z, err := NewZipf(rng, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	weights, err := ZipfWeights(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-weights[i]) > 0.01 {
+			t.Errorf("rank %d frequency %v, want ≈ %v", i, got, weights[i])
+		}
+	}
+}
+
+func TestZipfDeterministicWithSeed(t *testing.T) {
+	mk := func() []int {
+		rng := rand.New(rand.NewSource(42))
+		z, err := NewZipf(rng, 20, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 100)
+		for i := range out {
+			out[i] = z.Draw()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

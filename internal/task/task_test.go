@@ -1,0 +1,233 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func validSpec() Spec {
+	return Spec{
+		ID:              "t1",
+		DefaultInterval: 15 * time.Second,
+		MaxInterval:     10,
+		Err:             0.01,
+		Threshold:       100,
+		Monitors:        4,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{name: "empty id", mutate: func(s *Spec) { s.ID = "" }},
+		{name: "zero interval", mutate: func(s *Spec) { s.DefaultInterval = 0 }},
+		{name: "negative interval", mutate: func(s *Spec) { s.DefaultInterval = -time.Second }},
+		{name: "zero max interval", mutate: func(s *Spec) { s.MaxInterval = 0 }},
+		{name: "negative err", mutate: func(s *Spec) { s.Err = -0.1 }},
+		{name: "err above one", mutate: func(s *Spec) { s.Err = 1.1 }},
+		{name: "nan err", mutate: func(s *Spec) { s.Err = math.NaN() }},
+		{name: "nan threshold", mutate: func(s *Spec) { s.Threshold = math.NaN() }},
+		{name: "no monitors", mutate: func(s *Spec) { s.Monitors = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validSpec()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid spec accepted, want error")
+			}
+		})
+	}
+}
+
+func TestThresholdForSelectivity(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	got, err := ThresholdForSelectivity(values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99th percentile of 0..999 ≈ 989.
+	if math.Abs(got-989) > 1 {
+		t.Errorf("k=1 threshold = %v, want ≈ 989", got)
+	}
+	got10, err := ThresholdForSelectivity(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got10 >= got {
+		t.Errorf("higher selectivity should lower the threshold: k=10 → %v, k=1 → %v", got10, got)
+	}
+}
+
+func TestThresholdForSelectivityValidation(t *testing.T) {
+	if _, err := ThresholdForSelectivity(nil, 1); err == nil {
+		t.Error("empty values accepted, want error")
+	}
+	for _, k := range []float64{0, 100, -5, 200, math.NaN()} {
+		if _, err := ThresholdForSelectivity([]float64{1, 2}, k); err == nil {
+			t.Errorf("selectivity %v accepted, want error", k)
+		}
+	}
+}
+
+func TestSplitEven(t *testing.T) {
+	locals, err := SplitEven(800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's example: T = 800 over 2 monitors → T1 = T2 = 400.
+	if len(locals) != 2 || locals[0] != 400 || locals[1] != 400 {
+		t.Errorf("SplitEven(800, 2) = %v, want [400 400]", locals)
+	}
+	if _, err := SplitEven(100, 0); err == nil {
+		t.Error("SplitEven(n=0) accepted, want error")
+	}
+}
+
+func TestSplitEvenSumsToGlobal(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 800} {
+		locals, err := SplitEven(123.456, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, l := range locals {
+			sum += l
+		}
+		if math.Abs(sum-123.456) > 1e-9 {
+			t.Errorf("n=%d: locals sum to %v, want 123.456", n, sum)
+		}
+	}
+}
+
+func TestSplitWeighted(t *testing.T) {
+	locals, err := SplitWeighted(100, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locals[0] != 25 || locals[1] != 75 {
+		t.Errorf("SplitWeighted = %v, want [25 75]", locals)
+	}
+}
+
+func TestSplitWeightedValidation(t *testing.T) {
+	if _, err := SplitWeighted(100, nil); err == nil {
+		t.Error("empty weights accepted, want error")
+	}
+	if _, err := SplitWeighted(100, []float64{1, -1}); err == nil {
+		t.Error("negative weight accepted, want error")
+	}
+	if _, err := SplitWeighted(100, []float64{0, 0}); err == nil {
+		t.Error("zero-sum weights accepted, want error")
+	}
+	if _, err := SplitWeighted(100, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted, want error")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var a Accuracy
+	if !math.IsNaN(a.MisdetectionRate()) {
+		t.Errorf("MisdetectionRate on empty = %v, want NaN", a.MisdetectionRate())
+	}
+	if !math.IsNaN(a.SamplingRatio()) {
+		t.Errorf("SamplingRatio on empty = %v, want NaN", a.SamplingRatio())
+	}
+	if !math.IsNaN(a.EpisodeDetectionRate()) {
+		t.Errorf("EpisodeDetectionRate on empty = %v, want NaN", a.EpisodeDetectionRate())
+	}
+}
+
+func TestAccuracyCounting(t *testing.T) {
+	var a Accuracy
+	// 10 steps, 5 sampled, 4 alerts of which 2 sampled.
+	steps := []struct{ violating, sampled bool }{
+		{false, true},
+		{false, false},
+		{true, true},
+		{true, false},
+		{false, true},
+		{true, false},
+		{true, true},
+		{false, false},
+		{false, true},
+		{false, false},
+	}
+	for _, s := range steps {
+		a.Record(s.violating, s.sampled)
+	}
+	if a.Alerts() != 4 {
+		t.Errorf("Alerts() = %d, want 4", a.Alerts())
+	}
+	if a.Missed() != 2 {
+		t.Errorf("Missed() = %d, want 2", a.Missed())
+	}
+	if got := a.MisdetectionRate(); got != 0.5 {
+		t.Errorf("MisdetectionRate() = %v, want 0.5", got)
+	}
+	if got := a.SamplingRatio(); got != 0.5 {
+		t.Errorf("SamplingRatio() = %v, want 0.5", got)
+	}
+	total, sampled := a.Steps()
+	if total != 10 || sampled != 5 {
+		t.Errorf("Steps() = (%d, %d), want (10, 5)", total, sampled)
+	}
+}
+
+func TestAccuracyEpisodes(t *testing.T) {
+	var a Accuracy
+	// Episode 1: steps 2-3, sampled at step 2 → hit.
+	// Episode 2: steps 5-6, never sampled → miss.
+	pattern := []struct{ violating, sampled bool }{
+		{false, true},
+		{false, true},
+		{true, true},
+		{true, false},
+		{false, false},
+		{true, false},
+		{true, false},
+		{false, true},
+	}
+	for _, s := range pattern {
+		a.Record(s.violating, s.sampled)
+	}
+	if got := a.EpisodeDetectionRate(); got != 0.5 {
+		t.Errorf("EpisodeDetectionRate() = %v, want 0.5", got)
+	}
+}
+
+func TestAccuracyTrailingEpisode(t *testing.T) {
+	var a Accuracy
+	a.Record(true, true) // run ends mid-episode
+	if got := a.EpisodeDetectionRate(); got != 1 {
+		t.Errorf("EpisodeDetectionRate() = %v, want 1 (trailing episode counted)", got)
+	}
+	// Calling it must not mutate state: the episode is still open.
+	a.Record(true, false)
+	a.Record(false, false)
+	if got := a.EpisodeDetectionRate(); got != 1 {
+		t.Errorf("EpisodeDetectionRate() after continuation = %v, want 1", got)
+	}
+}
+
+func TestAccuracyAllDetected(t *testing.T) {
+	var a Accuracy
+	for i := 0; i < 100; i++ {
+		a.Record(i%10 == 0, true)
+	}
+	if got := a.MisdetectionRate(); got != 0 {
+		t.Errorf("MisdetectionRate() = %v, want 0 when everything sampled", got)
+	}
+	if got := a.SamplingRatio(); got != 1 {
+		t.Errorf("SamplingRatio() = %v, want 1", got)
+	}
+}

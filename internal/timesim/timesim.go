@@ -1,0 +1,244 @@
+// Package timesim implements a deterministic discrete-event simulator used
+// to run datacenter-scale monitoring experiments in virtual time.
+//
+// Volley's algorithms only care about the ordering of sampling operations
+// and message deliveries, not about wall-clock durations, so driving them
+// from a virtual clock reproduces the paper's 800-VM experiments exactly and
+// repeatably on a single machine.
+//
+// Events scheduled for the same virtual time fire in the order they were
+// scheduled (FIFO tie-breaking), which keeps runs deterministic regardless
+// of heap internals.
+package timesim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled at a point of virtual time.
+type Event func(now time.Duration)
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct {
+	item *eventItem
+}
+
+// Cancel prevents the timer's event from firing. Cancelling an already-fired
+// or already-cancelled timer is a no-op. Cancel on a zero Timer is also a
+// no-op.
+func (t Timer) Cancel() {
+	if t.item != nil {
+		t.item.cancelled = true
+	}
+}
+
+type eventItem struct {
+	at        time.Duration
+	seq       uint64
+	fn        Event
+	cancelled bool
+}
+
+type eventQueue []*eventItem
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*eventItem)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// Sim is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all scheduling must happen from the driving goroutine or
+// from within event callbacks.
+type Sim struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// New returns a simulator with its clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending reports how many events are scheduled (including cancelled ones
+// that have not yet been discarded).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// (before Now) is an error: the simulator cannot rewind.
+func (s *Sim) At(at time.Duration, fn Event) (Timer, error) {
+	if fn == nil {
+		return Timer{}, fmt.Errorf("timesim: nil event")
+	}
+	if at < s.now {
+		return Timer{}, fmt.Errorf("timesim: schedule at %v before now %v", at, s.now)
+	}
+	item := &eventItem{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, item)
+	return Timer{item: item}, nil
+}
+
+// After schedules fn d after the current virtual time. Negative d is an
+// error.
+func (s *Sim) After(d time.Duration, fn Event) (Timer, error) {
+	if d < 0 {
+		return Timer{}, fmt.Errorf("timesim: negative delay %v", d)
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now. The returned Ticker keeps rescheduling itself until
+// stopped. Period must be positive.
+func (s *Sim) Every(period time.Duration, fn Event) (*Ticker, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("timesim: nil event")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("timesim: non-positive period %v", period)
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	if err := t.schedule(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Step runs the earliest pending event. It reports whether an event ran
+// (false when the queue is empty).
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		item := heap.Pop(&s.queue).(*eventItem)
+		if item.cancelled {
+			continue
+		}
+		s.now = item.at
+		item.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the clock would pass deadline or the queue
+// drains. Events scheduled exactly at deadline do fire. The clock is left at
+// min(deadline, time of last event); if the queue drains early the clock
+// still advances to deadline so repeated RunUntil calls compose.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run drains the entire event queue. Use with care: self-rescheduling
+// tickers make the queue endless, so prefer RunUntil for simulations that
+// contain periodic activity.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *Sim) peek() *eventItem {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Ticker repeatedly fires an event with a fixed or dynamically adjusted
+// period. The monitoring layer uses SetPeriod to change a monitor's
+// sampling interval on the fly: the new period takes effect for the next
+// tick after the change.
+type Ticker struct {
+	sim     *Sim
+	period  time.Duration
+	fn      Event
+	timer   Timer
+	stopped bool
+}
+
+// Period reports the ticker's current period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// SetPeriod changes the period used to schedule subsequent ticks. The
+// pending tick (already scheduled) is unaffected. Non-positive periods are
+// rejected.
+func (t *Ticker) SetPeriod(period time.Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("timesim: non-positive period %v", period)
+	}
+	t.period = period
+	return nil
+}
+
+// Reschedule cancels the pending tick and schedules the next one a full
+// (possibly updated) period from now. Use after SetPeriod when the change
+// should take effect immediately rather than after the pending tick.
+func (t *Ticker) Reschedule() error {
+	if t.stopped {
+		return fmt.Errorf("timesim: ticker stopped")
+	}
+	t.timer.Cancel()
+	return t.schedule()
+}
+
+// Stop cancels the ticker. A stopped ticker never fires again.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.timer.Cancel()
+}
+
+func (t *Ticker) schedule() error {
+	timer, err := t.sim.After(t.period, t.tick)
+	if err != nil {
+		return err
+	}
+	t.timer = timer
+	return nil
+}
+
+func (t *Ticker) tick(now time.Duration) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if t.stopped { // fn may have stopped us
+		return
+	}
+	// Self-reschedule; After cannot fail here because period > 0.
+	if err := t.schedule(); err != nil {
+		panic(fmt.Sprintf("timesim: reschedule: %v", err))
+	}
+}

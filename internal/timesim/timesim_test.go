@@ -1,0 +1,314 @@
+package timesim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Errorf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestAtFiresInOrder(t *testing.T) {
+	s := New()
+	var order []int
+	mustAt := func(at time.Duration, id int) {
+		t.Helper()
+		if _, err := s.At(at, func(time.Duration) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3*time.Second, 3)
+	mustAt(1*time.Second, 1)
+	mustAt(2*time.Second, 2)
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		id := i
+		if _, err := s.At(time.Second, func(time.Duration) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAtRejectsPastAndNil(t *testing.T) {
+	s := New()
+	if _, err := s.At(time.Second, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.At(500*time.Millisecond, func(time.Duration) {}); err == nil {
+		t.Error("scheduling in the past succeeded, want error")
+	}
+	if _, err := s.At(2*time.Second, nil); err == nil {
+		t.Error("nil event accepted, want error")
+	}
+}
+
+func TestAfterRejectsNegative(t *testing.T) {
+	s := New()
+	if _, err := s.After(-time.Second, func(time.Duration) {}); err == nil {
+		t.Error("negative delay accepted, want error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	timer, err := s.After(time.Second, func(time.Duration) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel and zero-timer cancel are no-ops.
+	timer.Cancel()
+	Timer{}.Cancel()
+}
+
+func TestEventSchedulingFromCallback(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	if _, err := s.After(time.Second, func(now time.Duration) {
+		times = append(times, now)
+		if _, err := s.After(2*time.Second, func(now time.Duration) {
+			times = append(times, now)
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Errorf("times = %v, want [1s, 3s]", times)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for i := 1; i <= 5; i++ {
+		at := time.Duration(i) * time.Second
+		if _, err := s.At(at, func(now time.Duration) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3 (deadline inclusive)", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 5 {
+		t.Errorf("fired %d events after second run, want 5", len(fired))
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now() = %v, want 10s (advances past last event)", s.Now())
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42 * time.Second)
+	if s.Now() != 42*time.Second {
+		t.Errorf("Now() = %v, want 42s", s.Now())
+	}
+}
+
+func TestStepReturnsFalseOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step() on empty queue = true, want false")
+	}
+}
+
+func TestEveryBasicPeriodic(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	ticker, err := s.Every(time.Second, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(5 * time.Second)
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i+1) * time.Second; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	ticker.Stop()
+	s.RunUntil(10 * time.Second)
+	if len(ticks) != 5 {
+		t.Errorf("ticker fired after Stop: %d ticks", len(ticks))
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, func(time.Duration) {}); err == nil {
+		t.Error("zero period accepted, want error")
+	}
+	if _, err := s.Every(-time.Second, func(time.Duration) {}); err == nil {
+		t.Error("negative period accepted, want error")
+	}
+	if _, err := s.Every(time.Second, nil); err == nil {
+		t.Error("nil event accepted, want error")
+	}
+}
+
+func TestTickerSetPeriodTakesEffectNextTick(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	ticker, err := s.Every(time.Second, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the second tick, switch to a 3 s period.
+	if _, err := s.At(1500*time.Millisecond, func(time.Duration) {
+		if err := ticker.SetPeriod(3 * time.Second); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(9 * time.Second)
+	// Ticks: 1s, 2s (pending tick unaffected), then 5s, 8s.
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 5 * time.Second, 8 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerRescheduleImmediate(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	ticker, err := s.Every(time.Second, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(1500*time.Millisecond, func(time.Duration) {
+		if err := ticker.SetPeriod(4 * time.Second); err != nil {
+			t.Error(err)
+		}
+		if err := ticker.Reschedule(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(10 * time.Second)
+	// Tick at 1s; reschedule at 1.5s cancels the 2s tick; next ticks 5.5s, 9.5s.
+	want := []time.Duration{1 * time.Second, 5500 * time.Millisecond, 9500 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var ticker *Ticker
+	ticker, err := s.Every(time.Second, func(time.Duration) {
+		count++
+		if count == 3 {
+			ticker.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestTickerSetPeriodValidation(t *testing.T) {
+	s := New()
+	ticker, err := s.Every(time.Second, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ticker.SetPeriod(0); err == nil {
+		t.Error("SetPeriod(0) accepted, want error")
+	}
+	if ticker.Period() != time.Second {
+		t.Errorf("Period() = %v, want 1s after rejected change", ticker.Period())
+	}
+	ticker.Stop()
+	if err := ticker.Reschedule(); err == nil {
+		t.Error("Reschedule on stopped ticker accepted, want error")
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		s := New()
+		var fired []time.Duration
+		for i := 0; i < 1000; i++ {
+			at := time.Duration((i*7919)%997) * time.Millisecond
+			if _, err := s.At(at, func(now time.Duration) { fired = append(fired, now) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("events out of order at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+}

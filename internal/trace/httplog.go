@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"volley/internal/stats"
+)
+
+// AccessConfig parameterizes the synthetic web-access-log generator that
+// stands in for the WorldCup'98 traces: a strongly diurnal request stream
+// with Zipf-distributed object popularity and occasional flash crowds.
+type AccessConfig struct {
+	// Objects is the number of distinct objects (pages, videos) served.
+	Objects int
+	// PopularitySkew is the Zipf skew of object popularity.
+	PopularitySkew float64
+	// MeanRequestsPerWindow is the average request count per window at the
+	// diurnal baseline.
+	MeanRequestsPerWindow float64
+	// Diurnal modulates the arrival rate. A zero value disables it.
+	Diurnal Diurnal
+	// FlashProb is the per-window probability that a flash crowd starts.
+	FlashProb float64
+	// FlashWindows is the flash crowd duration in windows.
+	FlashWindows int
+	// FlashMultiplier scales the arrival rate during a flash crowd; the
+	// crowd also concentrates on a single hot object.
+	FlashMultiplier float64
+	// FlashFocus is the fraction of flash-crowd requests that hit the hot
+	// object (the rest follow the normal popularity distribution).
+	FlashFocus float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultAccessConfig returns a configuration shaped like the application
+// workload in the evaluation: bursty arrivals, pronounced diurnal cycle.
+func DefaultAccessConfig(objects int, seed int64) AccessConfig {
+	return AccessConfig{
+		Objects:               objects,
+		PopularitySkew:        1.1,
+		MeanRequestsPerWindow: 120,
+		Diurnal:               Diurnal{Period: 86400, Base: 1, Amplitude: 0.9}, // 24h of 1s windows
+		FlashProb:             0.0005,
+		FlashWindows:          120,
+		FlashMultiplier:       4,
+		FlashFocus:            0.6,
+		Seed:                  seed,
+	}
+}
+
+// AccessGen produces one window of per-object access counts at a time.
+type AccessGen struct {
+	cfg      AccessConfig
+	rng      *rand.Rand
+	objZipf  *stats.Zipf
+	window   int
+	hot      int
+	flashTTL int
+}
+
+// NewAccessGen validates cfg and returns a generator positioned before the
+// first window.
+func NewAccessGen(cfg AccessConfig) (*AccessGen, error) {
+	if cfg.Objects < 1 {
+		return nil, fmt.Errorf("trace: access generator needs ≥ 1 object, got %d", cfg.Objects)
+	}
+	if err := checkPositive("MeanRequestsPerWindow", cfg.MeanRequestsPerWindow); err != nil {
+		return nil, err
+	}
+	if cfg.FlashProb < 0 || cfg.FlashProb > 1 {
+		return nil, fmt.Errorf("trace: FlashProb %v outside [0, 1]", cfg.FlashProb)
+	}
+	if cfg.FlashProb > 0 {
+		if cfg.FlashWindows < 1 {
+			return nil, fmt.Errorf("trace: FlashWindows must be ≥ 1 when flash crowds enabled")
+		}
+		if cfg.FlashMultiplier < 1 {
+			return nil, fmt.Errorf("trace: FlashMultiplier %v must be ≥ 1", cfg.FlashMultiplier)
+		}
+		if cfg.FlashFocus < 0 || cfg.FlashFocus > 1 {
+			return nil, fmt.Errorf("trace: FlashFocus %v outside [0, 1]", cfg.FlashFocus)
+		}
+	}
+	rng := validateSeeded(cfg.Seed)
+	zipf, err := stats.NewZipf(rng, cfg.Objects, cfg.PopularitySkew)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessGen{cfg: cfg, rng: rng, objZipf: zipf}, nil
+}
+
+// NextWindow advances one window and returns per-object access counts for
+// it. Objects with zero accesses are absent from the map.
+func (g *AccessGen) NextWindow() map[int]int {
+	level := 1.0
+	if g.cfg.Diurnal.Period > 0 {
+		level = g.cfg.Diurnal.At(g.window)
+	}
+	mean := g.cfg.MeanRequestsPerWindow * level
+
+	if g.flashTTL == 0 && g.cfg.FlashProb > 0 && g.rng.Float64() < g.cfg.FlashProb {
+		g.hot = g.objZipf.Draw()
+		g.flashTTL = g.cfg.FlashWindows
+	}
+	flash := g.flashTTL > 0
+	if flash {
+		mean *= g.cfg.FlashMultiplier
+		g.flashTTL--
+	}
+
+	n := Poisson(g.rng, mean)
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		obj := g.objZipf.Draw()
+		if flash && g.rng.Float64() < g.cfg.FlashFocus {
+			obj = g.hot
+		}
+		counts[obj]++
+	}
+	g.window++
+	return counts
+}
+
+// Window reports how many windows have been generated.
+func (g *AccessGen) Window() int { return g.window }
+
+// ActiveFlash reports the hot object of the in-progress flash crowd, if
+// any.
+func (g *AccessGen) ActiveFlash() (object int, ok bool) {
+	if g.flashTTL > 0 {
+		return g.hot, true
+	}
+	return 0, false
+}

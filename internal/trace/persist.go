@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dataset is a persistable bundle of generated series: the fixed artifact
+// an experiment can be re-run against (the synthetic analogue of archiving
+// the netflow traces an evaluation used).
+type Dataset struct {
+	// Kind labels the workload family ("netflow", "sysmetrics", …).
+	Kind string
+	// Names labels each series.
+	Names []string
+	// Series holds one value per step per series.
+	Series [][]float64
+	// Seed and Params record provenance for reproducibility checks.
+	Seed   int64
+	Params map[string]string
+}
+
+// Validate reports whether the dataset is structurally sound.
+func (d *Dataset) Validate() error {
+	if d.Kind == "" {
+		return fmt.Errorf("trace: dataset without kind")
+	}
+	if len(d.Series) == 0 {
+		return fmt.Errorf("trace: dataset %q has no series", d.Kind)
+	}
+	if len(d.Names) != len(d.Series) {
+		return fmt.Errorf("trace: dataset %q has %d names for %d series",
+			d.Kind, len(d.Names), len(d.Series))
+	}
+	steps := len(d.Series[0])
+	if steps == 0 {
+		return fmt.Errorf("trace: dataset %q has empty series", d.Kind)
+	}
+	for i, s := range d.Series {
+		if len(s) != steps {
+			return fmt.Errorf("trace: dataset %q series %d has %d steps, others %d",
+				d.Kind, i, len(s), steps)
+		}
+	}
+	return nil
+}
+
+// Steps reports the number of steps per series.
+func (d *Dataset) Steps() int {
+	if len(d.Series) == 0 {
+		return 0
+	}
+	return len(d.Series[0])
+}
+
+// Write encodes the dataset with gob.
+func (d *Dataset) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// ReadDataset decodes a dataset written by Write and validates it.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode dataset: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveDataset writes the dataset to a file, atomically (write + rename).
+func SaveDataset(path string, d *Dataset) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := d.Write(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadDataset reads a dataset from a file.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(bufio.NewReader(f))
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MetricConfig describes one synthetic system-level metric stream: an AR(1)
+// process around a (possibly diurnal) level, with additive noise, rare
+// spikes and clamping to a physical range. The 66-metric standard set
+// (StandardMetrics) mirrors the variety in the production dataset the paper
+// ports: utilizations, rates and queue-like metrics with different
+// volatilities.
+type MetricConfig struct {
+	// Name identifies the metric (e.g. "cpu.idle").
+	Name string
+	// AR is the autoregressive coefficient in [0, 1): higher means the
+	// deviation from the level decays more slowly (smoother series).
+	AR float64
+	// Level is the mean value of the series.
+	Level float64
+	// DiurnalAmp and Period add a day/night cycle around Level.
+	DiurnalAmp float64
+	Period     int
+	// Noise is the standard deviation of the per-step innovation.
+	Noise float64
+	// SpikeProb is the per-step probability of an additive spike.
+	SpikeProb float64
+	// SpikeMag is the mean spike magnitude (heavy-tailed around it).
+	SpikeMag float64
+	// Min and Max clamp the series to a physical range (e.g. 0–100 for a
+	// utilization percentage). Max must exceed Min.
+	Min, Max float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// MetricStream generates one metric series step by step.
+type MetricStream struct {
+	cfg      MetricConfig
+	rng      *rand.Rand
+	dev      float64 // AR(1) deviation from the level
+	spikeTTL int
+	spikeVal float64
+	step     int
+}
+
+// NewMetricStream validates cfg and returns a stream positioned before the
+// first step.
+func NewMetricStream(cfg MetricConfig) (*MetricStream, error) {
+	if cfg.AR < 0 || cfg.AR >= 1 {
+		return nil, fmt.Errorf("trace: AR coefficient %v outside [0, 1)", cfg.AR)
+	}
+	if cfg.Noise < 0 {
+		return nil, fmt.Errorf("trace: negative noise %v", cfg.Noise)
+	}
+	if cfg.SpikeProb < 0 || cfg.SpikeProb > 1 {
+		return nil, fmt.Errorf("trace: SpikeProb %v outside [0, 1]", cfg.SpikeProb)
+	}
+	if cfg.Max <= cfg.Min {
+		return nil, fmt.Errorf("trace: metric range [%v, %v] empty", cfg.Min, cfg.Max)
+	}
+	return &MetricStream{cfg: cfg, rng: validateSeeded(cfg.Seed)}, nil
+}
+
+// Name reports the metric's name.
+func (m *MetricStream) Name() string { return m.cfg.Name }
+
+// Next advances the stream one step and returns the metric value.
+func (m *MetricStream) Next() float64 {
+	level := m.cfg.Level
+	if m.cfg.Period > 0 {
+		level = Diurnal{Period: m.cfg.Period, Base: m.cfg.Level, Amplitude: m.cfg.DiurnalAmp}.At(m.step)
+	}
+	m.dev = m.cfg.AR*m.dev + m.cfg.Noise*m.rng.NormFloat64()
+
+	if m.spikeTTL == 0 && m.cfg.SpikeProb > 0 && m.rng.Float64() < m.cfg.SpikeProb {
+		m.spikeTTL = 1 + m.rng.Intn(10)
+		m.spikeVal = m.cfg.SpikeMag * (0.5 + m.rng.Float64())
+	}
+	spike := 0.0
+	if m.spikeTTL > 0 {
+		spike = m.spikeVal
+		m.spikeTTL--
+	}
+
+	m.step++
+	v := level + m.dev + spike
+	if v < m.cfg.Min {
+		return m.cfg.Min
+	}
+	if v > m.cfg.Max {
+		return m.cfg.Max
+	}
+	return v
+}
+
+// Step reports how many values have been generated.
+func (m *MetricStream) Step() int { return m.step }
+
+// StandardMetricCount is the number of metrics in the synthetic standard
+// set, matching the 66 system metrics of the paper's dataset.
+const StandardMetricCount = 66
+
+// StandardMetrics builds the 66-metric synthetic dataset for one node. The
+// node seed decorrelates nodes; metrics within a node differ in family
+// (utilization / rate / queue), smoothness, diurnality and spikiness.
+func StandardMetrics(nodeSeed int64) []*MetricStream {
+	streams := make([]*MetricStream, 0, StandardMetricCount)
+	mustStream := func(cfg MetricConfig) {
+		s, err := NewMetricStream(cfg)
+		if err != nil {
+			// All generated configs are valid by construction.
+			panic(fmt.Sprintf("trace: standard metric %q: %v", cfg.Name, err))
+		}
+		streams = append(streams, s)
+	}
+	for i := 0; i < StandardMetricCount; i++ {
+		seed := nodeSeed*1000 + int64(i)
+		switch i % 3 {
+		case 0: // utilization-style: smooth, diurnal, bounded 0–100
+			mustStream(MetricConfig{
+				Name:       fmt.Sprintf("util.%02d", i),
+				AR:         0.9,
+				Level:      30 + float64(i%7)*5,
+				DiurnalAmp: 20,
+				Period:     17280, // 24h of 5s steps
+				Noise:      1.5,
+				SpikeProb:  0.001,
+				SpikeMag:   30,
+				Min:        0,
+				Max:        100,
+				Seed:       seed,
+			})
+		case 1: // rate-style: noisier, diurnal, unbounded above
+			mustStream(MetricConfig{
+				Name:       fmt.Sprintf("rate.%02d", i),
+				AR:         0.6,
+				Level:      200 + float64(i%5)*40,
+				DiurnalAmp: 150,
+				Period:     17280,
+				Noise:      20,
+				SpikeProb:  0.002,
+				SpikeMag:   300,
+				Min:        0,
+				Max:        1e9,
+				Seed:       seed,
+			})
+		default: // queue-style: bursty, weakly diurnal
+			mustStream(MetricConfig{
+				Name:      fmt.Sprintf("queue.%02d", i),
+				AR:        0.8,
+				Level:     10,
+				Noise:     3,
+				SpikeProb: 0.004,
+				SpikeMag:  50,
+				Min:       0,
+				Max:       1e6,
+				Seed:      seed,
+			})
+		}
+	}
+	return streams
+}

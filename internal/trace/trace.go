@@ -1,0 +1,104 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's proprietary datasets (Internet2 netflow traces, a production
+// system-metrics dataset, and the WorldCup'98 HTTP logs). See DESIGN.md §2
+// for the substitution rationale.
+//
+// All generators are deterministic given their seed and are driven in
+// discrete windows, matching the sampling windows of the monitoring layer.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Diurnal models a day/night load cycle: a sinusoid with the given base
+// level, amplitude and period (in steps), never below zero.
+type Diurnal struct {
+	// Period is the cycle length in steps. Zero disables modulation (At
+	// always returns Base).
+	Period int
+	// Base is the mean level of the cycle.
+	Base float64
+	// Amplitude scales the sinusoid; the cycle spans [Base−Amplitude,
+	// Base+Amplitude] before clamping at zero.
+	Amplitude float64
+	// Phase shifts the cycle, in steps.
+	Phase int
+}
+
+// At reports the cycle level at the given step, clamped at zero.
+func (d Diurnal) At(step int) float64 {
+	v := d.Base
+	if d.Period > 0 {
+		angle := 2 * math.Pi * float64(step+d.Phase) / float64(d.Period)
+		v += d.Amplitude * math.Sin(angle)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Poisson draws from a Poisson distribution with the given mean. It uses
+// Knuth's product method for small means and a clamped normal approximation
+// for large ones (error negligible above λ = 30 for this package's
+// purposes). A non-positive or NaN mean yields 0.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// BoundedPareto draws integers from a Pareto-like heavy-tailed distribution
+// with the given shape α > 0, minimum 1 and the given cap. Flow sizes and
+// spike magnitudes use it.
+func BoundedPareto(rng *rand.Rand, alpha float64, cap int) int {
+	if cap < 1 {
+		return 1
+	}
+	if alpha <= 0 || math.IsNaN(alpha) {
+		alpha = 1
+	}
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	v := math.Pow(u, -1/alpha)
+	if v > float64(cap) || math.IsInf(v, 0) {
+		return cap
+	}
+	if v < 1 {
+		return 1
+	}
+	return int(v)
+}
+
+func validateSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func checkPositive(name string, v float64) error {
+	if v <= 0 || math.IsNaN(v) {
+		return fmt.Errorf("trace: %s must be positive, got %v", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,524 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiurnalZeroPeriodIsConstant(t *testing.T) {
+	d := Diurnal{Base: 5, Amplitude: 3}
+	for _, step := range []int{0, 1, 100, 99999} {
+		if got := d.At(step); got != 5 {
+			t.Errorf("At(%d) = %v, want 5", step, got)
+		}
+	}
+}
+
+func TestDiurnalCycles(t *testing.T) {
+	d := Diurnal{Period: 100, Base: 10, Amplitude: 4}
+	if got := d.At(0); got != 10 {
+		t.Errorf("At(0) = %v, want base 10", got)
+	}
+	if got := d.At(25); math.Abs(got-14) > 1e-9 {
+		t.Errorf("At(quarter) = %v, want peak 14", got)
+	}
+	if got := d.At(75); math.Abs(got-6) > 1e-9 {
+		t.Errorf("At(three-quarter) = %v, want trough 6", got)
+	}
+	if got, want := d.At(125), d.At(25); math.Abs(got-want) > 1e-9 {
+		t.Errorf("not periodic: At(125) = %v, At(25) = %v", got, want)
+	}
+}
+
+func TestDiurnalClampsAtZero(t *testing.T) {
+	d := Diurnal{Period: 100, Base: 1, Amplitude: 5}
+	for step := 0; step < 100; step++ {
+		if got := d.At(step); got < 0 {
+			t.Fatalf("At(%d) = %v, want ≥ 0", step, got)
+		}
+	}
+}
+
+func TestDiurnalPhaseShifts(t *testing.T) {
+	base := Diurnal{Period: 100, Base: 10, Amplitude: 4}
+	shifted := Diurnal{Period: 100, Base: 10, Amplitude: 4, Phase: 25}
+	if got, want := shifted.At(0), base.At(25); math.Abs(got-want) > 1e-9 {
+		t.Errorf("phase shift broken: %v != %v", got, want)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Poisson(rng, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := Poisson(rng, -5); got != 0 {
+		t.Errorf("Poisson(-5) = %d, want 0", got)
+	}
+	if got := Poisson(rng, math.NaN()); got != 0 {
+		t.Errorf("Poisson(NaN) = %d, want 0", got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 10, 100} {
+		rng := rand.New(rand.NewSource(2))
+		const n = 50000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(Poisson(rng, lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("λ=%v: mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+0.1 {
+			t.Errorf("λ=%v: variance = %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if got := Poisson(rng, 50); got < 0 {
+			t.Fatalf("Poisson returned negative %d", got)
+		}
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		v := BoundedPareto(rng, 1.3, 100)
+		if v < 1 || v > 100 {
+			t.Fatalf("BoundedPareto = %d outside [1, 100]", v)
+		}
+	}
+	if got := BoundedPareto(rng, 1, 0); got != 1 {
+		t.Errorf("cap 0 → %d, want 1", got)
+	}
+	// Invalid alpha falls back to 1, still in range.
+	if v := BoundedPareto(rng, -2, 10); v < 1 || v > 10 {
+		t.Errorf("invalid alpha → %d outside range", v)
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 100000
+	small, large := 0, 0
+	for i := 0; i < n; i++ {
+		v := BoundedPareto(rng, 1.3, 1000)
+		if v == 1 {
+			small++
+		}
+		if v >= 100 {
+			large++
+		}
+	}
+	if small < n/2 {
+		t.Errorf("only %d/%d draws at minimum; tail too heavy", small, n)
+	}
+	if large == 0 {
+		t.Error("no large draws; tail too light")
+	}
+}
+
+func TestNewFlowGenValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*FlowConfig)
+	}{
+		{name: "too few addresses", mutate: func(c *FlowConfig) { c.Addresses = 1 }},
+		{name: "zero flow rate", mutate: func(c *FlowConfig) { c.MeanFlowsPerWindow = 0 }},
+		{name: "zero packet cap", mutate: func(c *FlowConfig) { c.PacketsCap = 0 }},
+		{name: "bad attack prob", mutate: func(c *FlowConfig) { c.AttackProb = 1.5 }},
+		{name: "attack without duration", mutate: func(c *FlowConfig) { c.AttackProb = 0.1; c.AttackWindows = 0 }},
+		{name: "negative skew", mutate: func(c *FlowConfig) { c.PopularitySkew = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultFlowConfig(100, 1)
+			tt.mutate(&cfg)
+			if _, err := NewFlowGen(cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestFlowGenBasicProperties(t *testing.T) {
+	cfg := DefaultFlowConfig(50, 7)
+	g, err := NewFlowGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalFlows := 0
+	for w := 0; w < 200; w++ {
+		flows := g.NextWindow()
+		totalFlows += len(flows)
+		for _, f := range flows {
+			if f.Src < 0 || f.Src >= 50 || f.Dst < 0 || f.Dst >= 50 {
+				t.Fatalf("flow addresses out of range: %+v", f)
+			}
+			if f.Src == f.Dst {
+				t.Fatalf("self-flow generated: %+v", f)
+			}
+			if f.Packets < 1 {
+				t.Fatalf("flow with %d packets", f.Packets)
+			}
+		}
+	}
+	if g.Window() != 200 {
+		t.Errorf("Window() = %d, want 200", g.Window())
+	}
+	if totalFlows == 0 {
+		t.Error("no flows generated in 200 windows")
+	}
+}
+
+func TestFlowGenDeterministic(t *testing.T) {
+	run := func() int {
+		g, err := NewFlowGen(DefaultFlowConfig(100, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for w := 0; w < 100; w++ {
+			for _, f := range g.NextWindow() {
+				total += f.Packets
+			}
+		}
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestFlowGenDiurnalModulation(t *testing.T) {
+	cfg := DefaultFlowConfig(100, 8)
+	cfg.Diurnal = Diurnal{Period: 200, Base: 1, Amplitude: 0.9}
+	cfg.AttackProb = 0
+	g, err := NewFlowGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak, trough int
+	for w := 0; w < 200; w++ {
+		n := len(g.NextWindow())
+		if w >= 25 && w < 75 { // around the sinusoid peak
+			peak += n
+		}
+		if w >= 125 && w < 175 { // around the trough
+			trough += n
+		}
+	}
+	if peak <= trough*2 {
+		t.Errorf("diurnal modulation weak: peak %d, trough %d", peak, trough)
+	}
+}
+
+func TestFlowGenAttackEpisode(t *testing.T) {
+	cfg := DefaultFlowConfig(20, 9)
+	cfg.AttackProb = 1 // start immediately
+	cfg.AttackWindows = 5
+	cfg.AttackFlowsPerWindow = 50
+	g, err := NewFlowGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := g.NextWindow()
+	victim, ok := g.ActiveAttack()
+	if !ok {
+		t.Fatal("no active attack with AttackProb=1")
+	}
+	attackCount := 0
+	for _, f := range flows {
+		if f.Attack {
+			attackCount++
+			if f.Dst != victim {
+				t.Errorf("attack flow aimed at %d, victim is %d", f.Dst, victim)
+			}
+		}
+	}
+	if attackCount == 0 {
+		t.Error("no attack flows in attacking window")
+	}
+}
+
+func TestFlowGenAttackEnds(t *testing.T) {
+	cfg := DefaultFlowConfig(20, 10)
+	cfg.AttackProb = 1
+	cfg.AttackWindows = 3
+	g, err := NewFlowGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NextWindow()
+	if _, ok := g.ActiveAttack(); !ok {
+		t.Fatal("attack not active")
+	}
+	// AttackProb=1 restarts immediately; instead verify TTL decrements by
+	// disabling restarts after the first window.
+	g.cfg.AttackProb = 0
+	g.NextWindow()
+	g.NextWindow()
+	if _, ok := g.ActiveAttack(); ok {
+		t.Error("attack still active after its duration elapsed")
+	}
+}
+
+func TestNewMetricStreamValidation(t *testing.T) {
+	valid := MetricConfig{Name: "m", AR: 0.5, Level: 10, Noise: 1, Min: 0, Max: 100}
+	tests := []struct {
+		name   string
+		mutate func(*MetricConfig)
+	}{
+		{name: "AR negative", mutate: func(c *MetricConfig) { c.AR = -0.1 }},
+		{name: "AR one", mutate: func(c *MetricConfig) { c.AR = 1 }},
+		{name: "negative noise", mutate: func(c *MetricConfig) { c.Noise = -1 }},
+		{name: "bad spike prob", mutate: func(c *MetricConfig) { c.SpikeProb = 2 }},
+		{name: "empty range", mutate: func(c *MetricConfig) { c.Min = 5; c.Max = 5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid
+			tt.mutate(&cfg)
+			if _, err := NewMetricStream(cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestMetricStreamStaysInRange(t *testing.T) {
+	s, err := NewMetricStream(MetricConfig{
+		Name: "util", AR: 0.9, Level: 50, DiurnalAmp: 40, Period: 100,
+		Noise: 10, SpikeProb: 0.05, SpikeMag: 100, Min: 0, Max: 100, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		v := s.Next()
+		if v < 0 || v > 100 {
+			t.Fatalf("value %v outside [0, 100] at step %d", v, i)
+		}
+	}
+	if s.Step() != 10000 {
+		t.Errorf("Step() = %d, want 10000", s.Step())
+	}
+}
+
+func TestMetricStreamTracksLevel(t *testing.T) {
+	s, err := NewMetricStream(MetricConfig{
+		Name: "m", AR: 0.5, Level: 40, Noise: 2, Min: 0, Max: 100, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Next()
+	}
+	if mean := sum / n; math.Abs(mean-40) > 2 {
+		t.Errorf("mean = %v, want ≈ 40", mean)
+	}
+}
+
+func TestMetricStreamSpikes(t *testing.T) {
+	s, err := NewMetricStream(MetricConfig{
+		Name: "m", AR: 0.1, Level: 10, Noise: 0.5, SpikeProb: 0.01,
+		SpikeMag: 100, Min: 0, Max: 1000, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spikes := 0
+	for i := 0; i < 20000; i++ {
+		if s.Next() > 50 {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Error("no spikes observed")
+	}
+}
+
+func TestMetricStreamSmoothness(t *testing.T) {
+	// High AR must produce a smoother series (smaller mean |δ|) than low AR
+	// at the same innovation noise — the property behind Fig. 5(b) vs 5(a).
+	meanAbsDelta := func(ar float64) float64 {
+		s, err := NewMetricStream(MetricConfig{
+			Name: "m", AR: ar, Level: 50, Noise: 5, Min: -1e9, Max: 1e9, Seed: 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := s.Next()
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := s.Next()
+			sum += math.Abs(v - prev)
+			prev = v
+		}
+		return sum / n
+	}
+	if smooth, rough := meanAbsDelta(0.95), meanAbsDelta(0.1); smooth >= rough {
+		t.Errorf("AR=0.95 mean|δ| %v not smaller than AR=0.1 %v", smooth, rough)
+	}
+}
+
+func TestStandardMetrics(t *testing.T) {
+	streams := StandardMetrics(1)
+	if len(streams) != StandardMetricCount {
+		t.Fatalf("got %d metrics, want %d", len(streams), StandardMetricCount)
+	}
+	names := make(map[string]bool, len(streams))
+	for _, s := range streams {
+		if names[s.Name()] {
+			t.Errorf("duplicate metric name %q", s.Name())
+		}
+		names[s.Name()] = true
+		for i := 0; i < 100; i++ {
+			if v := s.Next(); math.IsNaN(v) {
+				t.Fatalf("metric %q produced NaN", s.Name())
+			}
+		}
+	}
+}
+
+func TestStandardMetricsDecorrelatedAcrossNodes(t *testing.T) {
+	a := StandardMetrics(1)[0]
+	b := StandardMetrics(2)[0]
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("%d/100 identical values across nodes; seeds not decorrelating", same)
+	}
+}
+
+func TestNewAccessGenValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AccessConfig)
+	}{
+		{name: "no objects", mutate: func(c *AccessConfig) { c.Objects = 0 }},
+		{name: "zero rate", mutate: func(c *AccessConfig) { c.MeanRequestsPerWindow = 0 }},
+		{name: "bad flash prob", mutate: func(c *AccessConfig) { c.FlashProb = -0.1 }},
+		{name: "flash without duration", mutate: func(c *AccessConfig) { c.FlashProb = 0.5; c.FlashWindows = 0 }},
+		{name: "flash multiplier below one", mutate: func(c *AccessConfig) { c.FlashMultiplier = 0.5 }},
+		{name: "bad flash focus", mutate: func(c *AccessConfig) { c.FlashFocus = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultAccessConfig(100, 1)
+			tt.mutate(&cfg)
+			if _, err := NewAccessGen(cfg); err == nil {
+				t.Error("invalid config accepted, want error")
+			}
+		})
+	}
+}
+
+func TestAccessGenCountsValid(t *testing.T) {
+	g, err := NewAccessGen(DefaultAccessConfig(50, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w := 0; w < 500; w++ {
+		counts := g.NextWindow()
+		for obj, c := range counts {
+			if obj < 0 || obj >= 50 {
+				t.Fatalf("object %d out of range", obj)
+			}
+			if c < 1 {
+				t.Fatalf("object %d has count %d", obj, c)
+			}
+			total += c
+		}
+	}
+	if total == 0 {
+		t.Error("no requests generated")
+	}
+	if g.Window() != 500 {
+		t.Errorf("Window() = %d, want 500", g.Window())
+	}
+}
+
+func TestAccessGenPopularObjectsDominate(t *testing.T) {
+	cfg := DefaultAccessConfig(100, 16)
+	cfg.FlashProb = 0
+	cfg.Diurnal = Diurnal{}
+	g, err := NewAccessGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for w := 0; w < 1000; w++ {
+		for obj, c := range g.NextWindow() {
+			counts[obj] += c
+		}
+	}
+	// Rank-0 object should clearly beat the median object.
+	if counts[0] <= counts[50]*3 {
+		t.Errorf("popularity skew weak: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestAccessGenFlashCrowd(t *testing.T) {
+	cfg := DefaultAccessConfig(50, 17)
+	cfg.FlashProb = 1
+	cfg.FlashWindows = 10
+	cfg.FlashMultiplier = 5
+	cfg.FlashFocus = 0.9
+	cfg.Diurnal = Diurnal{}
+	g, err := NewAccessGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.NextWindow()
+	hot, ok := g.ActiveFlash()
+	if !ok {
+		t.Fatal("flash crowd not active with FlashProb=1")
+	}
+	totalReqs := 0
+	for _, c := range counts {
+		totalReqs += c
+	}
+	if counts[hot] < totalReqs/2 {
+		t.Errorf("hot object got %d of %d requests, want majority", counts[hot], totalReqs)
+	}
+}
+
+func TestAccessGenDeterministic(t *testing.T) {
+	run := func() int {
+		g, err := NewAccessGen(DefaultAccessConfig(30, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for w := 0; w < 200; w++ {
+			for _, c := range g.NextWindow() {
+				total += c
+			}
+		}
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNode is one endpoint of a gob-over-TCP network. Each node listens on
+// its own address and dials peers on demand, caching connections. Unlike
+// Memory there is no central registry: the address *is* the location.
+//
+// TCPNode is safe for concurrent use.
+type TCPNode struct {
+	addr     string
+	listener net.Listener
+	handler  Handler
+
+	mu      sync.Mutex
+	conns   map[string]*gobConn
+	inbound map[net.Conn]struct{}
+	stats   Stats
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type gobConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// ListenTCP starts a node listening on addr (e.g. "127.0.0.1:0"). The
+// handler is invoked from receiving goroutines, one per inbound connection;
+// it must be safe for concurrent use.
+func ListenTCP(addr string, h Handler) (*TCPNode, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		addr:     l.Addr().String(),
+		listener: l,
+		handler:  h,
+		conns:    make(map[string]*gobConn),
+		inbound:  make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr reports the node's listen address (useful with port 0).
+func (n *TCPNode) Addr() string { return n.addr }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			// Transient accept errors: keep serving until closed.
+			continue
+		}
+		n.mu.Lock()
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-n.closed:
+				default:
+					// Connection-level corruption: drop the connection. The
+					// peer will redial.
+				}
+			}
+			return
+		}
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+		n.handler(msg)
+	}
+}
+
+// Send implements the Network sending contract for a TCP node. The from
+// argument should be this node's Addr so peers can reply.
+func (n *TCPNode) Send(from, to string, msg Message) error {
+	select {
+	case <-n.closed:
+		return fmt.Errorf("transport: node closed")
+	default:
+	}
+	msg.From = from
+	c, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(msg); err != nil {
+		// Connection broke: evict it so the next Send redials.
+		n.mu.Lock()
+		if n.conns[to] == c {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		c.conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	n.mu.Lock()
+	n.stats.Sent++
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *TCPNode) conn(to string) (*gobConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	raw, err := net.Dial("tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	c := &gobConn{conn: raw, enc: gob.NewEncoder(raw)}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		raw.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+// Stats returns a snapshot of the node's traffic counters.
+func (n *TCPNode) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the node down: stops accepting, closes all connections and
+// waits for receive loops to drain.
+func (n *TCPNode) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.listener.Close()
+	n.mu.Lock()
+	for to, c := range n.conns {
+		c.conn.Close()
+		delete(n.conns, to)
+	}
+	for conn := range n.inbound {
+		conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}

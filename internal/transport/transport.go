@@ -1,0 +1,234 @@
+// Package transport carries the messages exchanged between monitors and
+// coordinators: local violation reports, global polls, and the
+// error-allowance coordination traffic of Section IV.
+//
+// Two implementations are provided:
+//
+//   - Memory: a deterministic in-process network used by the simulation
+//     harness, with optional message loss and delivery delay for failure
+//     injection.
+//   - TCP (tcp.go): a gob-over-TCP network for running real distributed
+//     deployments (see examples/tcpcluster).
+//
+// Both count traffic, since communication cost is part of what the paper's
+// local-task decomposition minimizes.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind discriminates message payloads.
+type Kind int
+
+const (
+	// KindLocalViolation is a monitor→coordinator report that a local
+	// threshold was exceeded.
+	KindLocalViolation Kind = iota + 1
+	// KindPollRequest is a coordinator→monitor request for the current
+	// monitored value (part of a global poll).
+	KindPollRequest
+	// KindPollResponse is the monitor's answer to a poll request.
+	KindPollResponse
+	// KindYieldReport carries a monitor's averaged cost-reduction yield
+	// statistics (r_i, e_i) to the coordinator.
+	KindYieldReport
+	// KindErrAssignment carries the coordinator's new error-allowance
+	// assignment to a monitor.
+	KindErrAssignment
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindLocalViolation:
+		return "local-violation"
+	case KindPollRequest:
+		return "poll-request"
+	case KindPollResponse:
+		return "poll-response"
+	case KindYieldReport:
+		return "yield-report"
+	case KindErrAssignment:
+		return "err-assignment"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Message is the single wire format shared by all implementations. Unused
+// fields are zero.
+type Message struct {
+	Kind Kind
+	// Task names the monitoring task the message belongs to.
+	Task string
+	// From is the sender's registered address.
+	From string
+	// Time is the sender's (virtual) timestamp.
+	Time time.Duration
+	// Value carries a monitored value (violation reports, poll responses).
+	Value float64
+	// Reduction is r_i in yield reports.
+	Reduction float64
+	// Needed is e_i in yield reports.
+	Needed float64
+	// Interval is the monitor's average sampling interval (in default
+	// intervals) over the reporting period, in yield reports.
+	Interval float64
+	// Err is the assigned error allowance in assignments.
+	Err float64
+	// Seq is a sender-local sequence number for deduplication/diagnostics.
+	Seq uint64
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// Network connects named endpoints.
+type Network interface {
+	// Register installs the handler for an address. Registering an address
+	// twice is an error.
+	Register(addr string, h Handler) error
+	// Send delivers msg (asynchronously or synchronously, implementation-
+	// defined) to the given address, stamping msg.From with from.
+	Send(from, to string, msg Message) error
+}
+
+// Stats counts a network's traffic.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Memory is the deterministic in-process Network used in simulations. If a
+// Scheduler is provided, deliveries are deferred through it (so they occur
+// in virtual time); otherwise they are synchronous.
+//
+// Memory is safe for concurrent use, though simulation runs are single-
+// threaded by construction.
+type Memory struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	stats    Stats
+	lossProb float64
+	dupProb  float64
+	delay    time.Duration
+	rng      *rand.Rand
+	schedule func(d time.Duration, f func()) error
+	seq      uint64
+}
+
+// MemoryOption configures a Memory network.
+type MemoryOption func(*Memory)
+
+// WithLoss drops each message independently with probability p, using the
+// given seed. Use for failure injection.
+func WithLoss(p float64, seed int64) MemoryOption {
+	return func(m *Memory) {
+		m.lossProb = p
+		if m.rng == nil {
+			m.rng = rand.New(rand.NewSource(seed))
+		}
+	}
+}
+
+// WithDuplication delivers each message a second time with probability p —
+// at-least-once semantics, the failure mode retransmitting transports
+// exhibit. Receivers must be idempotent.
+func WithDuplication(p float64, seed int64) MemoryOption {
+	return func(m *Memory) {
+		m.dupProb = p
+		if m.rng == nil {
+			m.rng = rand.New(rand.NewSource(seed))
+		}
+	}
+}
+
+// WithScheduler defers deliveries through the given scheduler with the
+// given delay; pass the simulator's After method to deliver in virtual
+// time.
+func WithScheduler(delay time.Duration, schedule func(d time.Duration, f func()) error) MemoryOption {
+	return func(m *Memory) {
+		m.delay = delay
+		m.schedule = schedule
+	}
+}
+
+// NewMemory builds an in-process network.
+func NewMemory(opts ...MemoryOption) *Memory {
+	m := &Memory{handlers: make(map[string]Handler)}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Register implements Network.
+func (m *Memory) Register(addr string, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handlers[addr]; ok {
+		return fmt.Errorf("transport: address %q already registered", addr)
+	}
+	m.handlers[addr] = h
+	return nil
+}
+
+// Send implements Network.
+func (m *Memory) Send(from, to string, msg Message) error {
+	m.mu.Lock()
+	h, ok := m.handlers[to]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("transport: unknown address %q", to)
+	}
+	m.stats.Sent++
+	m.seq++
+	msg.From = from
+	msg.Seq = m.seq
+	dropped := m.lossProb > 0 && m.rng.Float64() < m.lossProb
+	if dropped {
+		m.stats.Dropped++
+		m.mu.Unlock()
+		return nil
+	}
+	duplicated := m.dupProb > 0 && m.rng.Float64() < m.dupProb
+	schedule := m.schedule
+	delay := m.delay
+	m.mu.Unlock()
+
+	deliver := func() {
+		h(msg)
+		m.mu.Lock()
+		m.stats.Delivered++
+		m.mu.Unlock()
+	}
+	times := 1
+	if duplicated {
+		times = 2
+	}
+	for i := 0; i < times; i++ {
+		if schedule != nil {
+			if err := schedule(delay, deliver); err != nil {
+				return err
+			}
+			continue
+		}
+		deliver()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
