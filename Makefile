@@ -1,0 +1,30 @@
+# Development targets. `make check` is the CI gate: vet + race-detector
+# tests across every package.
+
+GO ?= go
+
+.PHONY: build vet test race check bench examples
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ddos
+	$(GO) run ./examples/webapp
+	$(GO) run ./examples/memfloor
+	$(GO) run ./examples/tcpcluster

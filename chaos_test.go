@@ -1,0 +1,198 @@
+// Chaos harness: a full distributed task soaked under a scripted fault
+// schedule — message loss, reordering, a network partition, and an endpoint
+// crash/restart — asserting the accuracy contract (every injected violation
+// episode detected, allowance pool conserved) survives all of it.
+package volley_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"volley"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to the given
+// baseline, tolerating runtime-internal stragglers by deadline.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+func TestChaosSoak(t *testing.T) {
+	const (
+		n          = 4
+		steps      = 6000
+		errAllow   = 0.05
+		localTh    = 25.0  // per-monitor local threshold
+		globalTh   = 100.0 // n * localTh
+		quietLevel = 10.0
+		spikeLevel = 40.0 // every live monitor spiking sums over globalTh
+		episodeLen = 30
+		deadAfter  = 60
+	)
+	baseGoroutines := runtime.NumGoroutine()
+
+	net := volley.NewMemoryNetwork()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("chaos-mon-%d", i)
+	}
+
+	// Injected global-violation episodes (start steps). Each raises every
+	// live monitor to spikeLevel for episodeLen steps. None falls inside the
+	// partition window [2500, 2800): a partition hides part of the global
+	// state by construction, which is a coverage loss no protocol can beat.
+	episodes := []int{300, 700, 1100, 1700, 2100, 3000, 3800, 4800, 5400}
+	step := 0
+	inEpisode := func() bool {
+		for _, e := range episodes {
+			if step >= e && step < e+episodeLen {
+				return true
+			}
+		}
+		return false
+	}
+
+	var alerts []time.Duration
+	coordinator, err := volley.NewCoordinator(volley.CoordinatorConfig{
+		ID:           "chaos-coord",
+		Task:         "chaos",
+		Threshold:    globalTh,
+		Err:          errAllow,
+		Monitors:     ids,
+		Network:      net,
+		UpdatePeriod: 500,
+		DeadAfter:    deadAfter,
+		OnAlert:      func(now time.Duration, _ float64) { alerts = append(alerts, now) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	monitors := make([]*volley.Monitor, n)
+	for i := range monitors {
+		monitors[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID:   ids[i],
+			Task: "chaos",
+			Agent: volley.AgentFunc(func() (float64, error) {
+				if inEpisode() {
+					return spikeLevel, nil
+				}
+				return quietLevel, nil
+			}),
+			Sampler: volley.SamplerConfig{
+				Threshold:   localTh,
+				Err:         errAllow / n,
+				MaxInterval: 10,
+				Patience:    5,
+			},
+			Network:        net,
+			Coordinator:    "chaos-coord",
+			YieldEvery:     500,
+			HeartbeatEvery: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The fault schedule. Monitor 3 crashes outright at 3500 (process gone:
+	// no ticks, endpoint down) and restarts at 4500.
+	ticking := [n]bool{true, true, true, true}
+	faults := map[int]func(){
+		500:  func() { net.SetLoss(0.08) },
+		1500: func() { net.SetLoss(0.05); net.SetReorder(0.2) },
+		2450: func() { net.SetLoss(0); net.SetReorder(0) },
+		2500: func() {
+			net.Partition([]string{"chaos-coord", ids[0], ids[1]}, []string{ids[2], ids[3]})
+		},
+		2800: func() { net.Heal() },
+		3500: func() { net.Crash(ids[3]); ticking[3] = false },
+		4500: func() { net.Restart(ids[3]); ticking[3] = true },
+	}
+
+	for ; step < steps; step++ {
+		if f, ok := faults[step]; ok {
+			f()
+		}
+		now := time.Duration(step) * time.Second
+		coordinator.Tick(now)
+		for i, m := range monitors {
+			if !ticking[i] {
+				continue
+			}
+			if _, _, err := m.Tick(now); err != nil {
+				t.Fatalf("step %d: monitor %d: %v", step, i, err)
+			}
+		}
+		// Allowance conservation must hold through reclamations and
+		// restorations, not just at the end.
+		if step%200 == 0 {
+			var sum float64
+			for _, e := range coordinator.Assignments() {
+				sum += e
+			}
+			if sum > errAllow+1e-9 {
+				t.Fatalf("step %d: assignments sum %v exceeds task allowance %v", step, sum, errAllow)
+			}
+		}
+	}
+
+	// Detection contract: the observed miss rate across injected episodes
+	// must stay within the task's error allowance. With 9 episodes a single
+	// miss (11%) already busts the 5% allowance, so every one must land.
+	missed := 0
+	for _, e := range episodes {
+		start := time.Duration(e) * time.Second
+		end := time.Duration(e+episodeLen) * time.Second
+		detected := false
+		for _, a := range alerts {
+			if a >= start && a <= end {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			missed++
+			t.Errorf("episode at step %d undetected", e)
+		}
+	}
+	if rate := float64(missed) / float64(len(episodes)); rate > errAllow {
+		t.Errorf("miss rate %.3f exceeds allowance %v", rate, errAllow)
+	}
+
+	cs := coordinator.Stats()
+	if cs.Heartbeats == 0 {
+		t.Error("coordinator saw no heartbeats")
+	}
+	// Partition kills two monitors, the crash a third: at least three
+	// reclamations, and all three come back.
+	if cs.Reclamations < 3 {
+		t.Errorf("Reclamations = %d, want >= 3 (partition x2 + crash)", cs.Reclamations)
+	}
+	if cs.Restorations < 3 {
+		t.Errorf("Restorations = %d, want >= 3 (heal x2 + restart)", cs.Restorations)
+	}
+	if alive := coordinator.AliveMonitors(); len(alive) != n {
+		t.Errorf("AliveMonitors = %v, want all %d after recovery", alive, n)
+	}
+	ns := net.Stats()
+	if ns.Dropped == 0 || ns.Reordered == 0 {
+		t.Errorf("fault injection inert: %+v", ns)
+	}
+	t.Logf("chaos soak: %d alerts, %d/%d episodes detected, net %+v, coord %+v",
+		len(alerts), len(episodes)-missed, len(episodes), ns, cs)
+
+	settleGoroutines(t, baseGoroutines)
+}

@@ -38,6 +38,17 @@ type DeploymentConfig struct {
 	// Direction selects the violating side of the local thresholds. Zero
 	// means Above.
 	Direction Direction
+	// DeadAfter enables coordinator-side liveness: a monitor silent for
+	// this many default intervals is declared dead, excluded from global
+	// polls, and its error allowance is reclaimed and redistributed to the
+	// live monitors (restored when it resurrects). Zero disables liveness
+	// tracking.
+	DeadAfter int
+	// HeartbeatEvery sets the monitors' liveness-beacon period in default
+	// intervals. Zero with DeadAfter set defaults to DeadAfter/3 (at least
+	// one beacon per horizon even under loss); zero without DeadAfter
+	// disables heartbeats.
+	HeartbeatEvery int
 }
 
 // Deployment is a wired task: drive it by calling Tick once per default
@@ -91,6 +102,18 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		ids[i] = fmt.Sprintf("%s-mon-%d", cfg.Spec.ID, i)
 	}
 
+	heartbeatEvery := cfg.HeartbeatEvery
+	if heartbeatEvery == 0 && cfg.DeadAfter > 0 {
+		heartbeatEvery = cfg.DeadAfter / 3
+		if heartbeatEvery < 1 {
+			heartbeatEvery = 1
+		}
+	}
+	if cfg.DeadAfter > 0 && heartbeatEvery >= cfg.DeadAfter {
+		return nil, fmt.Errorf("volley: heartbeat period %d must stay below the liveness horizon %d",
+			heartbeatEvery, cfg.DeadAfter)
+	}
+
 	updatePeriod := cfg.UpdatePeriod
 	coordinator, err := NewCoordinator(CoordinatorConfig{
 		ID:           coordID,
@@ -102,6 +125,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Network:      cfg.Network,
 		Scheme:       cfg.Scheme,
 		UpdatePeriod: updatePeriod,
+		DeadAfter:    cfg.DeadAfter,
 		OnAlert:      cfg.OnAlert,
 	})
 	if err != nil {
@@ -124,9 +148,10 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 				MaxInterval: cfg.Spec.MaxInterval,
 				Patience:    cfg.Patience,
 			},
-			Network:     cfg.Network,
-			Coordinator: coordID,
-			YieldEvery:  updatePeriod,
+			Network:        cfg.Network,
+			Coordinator:    coordID,
+			YieldEvery:     updatePeriod,
+			HeartbeatEvery: heartbeatEvery,
 		})
 		if err != nil {
 			return nil, err

@@ -170,3 +170,78 @@ func TestDeploymentBelowDirection(t *testing.T) {
 		t.Error("no alerts for a Below-direction deployment after the drop")
 	}
 }
+
+func TestDeploymentLivenessWiring(t *testing.T) {
+	net := volley.NewMemoryNetwork()
+	spec := deploymentSpec(2)
+	spec.ID = "live"
+	d, err := volley.NewDeployment(volley.DeploymentConfig{
+		Spec:      spec,
+		Agents:    constAgents(2, 1),
+		Network:   net,
+		DeadAfter: 30, // HeartbeatEvery defaults to DeadAfter/3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	for ; step < 100; step++ {
+		if err := d.Tick(time.Duration(step) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, ms := d.Stats()
+	for i, st := range ms {
+		if st.Heartbeats == 0 {
+			t.Errorf("monitor %d sent no heartbeats", i)
+		}
+	}
+	if cs.Heartbeats == 0 {
+		t.Error("coordinator received no heartbeats")
+	}
+	if got := len(d.Coordinator().AliveMonitors()); got != 2 {
+		t.Fatalf("AliveMonitors = %d, want 2 while both tick", got)
+	}
+
+	// Stop ticking monitor 1: its heartbeats cease and the coordinator
+	// reclaims its allowance for monitor 0.
+	for ; step < 200; step++ {
+		now := time.Duration(step) * time.Second
+		d.Coordinator().Tick(now)
+		if _, _, err := d.Monitors()[0].Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alive := d.Coordinator().AliveMonitors()
+	if len(alive) != 1 || alive[0] != "live-mon-0" {
+		t.Fatalf("AliveMonitors = %v, want [live-mon-0]", alive)
+	}
+	cs, _ = d.Stats()
+	if cs.Reclamations != 1 {
+		t.Errorf("Reclamations = %d, want 1", cs.Reclamations)
+	}
+	a := d.Coordinator().Assignments()
+	if a["live-mon-1"] != 0 || math.Abs(a["live-mon-0"]-spec.Err) > 1e-12 {
+		t.Errorf("assignments = %v, want the full allowance on live-mon-0", a)
+	}
+
+	// The survivor's sampler must actually carry the reclaimed allowance.
+	if got := d.Monitors()[0].ErrAllowance(); math.Abs(got-spec.Err) > 1e-12 {
+		t.Errorf("survivor allowance = %v, want %v", got, spec.Err)
+	}
+}
+
+func TestNewDeploymentRejectsHeartbeatAboveHorizon(t *testing.T) {
+	net := volley.NewMemoryNetwork()
+	spec := deploymentSpec(2)
+	spec.ID = "badhb"
+	if _, err := volley.NewDeployment(volley.DeploymentConfig{
+		Spec:           spec,
+		Agents:         constAgents(2, 1),
+		Network:        net,
+		DeadAfter:      10,
+		HeartbeatEvery: 10,
+	}); err == nil {
+		t.Error("heartbeat period at the liveness horizon accepted, want error")
+	}
+}

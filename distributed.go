@@ -1,6 +1,8 @@
 package volley
 
 import (
+	"time"
+
 	"volley/internal/coord"
 	"volley/internal/correlation"
 	"volley/internal/monitor"
@@ -93,12 +95,38 @@ func WithNetworkDuplication(p float64, seed int64) transport.MemoryOption {
 	return transport.WithDuplication(p, seed)
 }
 
+// WithNetworkReorder defers each message independently with probability p
+// so it is delivered after its successor (out-of-order injection for
+// MemoryNetwork). MemoryNetwork additionally exposes runtime fault
+// switches: SetLoss, SetReorder, Partition/Heal and Crash/Restart.
+func WithNetworkReorder(p float64, seed int64) transport.MemoryOption {
+	return transport.WithReorder(p, seed)
+}
+
 // TCPNode is one endpoint of a gob-over-TCP network for real deployments.
+// Sending is asynchronous — per-peer outbound queues, dial/write deadlines
+// and bounded-exponential reconnect backoff — so a dead peer never blocks a
+// caller, and receivers deduplicate reconnect retransmissions by sequence
+// number.
 type TCPNode = transport.TCPNode
 
+// TCPOption configures a TCPNode (deadlines, queue depth, reconnect
+// backoff, dedup window).
+type TCPOption = transport.TCPOption
+
+// TCP node options; see the transport package for semantics and defaults.
+func WithTCPDialTimeout(d time.Duration) TCPOption { return transport.WithDialTimeout(d) }
+func WithTCPSendTimeout(d time.Duration) TCPOption { return transport.WithSendTimeout(d) }
+func WithTCPQueueDepth(depth int) TCPOption        { return transport.WithQueueDepth(depth) }
+func WithTCPSendRetries(retries int) TCPOption     { return transport.WithSendRetries(retries) }
+func WithTCPDedupWindow(window int) TCPOption      { return transport.WithDedupWindow(window) }
+func WithTCPReconnectBackoff(min, max time.Duration) TCPOption {
+	return transport.WithReconnectBackoff(min, max)
+}
+
 // ListenTCP starts a TCP endpoint; see examples/tcpcluster.
-func ListenTCP(addr string, h func(Message)) (*TCPNode, error) {
-	return transport.ListenTCP(addr, h)
+func ListenTCP(addr string, h func(Message), opts ...TCPOption) (*TCPNode, error) {
+	return transport.ListenTCP(addr, h, opts...)
 }
 
 // CorrelationDetector finds predictor→target relationships between task

@@ -1,7 +1,13 @@
 // TCP cluster: the same distributed state-monitoring task as examples/ddos,
 // but with monitors and coordinator communicating over real TCP sockets on
 // localhost (the gob transport), showing how Volley deploys outside the
-// simulation harness.
+// simulation harness — including how it rides out a monitor crash.
+//
+// The run scripts a full failure cycle: a healthy cluster, one monitor
+// hard-crashed (socket closed, ticker stopped), the coordinator detecting
+// the death from missing heartbeats and reclaiming the dead monitor's error
+// allowance for the survivors, then the monitor restarting on the same
+// address from its snapshot, reconnecting, and getting its allowance back.
 //
 // Each node runs in its own goroutine with a wall-clock ticker; the run is
 // kept short so the example finishes in a few seconds.
@@ -16,6 +22,8 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +36,11 @@ const (
 	runFor          = 3 * time.Second
 	globalErr       = 0.05
 	globalThreshold = 360.0
+	heartbeatEvery  = 5  // ticks between liveness beacons
+	deadAfter       = 30 // ticks of silence before a monitor is declared dead
+	crashAt         = 1 * time.Second
+	restartAt       = 1800 * time.Millisecond
+	spikeAt         = 2200 * time.Millisecond
 )
 
 // tcpNetwork adapts a TCPNode to the Network interface Monitors and
@@ -40,11 +53,11 @@ type tcpNetwork struct {
 	handler volley.MessageHandler
 }
 
-// newTCPNetwork listens on a fresh localhost port and dispatches inbound
-// messages to whatever handler gets registered.
-func newTCPNetwork() (*tcpNetwork, error) {
+// newTCPNetwork listens on the given address ("127.0.0.1:0" for a fresh
+// port) and dispatches inbound messages to whatever handler gets registered.
+func newTCPNetwork(addr string) (*tcpNetwork, error) {
 	n := &tcpNetwork{}
-	node, err := volley.ListenTCP("127.0.0.1:0", func(msg volley.Message) {
+	node, err := volley.ListenTCP(addr, func(msg volley.Message) {
 		n.mu.Lock()
 		h := n.handler
 		n.mu.Unlock()
@@ -81,8 +94,31 @@ func main() {
 	}
 }
 
+// fmtAssignments renders an assignment map in stable address order.
+func fmtAssignments(a map[string]float64) string {
+	addrs := make([]string, 0, len(a))
+	for addr := range a {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	parts := make([]string, len(addrs))
+	for i, addr := range addrs {
+		parts[i] = fmt.Sprintf("%s=%.4f", addr, a[addr])
+	}
+	return strings.Join(parts, " ")
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 func run() error {
-	coordNet, err := newTCPNetwork()
+	coordNet, err := newTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
@@ -91,7 +127,7 @@ func run() error {
 	monitorNets := make([]*tcpNetwork, monitors)
 	addrs := make([]string, monitors)
 	for i := range monitorNets {
-		n, err := newTCPNetwork()
+		n, err := newTCPNetwork("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -111,6 +147,7 @@ func run() error {
 		Err:       globalErr,
 		Monitors:  addrs,
 		Network:   coordNet,
+		DeadAfter: deadAfter,
 		OnAlert: func(time.Duration, float64) {
 			alertMu.Lock()
 			alerts++
@@ -126,20 +163,20 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	monitorNodes := make([]*volley.Monitor, monitors)
-	for i := range monitorNodes {
+	now := func() time.Duration { return time.Since(start) }
+
+	newDemoMonitor := func(i int, net *tcpNetwork) (*volley.Monitor, error) {
 		rng := rand.New(rand.NewSource(int64(100 + i)))
 		agent := volley.AgentFunc(func() (float64, error) {
 			// A smooth signal that spikes across the local threshold near
-			// the end of the run.
-			elapsed := time.Since(start)
-			base := 40 + 10*math.Sin(elapsed.Seconds()*2)
-			if elapsed > runFor*3/4 {
+			// the end of the run, after the crashed monitor has recovered.
+			base := 40 + 10*math.Sin(now().Seconds()*2)
+			if now() > spikeAt {
 				base += 80
 			}
 			return base + rng.NormFloat64(), nil
 		})
-		m, err := volley.NewMonitor(volley.MonitorConfig{
+		return volley.NewMonitor(volley.MonitorConfig{
 			ID:    addrs[i],
 			Task:  "tcp-demo",
 			Agent: agent,
@@ -148,20 +185,25 @@ func run() error {
 				Err:         globalErr / monitors,
 				MaxInterval: 10,
 			},
-			Network:     monitorNets[i],
-			Coordinator: coordNet.Addr(),
+			Network:        net,
+			Coordinator:    coordNet.Addr(),
+			HeartbeatEvery: heartbeatEvery,
 		})
-		if err != nil {
-			return err
-		}
-		monitorNodes[i] = m
 	}
 
-	// Drive everything on real wall-clock tickers.
+	monitorNodes := make([]*volley.Monitor, monitors)
+	for i := range monitorNodes {
+		if monitorNodes[i], err = newDemoMonitor(i, monitorNets[i]); err != nil {
+			return err
+		}
+	}
+
+	// Drive everything on real wall-clock tickers; each loop can be stopped
+	// individually (the crash) or all together (end of run).
 	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	for _, m := range monitorNodes {
-		m := m
+	stopAll := make(chan struct{})
+	startTicker := func(f func(time.Duration)) chan struct{} {
+		stop := make(chan struct{})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -169,33 +211,99 @@ func run() error {
 			defer ticker.Stop()
 			for {
 				select {
+				case <-stopAll:
+					return
 				case <-stop:
 					return
 				case <-ticker.C:
-					if _, _, err := m.Tick(time.Since(start)); err != nil {
-						log.Printf("monitor tick: %v", err)
-					}
+					f(now())
 				}
 			}
 		}()
+		return stop
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		ticker := time.NewTicker(defaultInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				coordinator.Tick(time.Since(start))
+	waitFor := func(desc string, cond func() bool) error {
+		deadline := time.Now().Add(2 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("tcpcluster: timed out waiting for %s", desc)
 			}
+			time.Sleep(5 * time.Millisecond)
 		}
-	}()
+		return nil
+	}
 
-	time.Sleep(runFor)
-	close(stop)
+	monStops := make([]chan struct{}, monitors)
+	for i, m := range monitorNodes {
+		m := m
+		monStops[i] = startTicker(func(t time.Duration) {
+			if _, _, err := m.Tick(t); err != nil {
+				log.Printf("monitor tick: %v", err)
+			}
+		})
+	}
+	startTicker(coordinator.Tick)
+
+	// Phase 1: healthy cluster.
+	time.Sleep(crashAt)
+
+	// Phase 2: hard-crash the last monitor — snapshot what a real deployment
+	// would have persisted, then kill socket and ticker.
+	victim := monitors - 1
+	snapshot := monitorNodes[victim].Snapshot()
+	close(monStops[victim])
+	monitorNets[victim].node.Close()
+	fmt.Printf("[%6v] crash: monitor %s down\n", now().Round(time.Millisecond), addrs[victim])
+
+	if err := waitFor("death detection", func() bool {
+		return contains(coordinator.DeadMonitors(), addrs[victim])
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("[%6v] death detected: alive=%d/%d\n",
+		now().Round(time.Millisecond), len(coordinator.AliveMonitors()), monitors)
+	fmt.Printf("         allowance reclaimed: %s\n", fmtAssignments(coordinator.Assignments()))
+
+	// Phase 3: restart on the same address from the snapshot; the
+	// coordinator's writer redials with backoff, heartbeats resume, and the
+	// reclaimed allowance is restored.
+	if wait := restartAt - now(); wait > 0 {
+		time.Sleep(wait)
+	}
+	restartedNet, err := newTCPNetwork(addrs[victim])
+	if err != nil {
+		return err
+	}
+	defer restartedNet.node.Close()
+	restored, err := newDemoMonitor(victim, restartedNet)
+	if err != nil {
+		return err
+	}
+	if err := restored.Restore(snapshot); err != nil {
+		return err
+	}
+	monitorNodes[victim] = restored
+	monStops[victim] = startTicker(func(t time.Duration) {
+		if _, _, err := restored.Tick(t); err != nil {
+			log.Printf("monitor tick: %v", err)
+		}
+	})
+	fmt.Printf("[%6v] restart: monitor %s back on the same address (interval resumed at %d)\n",
+		now().Round(time.Millisecond), addrs[victim], restored.Interval())
+
+	if err := waitFor("resurrection", func() bool {
+		return !contains(coordinator.DeadMonitors(), addrs[victim])
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("[%6v] resurrection: allowance restored: %s\n",
+		now().Round(time.Millisecond), fmtAssignments(coordinator.Assignments()))
+
+	// Phase 4: ride out the end-of-run spike with the recovered cluster.
+	if wait := runFor - now(); wait > 0 {
+		time.Sleep(wait)
+	}
+	close(stopAll)
 	wg.Wait()
 
 	var samples, ticks uint64
@@ -215,8 +323,13 @@ func run() error {
 		samples, ticks, 100*(1-float64(samples)/float64(ticks)))
 	fmt.Printf("local violations:    %d, global polls: %d, alerts: %d\n",
 		cs.LocalViolations, cs.Polls, finalAlerts)
+	fmt.Printf("failure cycle:       heartbeats=%d reclamations=%d restorations=%d\n",
+		cs.Heartbeats, cs.Reclamations, cs.Restorations)
 	if finalAlerts == 0 {
 		return fmt.Errorf("expected at least one global alert from the end-of-run spike")
+	}
+	if cs.Reclamations == 0 || cs.Restorations == 0 {
+		return fmt.Errorf("failure cycle incomplete: %+v", cs)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -423,12 +424,14 @@ func TestTCPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var step int64
+	// step is written by the tick loop and read by the agent from the TCP
+	// receive goroutine (poll requests sample re-entrantly).
+	var step atomic.Int64
 	mon, err := volley.NewMonitor(volley.MonitorConfig{
 		ID:   monHost.node.Addr(),
 		Task: "tcp-int",
 		Agent: volley.AgentFunc(func() (float64, error) {
-			if step > 50 {
+			if step.Load() > 50 {
 				return 150, nil // violation
 			}
 			return 10, nil
@@ -445,7 +448,7 @@ func TestTCPEndToEnd(t *testing.T) {
 
 	deadline := time.After(10 * time.Second)
 	for i := 0; i < 200; i++ {
-		step = int64(i)
+		step.Store(int64(i))
 		now := time.Duration(i) * time.Second
 		coordinator.Tick(now)
 		if _, _, err := mon.Tick(now); err != nil {

@@ -113,6 +113,12 @@ type Stats struct {
 	RebalancesSkipped uint64
 	// DeadSkipped counts monitors excluded from polls for being dead.
 	DeadSkipped uint64
+	// Heartbeats counts liveness beacons received from monitors.
+	Heartbeats uint64
+	// Reclamations counts dead-monitor allowance reclamations.
+	Reclamations uint64
+	// Restorations counts allowance restorations on resurrection.
+	Restorations uint64
 }
 
 type yieldReport struct {
@@ -146,6 +152,11 @@ type Coordinator struct {
 	yields      map[string]*yieldReport
 	assignments map[string]float64
 	lastSeen    map[string]time.Duration
+	// dead tracks which monitors have been declared dead (and had their
+	// allowance reclaimed); reclaimed remembers how much was taken so a
+	// resurrected monitor gets its slice back.
+	dead        map[string]bool
+	reclaimed   map[string]float64
 	poll        poll
 	now         time.Duration
 	ticks       uint64
@@ -219,6 +230,8 @@ func New(cfg Config) (*Coordinator, error) {
 		yields:      make(map[string]*yieldReport, len(cfg.Monitors)),
 		assignments: make(map[string]float64, len(cfg.Monitors)),
 		lastSeen:    make(map[string]time.Duration, len(cfg.Monitors)),
+		dead:        make(map[string]bool, len(cfg.Monitors)),
+		reclaimed:   make(map[string]float64, len(cfg.Monitors)),
 	}
 	even := cfg.Err / float64(len(cfg.Monitors))
 	for _, m := range cfg.Monitors {
@@ -248,6 +261,9 @@ func (c *Coordinator) Tick(now time.Duration) {
 			c.poll = poll{}
 			c.stats.PollsExpired++
 		}
+	}
+	if c.cfg.DeadAfter > 0 && c.updateLivenessLocked() {
+		assignments = c.snapshotAssignmentsLocked()
 	}
 	if !c.initialSent {
 		c.initialSent = true
@@ -280,6 +296,110 @@ func (c *Coordinator) deadLocked(m string) bool {
 		last = 0
 	}
 	return c.now-last > horizon
+}
+
+// updateLivenessLocked scans for monitors that crossed the liveness
+// horizon in either direction. On death the monitor's error allowance is
+// reclaimed and redistributed to live monitors, so the task-level detection
+// bound degrades gracefully (the survivors keep Σ err_i ≈ err) instead of a
+// dead monitor silently hoarding allowance nobody uses. On resurrection the
+// reclaimed slice is taken back from the live monitors and restored.
+// Reports whether any assignment changed. Caller holds c.mu.
+func (c *Coordinator) updateLivenessLocked() bool {
+	changed := false
+	for _, m := range c.cfg.Monitors {
+		isDead := c.deadLocked(m)
+		if isDead == c.dead[m] {
+			continue
+		}
+		if isDead {
+			c.dead[m] = true
+			if c.reclaimLocked(m) {
+				changed = true
+			}
+		} else {
+			delete(c.dead, m)
+			if c.restoreLocked(m) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// liveOthersLocked lists the monitors currently alive, excluding m, and the
+// sum of their assignments. Caller holds c.mu.
+func (c *Coordinator) liveOthersLocked(m string) ([]string, float64) {
+	var live []string
+	var sum float64
+	for _, o := range c.cfg.Monitors {
+		if o == m || c.deadLocked(o) {
+			continue
+		}
+		live = append(live, o)
+		sum += c.assignments[o]
+	}
+	return live, sum
+}
+
+// reclaimLocked moves a dead monitor's allowance to the live monitors,
+// proportionally to their current assignments (evenly when all are zero).
+// With no live monitor to receive it the allowance stays put — conservation
+// over starvation. Caller holds c.mu.
+func (c *Coordinator) reclaimLocked(m string) bool {
+	r := c.assignments[m]
+	if r <= 0 {
+		return false
+	}
+	live, sum := c.liveOthersLocked(m)
+	if len(live) == 0 {
+		return false
+	}
+	c.assignments[m] = 0
+	if sum > 0 {
+		for _, o := range live {
+			c.assignments[o] += r * c.assignments[o] / sum
+		}
+	} else {
+		share := r / float64(len(live))
+		for _, o := range live {
+			c.assignments[o] += share
+		}
+	}
+	c.reclaimed[m] = r
+	// The dead monitor's last yield report is stale by definition.
+	if y, ok := c.yields[m]; ok {
+		y.fresh = false
+	}
+	c.stats.Reclamations++
+	return true
+}
+
+// restoreLocked gives a resurrected monitor its reclaimed slice back,
+// scaling the live monitors' assignments down proportionally so the pool
+// stays conserved. Caller holds c.mu.
+func (c *Coordinator) restoreLocked(m string) bool {
+	r := c.reclaimed[m]
+	delete(c.reclaimed, m)
+	if r <= 0 {
+		return false
+	}
+	live, sum := c.liveOthersLocked(m)
+	if len(live) == 0 || sum <= 0 {
+		// Nothing to take back from; the monitor re-earns allowance at the
+		// next rebalance.
+		return false
+	}
+	if r > sum {
+		r = sum
+	}
+	scale := (sum - r) / sum
+	for _, o := range live {
+		c.assignments[o] *= scale
+	}
+	c.assignments[m] += r
+	c.stats.Restorations++
+	return true
 }
 
 // tickUnitLocked estimates the duration of one tick from the clock the
@@ -345,6 +465,11 @@ func (c *Coordinator) rebalanceLocked() bool {
 	minY, maxY := math.Inf(1), math.Inf(-1)
 	for m, r := range c.yields {
 		if !r.fresh {
+			continue
+		}
+		// A dead monitor's report is stale; trading allowance against it
+		// would hand the pool to a node that cannot use it.
+		if c.deadLocked(m) {
 			continue
 		}
 		e := math.Max(r.needed, eFloor)
@@ -529,6 +654,11 @@ func (c *Coordinator) handle(msg transport.Message) {
 			donorStreak: streak,
 		}
 		c.mu.Unlock()
+	case transport.KindHeartbeat:
+		// Pure liveness traffic: the lastSeen update above is the payload.
+		c.mu.Lock()
+		c.stats.Heartbeats++
+		c.mu.Unlock()
 	default:
 		// Monitor-bound kinds; ignore.
 	}
@@ -634,6 +764,20 @@ func (c *Coordinator) AliveMonitors() []string {
 	out := make([]string, 0, len(c.cfg.Monitors))
 	for _, m := range c.cfg.Monitors {
 		if !c.deadLocked(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DeadMonitors reports the monitors currently declared dead (allowance
+// reclaimed). Empty with liveness tracking disabled.
+func (c *Coordinator) DeadMonitors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.dead))
+	for _, m := range c.cfg.Monitors {
+		if c.dead[m] {
 			out = append(out, m)
 		}
 	}

@@ -1,0 +1,241 @@
+package coord
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"volley/internal/transport"
+)
+
+// reclaimConfig builds a 3-monitor config with liveness tracking enabled.
+func reclaimConfig(net transport.Network, id string) Config {
+	return Config{
+		ID:        id,
+		Task:      "t",
+		Threshold: 800,
+		Err:       0.03,
+		Monitors:  []string{"m1", "m2", "m3"},
+		Network:   net,
+		DeadAfter: 10,
+	}
+}
+
+// sumAssignments totals a coordinator's current per-monitor allowances.
+func sumAssignments(c *Coordinator) float64 {
+	var sum float64
+	for _, e := range c.Assignments() {
+		sum += e
+	}
+	return sum
+}
+
+// heartbeat sends a liveness beacon from a monitor address.
+func heartbeat(t *testing.T, net *transport.Memory, from, to string) {
+	t.Helper()
+	if err := net.Send(from, to, transport.Message{Kind: transport.KindHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadMonitorAllowanceReclaimed(t *testing.T) {
+	net := transport.NewMemory()
+	sinks := registerSink(t, net, "m1", "m2", "m3")
+	c, err := New(reclaimConfig(net, "coord-r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// m1 and m2 heartbeat every 5 ticks; m3 is silent throughout.
+	for i := 0; i < 50; i++ {
+		if i%5 == 0 {
+			heartbeat(t, net, "m1", "coord-r1")
+			heartbeat(t, net, "m2", "coord-r1")
+		}
+		c.Tick(time.Duration(i) * time.Second)
+	}
+
+	a := c.Assignments()
+	if a["m3"] != 0 {
+		t.Errorf("dead monitor keeps allowance %v, want 0", a["m3"])
+	}
+	if math.Abs(a["m1"]-0.015) > 1e-12 || math.Abs(a["m2"]-0.015) > 1e-12 {
+		t.Errorf("survivors got %v / %v, want 0.015 each", a["m1"], a["m2"])
+	}
+	if sum := sumAssignments(c); math.Abs(sum-0.03) > 1e-12 {
+		t.Errorf("allowance pool %v, want conserved at 0.03", sum)
+	}
+	st := c.Stats()
+	if st.Reclamations != 1 {
+		t.Errorf("Reclamations = %d, want 1", st.Reclamations)
+	}
+	if st.Heartbeats == 0 {
+		t.Error("Heartbeats = 0, want > 0")
+	}
+	if dead := c.DeadMonitors(); len(dead) != 1 || dead[0] != "m3" {
+		t.Errorf("DeadMonitors = %v, want [m3]", dead)
+	}
+
+	// The reclamation must have been announced: the last assignment m1
+	// received carries its enlarged slice.
+	var last float64
+	for _, m := range *sinks["m1"] {
+		if m.Kind == transport.KindErrAssignment {
+			last = m.Err
+		}
+	}
+	if math.Abs(last-0.015) > 1e-12 {
+		t.Errorf("last assignment sent to m1 = %v, want 0.015", last)
+	}
+}
+
+func TestResurrectedMonitorAllowanceRestored(t *testing.T) {
+	net := transport.NewMemory()
+	sinks := registerSink(t, net, "m1", "m2", "m3")
+	c, err := New(reclaimConfig(net, "coord-r2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	i := 0
+	tick := func(n int, alive ...string) {
+		for ; n > 0; n-- {
+			if i%5 == 0 {
+				for _, m := range alive {
+					heartbeat(t, net, m, "coord-r2")
+				}
+			}
+			c.Tick(time.Duration(i) * time.Second)
+			i++
+		}
+	}
+
+	tick(50, "m1", "m2") // m3 dies, allowance reclaimed
+	if st := c.Stats(); st.Reclamations != 1 {
+		t.Fatalf("Reclamations = %d, want 1 before resurrection", st.Reclamations)
+	}
+	tick(10, "m1", "m2", "m3") // m3 resurrects, slice restored
+
+	a := c.Assignments()
+	for _, m := range []string{"m1", "m2", "m3"} {
+		if math.Abs(a[m]-0.01) > 1e-12 {
+			t.Errorf("assignment %s = %v, want 0.01 restored", m, a[m])
+		}
+	}
+	if sum := sumAssignments(c); math.Abs(sum-0.03) > 1e-12 {
+		t.Errorf("allowance pool %v, want conserved at 0.03", sum)
+	}
+	st := c.Stats()
+	if st.Restorations != 1 {
+		t.Errorf("Restorations = %d, want 1", st.Restorations)
+	}
+	if dead := c.DeadMonitors(); len(dead) != 0 {
+		t.Errorf("DeadMonitors = %v, want none", dead)
+	}
+
+	// The restoration must have been announced to the resurrected monitor.
+	var last float64
+	for _, m := range *sinks["m3"] {
+		if m.Kind == transport.KindErrAssignment {
+			last = m.Err
+		}
+	}
+	if math.Abs(last-0.01) > 1e-12 {
+		t.Errorf("last assignment sent to m3 = %v, want 0.01", last)
+	}
+}
+
+func TestReclaimSkippedWithoutSurvivors(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2", "m3")
+	c, err := New(reclaimConfig(net, "coord-r3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickAll(c, 0, 50) // everyone silent: all die at once
+
+	// Conservation over starvation: with nobody to receive it, the
+	// allowance stays where it was.
+	a := c.Assignments()
+	for m, e := range a {
+		if math.Abs(e-0.01) > 1e-12 {
+			t.Errorf("assignment %s = %v, want untouched 0.01", m, e)
+		}
+	}
+	if st := c.Stats(); st.Reclamations != 0 {
+		t.Errorf("Reclamations = %d, want 0 with no live recipients", st.Reclamations)
+	}
+	if dead := c.DeadMonitors(); len(dead) != 3 {
+		t.Errorf("DeadMonitors = %v, want all three", dead)
+	}
+}
+
+func TestHeartbeatAloneKeepsMonitorAlive(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2")
+	cfg := validConfig(net)
+	cfg.ID = "coord-hb"
+	cfg.DeadAfter = 10
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// m1 sends nothing but heartbeats — no violations, no yield reports —
+	// and must stay alive; silent m2's allowance flows to it.
+	for i := 0; i < 60; i++ {
+		if i%4 == 0 {
+			heartbeat(t, net, "m1", "coord-hb")
+		}
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	alive := c.AliveMonitors()
+	if len(alive) != 1 || alive[0] != "m1" {
+		t.Fatalf("AliveMonitors = %v, want [m1]", alive)
+	}
+	a := c.Assignments()
+	if math.Abs(a["m1"]-0.01) > 1e-12 || a["m2"] != 0 {
+		t.Errorf("assignments = %v, want all 0.01 on m1", a)
+	}
+}
+
+func TestRebalanceIgnoresDeadMonitorYields(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2", "m3")
+	cfg := reclaimConfig(net, "coord-r4")
+	cfg.UpdatePeriod = 30
+	cfg.DeadAfter = 10
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// m3 files a spectacular yield report, then goes silent and dies before
+	// the first rebalance: its stale report must not attract allowance.
+	yield := func(from string, reduction, needed float64) {
+		if err := net.Send(from, "coord-r4", transport.Message{
+			Kind: transport.KindYieldReport, Reduction: reduction, Needed: needed, Interval: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	yield("m3", 0.9, 0.001)
+	for i := 0; i < 70; i++ {
+		if i%5 == 0 {
+			heartbeat(t, net, "m1", "coord-r4")
+			heartbeat(t, net, "m2", "coord-r4")
+			if i == 35 {
+				yield("m1", 0.5, 0.01)
+				yield("m2", 0.05, 0.01)
+			}
+		}
+		c.Tick(time.Duration(i) * time.Second)
+	}
+
+	if a := c.Assignments(); a["m3"] != 0 {
+		t.Errorf("dead monitor's stale yield attracted allowance %v", a["m3"])
+	}
+	if sum := sumAssignments(c); sum > 0.03+1e-12 {
+		t.Errorf("allowance pool %v exceeds task allowance 0.03", sum)
+	}
+}

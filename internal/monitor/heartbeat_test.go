@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"volley/internal/transport"
+)
+
+func TestHeartbeatsSentPeriodically(t *testing.T) {
+	net := transport.NewMemory()
+	var beats []transport.Message
+	if err := net.Register("coord", func(m transport.Message) {
+		if m.Kind == transport.KindHeartbeat {
+			beats = append(beats, m)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: quietAgent(), Sampler: samplerCfg(1000, 0.5),
+		Network: net, Coordinator: "coord", HeartbeatEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(beats) != 4 {
+		t.Fatalf("received %d heartbeats over 20 ticks at period 5, want 4", len(beats))
+	}
+	for _, b := range beats {
+		if b.From != "m1" || b.Task != "t" {
+			t.Errorf("heartbeat %+v, want From m1 Task t", b)
+		}
+	}
+	if st := m.Stats(); st.Heartbeats != 4 {
+		t.Errorf("Stats.Heartbeats = %d, want 4", st.Heartbeats)
+	}
+}
+
+// TestHeartbeatsIndependentOfSampling: beacons must keep flowing while the
+// sampler coasts at a long interval — that silence is exactly what liveness
+// tracking needs to see through.
+func TestHeartbeatsIndependentOfSampling(t *testing.T) {
+	net := transport.NewMemory()
+	beats := 0
+	if err := net.Register("coord", func(m transport.Message) {
+		if m.Kind == transport.KindHeartbeat {
+			beats++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: quietAgent(), Sampler: samplerCfg(1000, 0.5),
+		Network: net, Coordinator: "coord", HeartbeatEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Samples >= st.Ticks {
+		t.Fatalf("interval never grew (samples %d of %d ticks); test premise broken", st.Samples, st.Ticks)
+	}
+	if beats != 30 {
+		t.Errorf("received %d heartbeats over 90 ticks at period 3, want 30", beats)
+	}
+}
+
+func TestNewRejectsNegativeHeartbeatEvery(t *testing.T) {
+	if _, err := New(Config{
+		ID: "m1", Agent: quietAgent(), Sampler: samplerCfg(10, 0.1), HeartbeatEvery: -1,
+	}); err == nil {
+		t.Error("negative HeartbeatEvery accepted, want error")
+	}
+}
+
+func TestHeartbeatsDisabledByDefault(t *testing.T) {
+	net := transport.NewMemory()
+	beats := 0
+	if err := net.Register("coord", func(m transport.Message) {
+		if m.Kind == transport.KindHeartbeat {
+			beats++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		ID: "m1", Task: "t", Agent: quietAgent(), Sampler: samplerCfg(1000, 0.5),
+		Network: net, Coordinator: "coord",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := m.Tick(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if beats != 0 {
+		t.Errorf("received %d heartbeats with HeartbeatEvery 0, want none", beats)
+	}
+}

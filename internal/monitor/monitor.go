@@ -55,6 +55,12 @@ type Config struct {
 	// to the coordinator (the paper's updating period is 1000·Id). Zero
 	// disables reporting (standalone monitors).
 	YieldEvery int
+	// HeartbeatEvery is the number of default intervals between liveness
+	// heartbeats to the coordinator. Over real networks silence between
+	// violations is the normal case, so the coordinator's DeadAfter
+	// liveness tracking needs explicit beacons; set this well below the
+	// coordinator's DeadAfter horizon. Zero disables heartbeats.
+	HeartbeatEvery int
 }
 
 // Stats counts a monitor's activity.
@@ -70,6 +76,8 @@ type Stats struct {
 	LocalViolations uint64
 	// AgentErrors counts failed sampling attempts.
 	AgentErrors uint64
+	// Heartbeats counts liveness beacons sent to the coordinator.
+	Heartbeats uint64
 }
 
 // Monitor is one monitor node. Tick and the message handler must be driven
@@ -91,6 +99,9 @@ type Monitor struct {
 	sumE       float64
 	sumI       float64
 	yieldN     int
+
+	// Ticks since the last heartbeat.
+	hbTicks int
 }
 
 // New validates cfg, builds the monitor and registers it on the network.
@@ -106,6 +117,9 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.YieldEvery < 0 {
 		return nil, fmt.Errorf("monitor %s: negative YieldEvery", cfg.ID)
+	}
+	if cfg.HeartbeatEvery < 0 {
+		return nil, fmt.Errorf("monitor %s: negative HeartbeatEvery", cfg.ID)
 	}
 	sampler, err := core.NewSampler(cfg.Sampler)
 	if err != nil {
@@ -134,6 +148,9 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 
 	m.mu.Lock()
 	m.stats.Ticks++
+	if msg, ok := m.heartbeatLocked(now); ok {
+		outgoing = append(outgoing, msg)
+	}
 	if msg, ok := m.yieldReportLocked(now); ok {
 		outgoing = append(outgoing, msg)
 	}
@@ -180,6 +197,27 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 	m.mu.Unlock()
 	m.sendAll(outgoing)
 	return true, v, nil
+}
+
+// heartbeatLocked prepares the periodic liveness beacon. It fires on every
+// HeartbeatEvery-th tick regardless of sampling activity, so a monitor
+// coasting at a long interval stays visibly alive. Caller holds m.mu.
+func (m *Monitor) heartbeatLocked(now time.Duration) (transport.Message, bool) {
+	if m.cfg.Network == nil || m.cfg.HeartbeatEvery == 0 {
+		return transport.Message{}, false
+	}
+	m.hbTicks++
+	if m.hbTicks < m.cfg.HeartbeatEvery {
+		return transport.Message{}, false
+	}
+	m.hbTicks = 0
+	m.stats.Heartbeats++
+	return transport.Message{
+		Kind:  transport.KindHeartbeat,
+		Task:  m.cfg.Task,
+		Time:  now,
+		Value: m.lastValue,
+	}, true
 }
 
 // yieldReportLocked prepares the periodic yield report. Caller holds m.mu.

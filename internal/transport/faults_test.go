@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"testing"
+)
+
+// register wires a counting sink for each address and returns the counts.
+func registerCounters(t *testing.T, m *Memory, addrs ...string) map[string]*int {
+	t.Helper()
+	out := make(map[string]*int, len(addrs))
+	for _, a := range addrs {
+		a := a
+		n := new(int)
+		out[a] = n
+		if err := m.Register(a, func(Message) { *n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestMemoryPartition(t *testing.T) {
+	m := NewMemory()
+	got := registerCounters(t, m, "a", "b", "c")
+
+	m.Partition([]string{"a"}, []string{"b"})
+	if err := m.Send("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["b"] != 0 {
+		t.Error("message crossed the partition")
+	}
+	if err := m.Send("b", "a", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["a"] != 0 {
+		t.Error("reverse message crossed the partition")
+	}
+	// c is in no group: reachable from both sides.
+	if err := m.Send("a", "c", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send("b", "c", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["c"] != 2 {
+		t.Errorf("unlisted address got %d messages, want 2", *got["c"])
+	}
+	// Same-group traffic flows.
+	m.Partition([]string{"a", "b"}, []string{"c"})
+	if err := m.Send("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["b"] != 1 {
+		t.Error("same-group message dropped")
+	}
+
+	m.Heal()
+	if err := m.Send("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["b"] != 2 {
+		t.Error("message dropped after heal")
+	}
+	if st := m.Stats(); st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestMemoryCrashRestart(t *testing.T) {
+	m := NewMemory()
+	got := registerCounters(t, m, "a", "b")
+
+	m.Crash("b")
+	if err := m.Send("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["b"] != 0 {
+		t.Error("crashed endpoint received a message")
+	}
+	// A crashed endpoint's own sends vanish too.
+	if err := m.Send("b", "a", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["a"] != 0 {
+		t.Error("message from crashed endpoint delivered")
+	}
+
+	m.Restart("b")
+	if err := m.Send("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["b"] != 1 {
+		t.Error("restarted endpoint unreachable")
+	}
+	if st := m.Stats(); st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestMemoryReorderSwapsAdjacent(t *testing.T) {
+	m := NewMemory(WithReorder(1.0, 3))
+	var order []float64
+	if err := m.Register("x", func(msg Message) { order = append(order, msg.Value) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := m.Send("a", "x", Message{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With p=1, every odd message is held and flushed after its successor:
+	// 1 held, 2 delivered then 1, 3 held, 4 delivered then 3.
+	want := []float64{2, 1, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %d messages, want %d (%v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+	if st := m.Stats(); st.Reordered != 2 || st.Delivered != 4 {
+		t.Errorf("stats = %+v, want Reordered 2 Delivered 4", st)
+	}
+}
+
+func TestMemorySetLossMidRun(t *testing.T) {
+	m := NewMemory()
+	got := registerCounters(t, m, "x")
+
+	m.SetLoss(1.0)
+	for i := 0; i < 20; i++ {
+		if err := m.Send("a", "x", Message{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *got["x"] != 0 {
+		t.Errorf("%d delivered at loss 1.0", *got["x"])
+	}
+	m.SetLoss(0)
+	if err := m.Send("a", "x", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["x"] != 1 {
+		t.Error("delivery failed after loss reset")
+	}
+}
+
+func TestMemoryHeldMessageCutByCrash(t *testing.T) {
+	m := NewMemory(WithReorder(1.0, 9))
+	got := registerCounters(t, m, "x", "y")
+
+	// First message to x is held; x crashes before the flush.
+	if err := m.Send("a", "x", Message{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash("x")
+	if err := m.Send("a", "y", Message{Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if *got["x"] != 0 {
+		t.Error("held message delivered to crashed endpoint")
+	}
+	if *got["y"] != 1 {
+		t.Error("flush trigger message lost")
+	}
+}
+
+func TestHeartbeatKindString(t *testing.T) {
+	if got := KindHeartbeat.String(); got != "heartbeat" {
+		t.Errorf("KindHeartbeat.String() = %q", got)
+	}
+}

@@ -5,13 +5,81 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
+// Defaults for the fault-tolerant TCP node. They target LAN-scale
+// deployments: deadlines short enough that a blackholed peer is detected
+// within a couple of seconds, backoff long enough that a crashed peer is
+// not hammered with dials.
+const (
+	DefaultDialTimeout   = 2 * time.Second
+	DefaultSendTimeout   = 2 * time.Second
+	DefaultQueueDepth    = 256
+	DefaultBackoffMin    = 50 * time.Millisecond
+	DefaultBackoffMax    = 5 * time.Second
+	DefaultSendRetries   = 3
+	DefaultDedupWindow   = 1024
+	defaultAcceptBackoff = time.Millisecond
+	maxAcceptBackoff     = time.Second
+)
+
+// TCPOption configures a TCPNode.
+type TCPOption func(*TCPNode)
+
+// WithDialTimeout bounds how long an outbound dial may take before the
+// writer backs off and retries.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(n *TCPNode) { n.dialTimeout = d }
+}
+
+// WithSendTimeout bounds each message write; a peer that stops reading
+// cannot stall the writer beyond this deadline.
+func WithSendTimeout(d time.Duration) TCPOption {
+	return func(n *TCPNode) { n.sendTimeout = d }
+}
+
+// WithQueueDepth sets the per-peer outbound queue capacity. Send never
+// blocks: when a peer's queue is full the message is dropped and counted.
+func WithQueueDepth(depth int) TCPOption {
+	return func(n *TCPNode) { n.queueDepth = depth }
+}
+
+// WithReconnectBackoff bounds the exponential backoff between reconnect
+// attempts to a dead peer (jittered to avoid thundering herds).
+func WithReconnectBackoff(min, max time.Duration) TCPOption {
+	return func(n *TCPNode) { n.backoffMin, n.backoffMax = min, max }
+}
+
+// WithSendRetries sets how many delivery attempts a queued message gets
+// before being dropped (each failed attempt reconnects first).
+func WithSendRetries(retries int) TCPOption {
+	return func(n *TCPNode) { n.retries = retries }
+}
+
+// WithDedupWindow sets the per-sender receive-side deduplication window (in
+// messages). Reconnect retransmissions can deliver a message twice; the
+// window suppresses the second copy. Zero disables deduplication.
+func WithDedupWindow(window int) TCPOption {
+	return func(n *TCPNode) { n.dedupWin = window }
+}
+
 // TCPNode is one endpoint of a gob-over-TCP network. Each node listens on
-// its own address and dials peers on demand, caching connections. Unlike
-// Memory there is no central registry: the address *is* the location.
+// its own address and dials peers on demand. Unlike Memory there is no
+// central registry: the address *is* the location.
+//
+// Sending is asynchronous: Send enqueues onto a per-peer outbound queue and
+// returns immediately, so a dead or blackholed peer can never block a
+// caller (a Coordinator.Tick in particular). A writer goroutine per peer
+// dials with a deadline, writes with a deadline, and reconnects with
+// bounded-exponential jittered backoff. Outgoing messages are stamped with
+// a node-local Seq (random base, monotonic) and receivers suppress
+// duplicates per sender within a sliding window, giving effectively
+// at-most-once delivery across retransmissions.
 //
 // TCPNode is safe for concurrent use.
 type TCPNode struct {
@@ -19,25 +87,67 @@ type TCPNode struct {
 	listener net.Listener
 	handler  Handler
 
+	dialTimeout time.Duration
+	sendTimeout time.Duration
+	queueDepth  int
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	retries     int
+	dedupWin    int
+
+	seq atomic.Uint64
+
 	mu      sync.Mutex
-	conns   map[string]*gobConn
+	peers   map[string]*tcpPeer
 	inbound map[net.Conn]struct{}
+	dedup   map[string]*seqWindow
 	stats   Stats
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-type gobConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	mu   sync.Mutex
+type tcpPeer struct {
+	addr  string
+	queue chan Message
+}
+
+// seqWindow tracks the most recent sequence numbers seen from one sender; a
+// bounded set so a long-lived node cannot grow without limit.
+type seqWindow struct {
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+func newSeqWindow(capacity int) *seqWindow {
+	return &seqWindow{
+		seen: make(map[uint64]struct{}, capacity),
+		ring: make([]uint64, 0, capacity),
+	}
+}
+
+// observe records seq and reports whether it was already in the window.
+func (w *seqWindow) observe(seq uint64) (duplicate bool) {
+	if _, ok := w.seen[seq]; ok {
+		return true
+	}
+	if len(w.ring) < cap(w.ring) {
+		w.ring = append(w.ring, seq)
+	} else {
+		delete(w.seen, w.ring[w.next])
+		w.ring[w.next] = seq
+		w.next = (w.next + 1) % len(w.ring)
+	}
+	w.seen[seq] = struct{}{}
+	return false
 }
 
 // ListenTCP starts a node listening on addr (e.g. "127.0.0.1:0"). The
 // handler is invoked from receiving goroutines, one per inbound connection;
 // it must be safe for concurrent use.
-func ListenTCP(addr string, h Handler) (*TCPNode, error) {
+func ListenTCP(addr string, h Handler, opts ...TCPOption) (*TCPNode, error) {
 	if h == nil {
 		return nil, fmt.Errorf("transport: nil handler")
 	}
@@ -46,13 +156,40 @@ func ListenTCP(addr string, h Handler) (*TCPNode, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &TCPNode{
-		addr:     l.Addr().String(),
-		listener: l,
-		handler:  h,
-		conns:    make(map[string]*gobConn),
-		inbound:  make(map[net.Conn]struct{}),
-		closed:   make(chan struct{}),
+		addr:        l.Addr().String(),
+		listener:    l,
+		handler:     h,
+		dialTimeout: DefaultDialTimeout,
+		sendTimeout: DefaultSendTimeout,
+		queueDepth:  DefaultQueueDepth,
+		backoffMin:  DefaultBackoffMin,
+		backoffMax:  DefaultBackoffMax,
+		retries:     DefaultSendRetries,
+		dedupWin:    DefaultDedupWindow,
+		peers:       make(map[string]*tcpPeer),
+		inbound:     make(map[net.Conn]struct{}),
+		dedup:       make(map[string]*seqWindow),
+		closed:      make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if n.dialTimeout <= 0 || n.sendTimeout <= 0 {
+		l.Close()
+		return nil, fmt.Errorf("transport: non-positive deadline")
+	}
+	if n.queueDepth < 1 || n.retries < 1 || n.dedupWin < 0 {
+		l.Close()
+		return nil, fmt.Errorf("transport: invalid queue depth, retries or dedup window")
+	}
+	if n.backoffMin <= 0 || n.backoffMax < n.backoffMin {
+		l.Close()
+		return nil, fmt.Errorf("transport: invalid reconnect backoff [%v, %v]", n.backoffMin, n.backoffMax)
+	}
+	// Random sequence base (like a TCP ISN): a restarted node picks a new
+	// base, so its fresh messages do not collide with its previous
+	// incarnation's entries in peers' dedup windows.
+	n.seq.Store(rand.Uint64())
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -61,8 +198,22 @@ func ListenTCP(addr string, h Handler) (*TCPNode, error) {
 // Addr reports the node's listen address (useful with port 0).
 func (n *TCPNode) Addr() string { return n.addr }
 
+// sleep waits for d or until the node closes; it reports whether the node
+// is still open.
+func (n *TCPNode) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-n.closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 func (n *TCPNode) acceptLoop() {
 	defer n.wg.Done()
+	backoff := defaultAcceptBackoff
 	for {
 		conn, err := n.listener.Accept()
 		if err != nil {
@@ -71,9 +222,18 @@ func (n *TCPNode) acceptLoop() {
 				return
 			default:
 			}
-			// Transient accept errors: keep serving until closed.
+			// Transient accept errors (EMFILE, ECONNABORTED): back off
+			// briefly instead of busy-spinning, then keep serving.
+			if !n.sleep(backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
 			continue
 		}
+		backoff = defaultAcceptBackoff
 		n.mu.Lock()
 		n.inbound[conn] = struct{}{}
 		n.mu.Unlock()
@@ -105,14 +265,38 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			return
 		}
 		n.mu.Lock()
+		if n.duplicateLocked(msg) {
+			n.stats.Duplicates++
+			n.mu.Unlock()
+			continue
+		}
 		n.stats.Delivered++
 		n.mu.Unlock()
 		n.handler(msg)
 	}
 }
 
+// duplicateLocked reports whether msg was already delivered by this sender
+// (a reconnect retransmission). Messages without a sequence number bypass
+// deduplication. Caller holds n.mu.
+func (n *TCPNode) duplicateLocked(msg Message) bool {
+	if n.dedupWin == 0 || msg.Seq == 0 || msg.From == "" {
+		return false
+	}
+	w, ok := n.dedup[msg.From]
+	if !ok {
+		w = newSeqWindow(n.dedupWin)
+		n.dedup[msg.From] = w
+	}
+	return w.observe(msg.Seq)
+}
+
 // Send implements the Network sending contract for a TCP node. The from
 // argument should be this node's Addr so peers can reply.
+//
+// Send is asynchronous and never blocks: it stamps the message, enqueues it
+// on the destination peer's outbound queue and returns. A full queue (the
+// peer is dead or too slow) drops the message and returns an error.
 func (n *TCPNode) Send(from, to string, msg Message) error {
 	select {
 	case <-n.closed:
@@ -120,50 +304,103 @@ func (n *TCPNode) Send(from, to string, msg Message) error {
 	default:
 	}
 	msg.From = from
-	c, err := n.conn(to)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(msg); err != nil {
-		// Connection broke: evict it so the next Send redials.
-		n.mu.Lock()
-		if n.conns[to] == c {
-			delete(n.conns, to)
-		}
-		n.mu.Unlock()
-		c.conn.Close()
-		return fmt.Errorf("transport: send to %s: %w", to, err)
-	}
+	msg.Seq = n.seq.Add(1)
+
 	n.mu.Lock()
+	p, ok := n.peers[to]
+	if !ok {
+		p = &tcpPeer{addr: to, queue: make(chan Message, n.queueDepth)}
+		n.peers[to] = p
+		n.wg.Add(1)
+		go n.writeLoop(p)
+	}
 	n.stats.Sent++
 	n.mu.Unlock()
-	return nil
+
+	select {
+	case p.queue <- msg:
+		return nil
+	default:
+		n.mu.Lock()
+		n.stats.Dropped++
+		n.stats.QueueFull++
+		n.mu.Unlock()
+		return fmt.Errorf("transport: send to %s: outbound queue full", to)
+	}
 }
 
-func (n *TCPNode) conn(to string) (*gobConn, error) {
-	n.mu.Lock()
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
+// writeLoop drains one peer's outbound queue: dial (with deadline) when
+// disconnected, write each message under a deadline, and on any failure
+// reconnect with bounded-exponential jittered backoff. A message gets a
+// fixed number of attempts before being dropped, so a long-dead peer sheds
+// load instead of accumulating it.
+func (n *TCPNode) writeLoop(p *tcpPeer) {
+	defer n.wg.Done()
+	var (
+		conn net.Conn
+		enc  *gob.Encoder
+	)
+	// Jitter source local to this goroutine; the exact seed is irrelevant,
+	// it only decorrelates concurrent reconnect storms.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(p.addr))))
+	backoff := n.backoffMin
+	everConnected := false
+	disconnect := func() {
+		if conn != nil {
+			conn.Close()
+			conn, enc = nil, nil
+		}
 	}
-	n.mu.Unlock()
-
-	raw, err := net.Dial("tcp", to)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	defer disconnect()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case msg := <-p.queue:
+			delivered := false
+			for attempt := 0; attempt < n.retries; attempt++ {
+				if conn == nil {
+					c, err := net.DialTimeout("tcp", p.addr, n.dialTimeout)
+					if err != nil {
+						// Jittered bounded-exponential backoff: sleep in
+						// [backoff/2, backoff), then double.
+						d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+						if !n.sleep(d) {
+							return
+						}
+						backoff *= 2
+						if backoff > n.backoffMax {
+							backoff = n.backoffMax
+						}
+						continue
+					}
+					conn, enc = c, gob.NewEncoder(c)
+					if everConnected {
+						n.mu.Lock()
+						n.stats.Reconnects++
+						n.mu.Unlock()
+					}
+					everConnected = true
+				}
+				conn.SetWriteDeadline(time.Now().Add(n.sendTimeout))
+				if err := enc.Encode(msg); err != nil {
+					// The write may have partially reached the peer; the
+					// retry on a fresh connection can deliver a duplicate,
+					// which the receive-side dedup window suppresses.
+					disconnect()
+					continue
+				}
+				backoff = n.backoffMin
+				delivered = true
+				break
+			}
+			if !delivered {
+				n.mu.Lock()
+				n.stats.Dropped++
+				n.mu.Unlock()
+			}
+		}
 	}
-	c := &gobConn{conn: raw, enc: gob.NewEncoder(raw)}
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[to]; ok {
-		raw.Close()
-		return existing, nil
-	}
-	n.conns[to] = c
-	return c, nil
 }
 
 // Stats returns a snapshot of the node's traffic counters.
@@ -174,24 +411,19 @@ func (n *TCPNode) Stats() Stats {
 }
 
 // Close shuts the node down: stops accepting, closes all connections and
-// waits for receive loops to drain.
+// waits for receive loops and per-peer writers to drain. Messages still
+// queued for dead peers are discarded.
 func (n *TCPNode) Close() error {
-	select {
-	case <-n.closed:
-		return nil
-	default:
-	}
-	close(n.closed)
-	err := n.listener.Close()
-	n.mu.Lock()
-	for to, c := range n.conns {
-		c.conn.Close()
-		delete(n.conns, to)
-	}
-	for conn := range n.inbound {
-		conn.Close()
-	}
-	n.mu.Unlock()
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		err = n.listener.Close()
+		n.mu.Lock()
+		for conn := range n.inbound {
+			conn.Close()
+		}
+		n.mu.Unlock()
+	})
 	n.wg.Wait()
 	return err
 }

@@ -39,6 +39,10 @@ const (
 	// KindErrAssignment carries the coordinator's new error-allowance
 	// assignment to a monitor.
 	KindErrAssignment
+	// KindHeartbeat is a monitor→coordinator liveness beacon: over real
+	// networks silence between violations is the normal case, so liveness
+	// needs explicit traffic.
+	KindHeartbeat
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -54,6 +58,8 @@ func (k Kind) String() string {
 		return "yield-report"
 	case KindErrAssignment:
 		return "err-assignment"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -102,24 +108,54 @@ type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+	// Duplicates counts received messages suppressed by sequence-number
+	// deduplication (TCP reconnect retransmissions).
+	Duplicates uint64
+	// Reconnects counts outbound connections re-established after a
+	// failure (TCP).
+	Reconnects uint64
+	// QueueFull counts sends dropped because a peer's outbound queue was
+	// full (TCP); these are also included in Dropped.
+	QueueFull uint64
+	// Reordered counts deliveries deferred by reorder injection (Memory).
+	Reordered uint64
 }
 
 // Memory is the deterministic in-process Network used in simulations. If a
 // Scheduler is provided, deliveries are deferred through it (so they occur
 // in virtual time); otherwise they are synchronous.
 //
+// Beyond probabilistic loss and duplication, Memory scripts the structural
+// failures of real datacenter networks: Partition splits the address space
+// into mutually unreachable groups, Crash/Restart makes an endpoint drop
+// all of its traffic while down, and reorder injection defers a message
+// past its successor. All fault switches can be flipped mid-run, which is
+// what the chaos harness does.
+//
 // Memory is safe for concurrent use, though simulation runs are single-
 // threaded by construction.
 type Memory struct {
-	mu       sync.Mutex
-	handlers map[string]Handler
-	stats    Stats
-	lossProb float64
-	dupProb  float64
-	delay    time.Duration
-	rng      *rand.Rand
-	schedule func(d time.Duration, f func()) error
-	seq      uint64
+	mu          sync.Mutex
+	handlers    map[string]Handler
+	stats       Stats
+	lossProb    float64
+	dupProb     float64
+	reorderProb float64
+	delay       time.Duration
+	rng         *rand.Rand
+	schedule    func(d time.Duration, f func()) error
+	seq         uint64
+	partition   map[string]int
+	crashed     map[string]bool
+	held        []heldDelivery
+}
+
+// heldDelivery is a message deferred by reorder injection, flushed after
+// the next undeferred delivery.
+type heldDelivery struct {
+	h   Handler
+	to  string
+	msg Message
 }
 
 // MemoryOption configures a Memory network.
@@ -142,6 +178,19 @@ func WithLoss(p float64, seed int64) MemoryOption {
 func WithDuplication(p float64, seed int64) MemoryOption {
 	return func(m *Memory) {
 		m.dupProb = p
+		if m.rng == nil {
+			m.rng = rand.New(rand.NewSource(seed))
+		}
+	}
+}
+
+// WithReorder defers each message independently with probability p so it
+// is delivered after its successor — the out-of-order delivery multipath
+// networks exhibit. At most one message is held at a time; the held message
+// is flushed right after the next undeferred delivery.
+func WithReorder(p float64, seed int64) MemoryOption {
+	return func(m *Memory) {
+		m.reorderProb = p
 		if m.rng == nil {
 			m.rng = rand.New(rand.NewSource(seed))
 		}
@@ -181,6 +230,87 @@ func (m *Memory) Register(addr string, h Handler) error {
 	return nil
 }
 
+// rngLocked returns the fault-injection RNG, creating a deterministic one
+// on first use so fault switches can be flipped at runtime on a Memory that
+// was built without probabilistic options. Caller holds m.mu.
+func (m *Memory) rngLocked() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(1))
+	}
+	return m.rng
+}
+
+// SetLoss changes the message-loss probability mid-run.
+func (m *Memory) SetLoss(p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lossProb = p
+	m.rngLocked()
+}
+
+// SetReorder changes the reorder probability mid-run.
+func (m *Memory) SetReorder(p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reorderProb = p
+	m.rngLocked()
+}
+
+// Partition splits the network: a message whose sender and receiver fall in
+// different groups is dropped. Addresses not listed in any group remain
+// reachable from everywhere. Partition replaces any previous partition;
+// Heal removes it.
+func (m *Memory) Partition(groups ...[]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partition = make(map[string]int)
+	for i, g := range groups {
+		for _, addr := range g {
+			m.partition[addr] = i
+		}
+	}
+}
+
+// Heal removes the current partition.
+func (m *Memory) Heal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partition = nil
+}
+
+// Crash takes an endpoint down: all messages to or from it are dropped
+// until Restart. The registration survives, modeling a process crash rather
+// than a decommission.
+func (m *Memory) Crash(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed == nil {
+		m.crashed = make(map[string]bool)
+	}
+	m.crashed[addr] = true
+}
+
+// Restart brings a crashed endpoint back.
+func (m *Memory) Restart(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.crashed, addr)
+}
+
+// unreachableLocked reports whether a message from→to is cut by the current
+// partition or a crashed endpoint. Caller holds m.mu.
+func (m *Memory) unreachableLocked(from, to string) bool {
+	if m.crashed[from] || m.crashed[to] {
+		return true
+	}
+	if m.partition == nil {
+		return false
+	}
+	gf, okf := m.partition[from]
+	gt, okt := m.partition[to]
+	return okf && okt && gf != gt
+}
+
 // Send implements Network.
 func (m *Memory) Send(from, to string, msg Message) error {
 	m.mu.Lock()
@@ -193,35 +323,70 @@ func (m *Memory) Send(from, to string, msg Message) error {
 	m.seq++
 	msg.From = from
 	msg.Seq = m.seq
-	dropped := m.lossProb > 0 && m.rng.Float64() < m.lossProb
+	if m.unreachableLocked(from, to) {
+		m.stats.Dropped++
+		m.mu.Unlock()
+		return nil
+	}
+	dropped := m.lossProb > 0 && m.rngLocked().Float64() < m.lossProb
 	if dropped {
 		m.stats.Dropped++
 		m.mu.Unlock()
 		return nil
 	}
-	duplicated := m.dupProb > 0 && m.rng.Float64() < m.dupProb
+	duplicated := m.dupProb > 0 && m.rngLocked().Float64() < m.dupProb
+	// Hold at most one message at a time: a held message is delivered right
+	// after the next undeferred one, producing a pairwise swap.
+	if m.reorderProb > 0 && len(m.held) == 0 && m.rngLocked().Float64() < m.reorderProb {
+		m.held = append(m.held, heldDelivery{h: h, to: to, msg: msg})
+		m.stats.Reordered++
+		m.mu.Unlock()
+		return nil
+	}
+	held := m.held
+	m.held = nil
 	schedule := m.schedule
 	delay := m.delay
 	m.mu.Unlock()
 
-	deliver := func() {
-		h(msg)
-		m.mu.Lock()
-		m.stats.Delivered++
-		m.mu.Unlock()
+	deliver := func(h Handler, msg Message) func() {
+		return func() {
+			h(msg)
+			m.mu.Lock()
+			m.stats.Delivered++
+			m.mu.Unlock()
+		}
 	}
+	var deliveries []func()
 	times := 1
 	if duplicated {
 		times = 2
 	}
 	for i := 0; i < times; i++ {
+		deliveries = append(deliveries, deliver(h, msg))
+	}
+	// Flush held messages after the current one; re-check reachability at
+	// flush time so a crash or partition that happened while the message
+	// was in flight still cuts it.
+	for _, hd := range held {
+		m.mu.Lock()
+		cut := m.unreachableLocked(hd.msg.From, hd.to)
+		if cut {
+			m.stats.Dropped++
+		}
+		m.mu.Unlock()
+		if !cut {
+			deliveries = append(deliveries, deliver(hd.h, hd.msg))
+		}
+	}
+	for _, d := range deliveries {
 		if schedule != nil {
-			if err := schedule(delay, deliver); err != nil {
+			if err := schedule(delay, d); err != nil {
 				return err
 			}
 			continue
 		}
-		deliver()
+		d()
 	}
 	return nil
 }

@@ -226,7 +226,9 @@ func TestTCPManyMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer server.Close()
-	client, err := ListenTCP("127.0.0.1:0", func(Message) {})
+	// The burst outruns the writer while it dials, so give the outbound
+	// queue room for the whole batch.
+	client, err := ListenTCP("127.0.0.1:0", func(Message) {}, WithQueueDepth(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,15 +268,26 @@ func TestTCPSendAfterClose(t *testing.T) {
 }
 
 func TestTCPDialFailure(t *testing.T) {
-	n, err := ListenTCP("127.0.0.1:0", func(Message) {})
+	n, err := ListenTCP("127.0.0.1:0", func(Message) {},
+		WithReconnectBackoff(time.Millisecond, 10*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	// Port 1 is almost certainly closed.
-	if err := n.Send(n.Addr(), "127.0.0.1:1", Message{}); err == nil {
-		t.Error("dial to closed port succeeded, want error")
+	// Port 1 is almost certainly closed. Sending is asynchronous, so the
+	// enqueue succeeds; the writer exhausts its dial retries in the
+	// background and drops the message.
+	if err := n.Send(n.Addr(), "127.0.0.1:1", Message{}); err != nil {
+		t.Fatalf("async send errored synchronously: %v", err)
 	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.Stats().Dropped >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("message to closed port never dropped: %+v", n.Stats())
 }
 
 func TestListenTCPValidation(t *testing.T) {
@@ -316,6 +329,10 @@ func TestTCPMessageFieldsRoundTrip(t *testing.T) {
 	select {
 	case msg := <-got:
 		want.From = client.Addr() // Send stamps the sender
+		if msg.Seq == 0 {
+			t.Error("Send did not stamp a sequence number")
+		}
+		want.Seq = msg.Seq // Send overwrites Seq with its own counter
 		if msg != want {
 			t.Errorf("round trip mutated message:\n got %+v\nwant %+v", msg, want)
 		}

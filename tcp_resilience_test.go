@@ -1,0 +1,266 @@
+// TCP fault-tolerance scenarios over real sockets: a coordinator whose Tick
+// stays bounded with an unreachable peer, and a monitor crash/restart cycle
+// that resumes from a snapshot while the coordinator reclaims and restores
+// its allowance.
+package volley_test
+
+import (
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"volley"
+)
+
+// fastTCPOpts keeps TCP fault-handling timings test-sized.
+func fastTCPOpts() []volley.TCPOption {
+	return []volley.TCPOption{
+		volley.WithTCPDialTimeout(500 * time.Millisecond),
+		volley.WithTCPSendTimeout(500 * time.Millisecond),
+		volley.WithTCPReconnectBackoff(time.Millisecond, 20*time.Millisecond),
+	}
+}
+
+// tcpHost pairs a TCP node with a swappable handler so volley nodes can
+// register on it through a funcNetwork.
+type tcpHost struct {
+	mu      sync.Mutex
+	handler volley.MessageHandler
+	node    *volley.TCPNode
+}
+
+func newTCPHost(t *testing.T, addr string) *tcpHost {
+	t.Helper()
+	h := &tcpHost{}
+	node, err := volley.ListenTCP(addr, func(msg volley.Message) {
+		h.mu.Lock()
+		handler := h.handler
+		h.mu.Unlock()
+		if handler != nil {
+			handler(msg)
+		}
+	}, fastTCPOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.node = node
+	return h
+}
+
+func (h *tcpHost) network() *funcNetwork {
+	return &funcNetwork{
+		register: func(_ string, handler volley.MessageHandler) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			h.handler = handler
+			return nil
+		},
+		send: h.node.Send,
+	}
+}
+
+// TestCoordinatorTickBoundedWithUnreachablePeer is the acceptance criterion
+// for asynchronous sending: a coordinator whose only monitor is unreachable
+// must still tick at full speed — enqueueing is bounded by the queue check,
+// not by dial or write deadlines.
+func TestCoordinatorTickBoundedWithUnreachablePeer(t *testing.T) {
+	host := newTCPHost(t, "127.0.0.1:0")
+	defer host.node.Close()
+
+	// A port that refuses connections: listen, note the address, close.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	c, err := volley.NewCoordinator(volley.CoordinatorConfig{
+		ID:        host.node.Addr(),
+		Task:      "bounded",
+		Threshold: 100,
+		Err:       0.05,
+		Monitors:  []string{dead},
+		Network:   host.network(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The first tick pushes the initial assignment to the dead peer; keep
+	// ticking through the writer's dial failures and backoff.
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("100 ticks with an unreachable peer took %v, want well under 1s", elapsed)
+	}
+}
+
+// TestTCPMonitorCrashRestartRestore runs coordinator + two monitors over
+// real sockets, hard-crashes one monitor (socket closed, ticks stopped),
+// waits for the coordinator to declare it dead and reclaim its allowance,
+// then restarts it on the same address from its snapshot and verifies the
+// sampler state resumed and the allowance was restored.
+func TestTCPMonitorCrashRestartRestore(t *testing.T) {
+	const (
+		errAllow  = 0.05
+		deadAfter = 20
+	)
+	baseGoroutines := runtime.NumGoroutine()
+
+	coordHost := newTCPHost(t, "127.0.0.1:0")
+	defer coordHost.node.Close()
+	mon0Host := newTCPHost(t, "127.0.0.1:0")
+	defer mon0Host.node.Close()
+	mon1Host := newTCPHost(t, "127.0.0.1:0")
+	mon1Addr := mon1Host.node.Addr()
+
+	coordID := coordHost.node.Addr()
+	monIDs := []string{mon0Host.node.Addr(), mon1Addr}
+	coordinator, err := volley.NewCoordinator(volley.CoordinatorConfig{
+		ID:        coordID,
+		Task:      "tcp-crash",
+		Threshold: 100,
+		Err:       errAllow,
+		Monitors:  monIDs,
+		Network:   coordHost.network(),
+		DeadAfter: deadAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quiet := volley.AgentFunc(func() (float64, error) { return 10, nil })
+	monitorConfig := func(host *tcpHost, id string) volley.MonitorConfig {
+		return volley.MonitorConfig{
+			ID:    id,
+			Task:  "tcp-crash",
+			Agent: quiet,
+			Sampler: volley.SamplerConfig{
+				Threshold:   50,
+				Err:         errAllow / 2,
+				MaxInterval: 10,
+				Patience:    3,
+			},
+			Network:        host.network(),
+			Coordinator:    coordID,
+			HeartbeatEvery: 3,
+		}
+	}
+	mon0, err := volley.NewMonitor(monitorConfig(mon0Host, monIDs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon1, err := volley.NewMonitor(monitorConfig(mon1Host, mon1Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := 0
+	tick := func(t *testing.T, n int, ms ...*volley.Monitor) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			now := time.Duration(step) * time.Second
+			coordinator.Tick(now)
+			for _, m := range ms {
+				if _, _, err := m.Tick(now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step++
+			time.Sleep(time.Millisecond) // let socket deliveries land
+		}
+	}
+
+	// Phase 1: both monitors run until mon1's sampler has learned something
+	// worth preserving.
+	tick(t, 60, mon0, mon1)
+	if got := len(coordinator.AliveMonitors()); got != 2 {
+		t.Fatalf("AliveMonitors = %d, want 2 while both heartbeat", got)
+	}
+	snapshot := mon1.Snapshot()
+	snapInterval := mon1.Interval()
+	if snapInterval < 2 {
+		t.Fatalf("mon1 interval %d never grew; nothing to preserve", snapInterval)
+	}
+
+	// Phase 2: hard-crash mon1 — socket gone, process gone.
+	if err := mon1Host.node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(coordinator.DeadMonitors()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never declared mon1 dead: stats %+v", coordinator.Stats())
+		}
+		tick(t, 1, mon0)
+	}
+	if dead := coordinator.DeadMonitors(); len(dead) != 1 || dead[0] != mon1Addr {
+		t.Fatalf("DeadMonitors = %v, want [%s]", dead, mon1Addr)
+	}
+	a := coordinator.Assignments()
+	if a[mon1Addr] != 0 || math.Abs(a[monIDs[0]]-errAllow) > 1e-12 {
+		t.Errorf("assignments after crash = %v, want everything on mon0", a)
+	}
+	if cs := coordinator.Stats(); cs.Reclamations != 1 {
+		t.Errorf("Reclamations = %d, want 1", cs.Reclamations)
+	}
+
+	// Phase 3: restart on the same address, restore the snapshot. The
+	// coordinator's cached connection is dead; its writer redials with
+	// backoff onto the new listener.
+	mon1Host = newTCPHost(t, mon1Addr)
+	defer mon1Host.node.Close()
+	mon1, err = volley.NewMonitor(monitorConfig(mon1Host, mon1Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon1.Restore(snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon1.Interval(); got != snapInterval {
+		t.Errorf("restored interval = %d, want %d (resume, not cold start)", got, snapInterval)
+	}
+
+	deadline = time.Now().Add(30 * time.Second)
+	for len(coordinator.DeadMonitors()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("mon1 never resurrected: stats %+v", coordinator.Stats())
+		}
+		tick(t, 1, mon0, mon1)
+	}
+	if cs := coordinator.Stats(); cs.Restorations != 1 {
+		t.Errorf("Restorations = %d, want 1", cs.Restorations)
+	}
+	a = coordinator.Assignments()
+	var sum float64
+	for _, e := range a {
+		sum += e
+	}
+	if math.Abs(sum-errAllow) > 1e-9 {
+		t.Errorf("allowance pool %v after restore, want conserved at %v", sum, errAllow)
+	}
+	if a[mon1Addr] <= 0 {
+		t.Errorf("restored monitor got no allowance back: %v", a)
+	}
+
+	// Phase 4: run on; the restored monitor must re-apply the assignment the
+	// coordinator sends it (allowance flows over the redialed connection).
+	tick(t, 60, mon0, mon1)
+	if got := mon1.ErrAllowance(); math.Abs(got-a[mon1Addr]) > 1e-9 {
+		t.Errorf("mon1 local allowance %v, want assignment %v applied", got, a[mon1Addr])
+	}
+	if got := len(coordinator.AliveMonitors()); got != 2 {
+		t.Errorf("AliveMonitors = %d, want 2 after recovery", got)
+	}
+
+	coordHost.node.Close()
+	mon0Host.node.Close()
+	mon1Host.node.Close()
+	settleGoroutines(t, baseGoroutines)
+}
