@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench examples
+.PHONY: build vet test race check bench bench-json examples
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ check: vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed headline-metrics snapshot: sampling ratios,
+# mis-detection rates and per-figure wall clock on the quick preset.
+bench-json:
+	$(GO) run ./cmd/volleybench -preset quick -json BENCH_quick.json
 
 examples:
 	$(GO) run ./examples/quickstart

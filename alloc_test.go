@@ -1,0 +1,86 @@
+// Zero-allocation guards for the per-sample hot paths. These run on every
+// sampling operation of every monitor, so any allocation here multiplies
+// across a datacenter of monitors; BenchmarkSamplerObserve,
+// BenchmarkAggregateObserve and BenchmarkMisdetectBound report the same
+// paths' timings, and these tests make the 0 allocs/op they show a hard
+// regression gate rather than an observation.
+package volley_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"volley"
+)
+
+func TestSamplerObserveZeroAlloc(t *testing.T) {
+	s, err := volley.NewSampler(volley.SamplerConfig{
+		Threshold:   100,
+		Err:         0.01,
+		MaxInterval: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 4096)
+	for i := range values {
+		values[i] = 50 + 10*rng.NormFloat64()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.Observe(values[i%len(values)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Sampler.Observe allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestAggregateObserveZeroAlloc(t *testing.T) {
+	a, err := volley.NewAggregateSampler(volley.SamplerConfig{
+		Threshold:   100,
+		Err:         0.01,
+		MaxInterval: 20,
+	}, volley.AggregateMean, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 4096)
+	for i := range values {
+		values[i] = 50 + 10*rng.NormFloat64()
+	}
+	i, interval := 0, 1
+	var observeErr error
+	allocs := testing.AllocsPerRun(2000, func() {
+		iv, err := a.Observe(values[i%len(values)], interval)
+		if err != nil {
+			observeErr = err
+			return
+		}
+		interval = iv
+		i++
+	})
+	if observeErr != nil {
+		t.Fatal(observeErr)
+	}
+	if allocs != 0 {
+		t.Errorf("AggregateSampler.Observe allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestMisdetectBoundZeroAlloc(t *testing.T) {
+	var boundErr error
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, err := volley.MisdetectBound(volley.ChebyshevEstimator{}, 50, 100, 0.2, 3, 10); err != nil {
+			boundErr = err
+		}
+	})
+	if boundErr != nil {
+		t.Fatal(boundErr)
+	}
+	if allocs != 0 {
+		t.Errorf("MisdetectBound allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"volley/internal/bench"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	out, err := os.Create(filepath.Join(dir, "stdout.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	p := bench.Quick()
+	p.Procs = 2
+	if err := writeBenchJSON(p, "quick", path, out); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if report.Preset != "quick" || report.Procs != 2 {
+		t.Errorf("report header = %q/%d, want quick/2", report.Preset, report.Procs)
+	}
+	wantFigures := []string{"fig1", "fig5a", "fig5b", "fig5c", "fig7", "fig6", "fig8", "baselines"}
+	if len(report.Figures) != len(wantFigures) {
+		t.Fatalf("report has %d figures, want %d", len(report.Figures), len(wantFigures))
+	}
+	var total int64
+	for i, e := range report.Figures {
+		if e.Figure != wantFigures[i] {
+			t.Errorf("figure[%d] = %q, want %q", i, e.Figure, wantFigures[i])
+		}
+		if e.WallClockNS <= 0 {
+			t.Errorf("%s: wall_clock_ns = %d, want > 0", e.Figure, e.WallClockNS)
+		}
+		total += e.WallClockNS
+	}
+	if report.TotalWallClockNS != total {
+		t.Errorf("total_wall_clock_ns = %d, want sum of figures %d", report.TotalWallClockNS, total)
+	}
+	for _, e := range report.Figures {
+		switch e.Figure {
+		case "fig5b", "baselines":
+			if e.SamplingRatio == nil {
+				t.Errorf("%s: sampling_ratio missing", e.Figure)
+			} else if *e.SamplingRatio <= 0 || *e.SamplingRatio > 1 {
+				t.Errorf("%s: sampling_ratio = %v, want in (0, 1]", e.Figure, *e.SamplingRatio)
+			}
+			if e.MisdetectRate == nil {
+				t.Errorf("%s: misdetect_rate missing", e.Figure)
+			}
+		}
+	}
+}
+
+func TestFiniteFiltersNaN(t *testing.T) {
+	if finite(0.5) == nil || *finite(0.5) != 0.5 {
+		t.Error("finite(0.5) should round-trip")
+	}
+	nan := 0.0
+	nan /= nan
+	if finite(nan) != nil {
+		t.Error("finite(NaN) should be nil")
+	}
+}

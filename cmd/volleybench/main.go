@@ -8,6 +8,14 @@
 // Usage:
 //
 //	volleybench [-fig all|1|5a|5b|5c|6|7|8|ablations] [-preset full|quick]
+//	            [-procs N] [-csv dir] [-json file]
+//
+// -procs sizes the experiment engine's worker pool (0 = all cores, 1 =
+// fully serial); the figures are bit-identical for every value. -json
+// runs the figure suite once and writes headline metrics (sampling
+// ratios, mis-detection rates, per-figure wall clock) to the given file —
+// `make bench-json` uses it to track the performance trajectory in
+// BENCH_quick.json.
 //
 // Absolute numbers come from the synthetic workloads documented in
 // DESIGN.md §2; the shapes are what reproduce the paper (see
@@ -28,11 +36,48 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations")
 	preset := flag.String("preset", "full", "experiment sizes: full or quick")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	procs := flag.Int("procs", 0, "experiment-engine workers: 0 = all cores, 1 = serial")
+	jsonPath := flag.String("json", "", "write headline metrics (ratios, misdetect rates, wall clock) as JSON to this file instead of printing tables")
 	flag.Parse()
 
-	if err := run2(*fig, *preset, *csvDir, os.Stdout); err != nil {
+	p, err := presetByName(*preset)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "volleybench:", err)
 		os.Exit(1)
+	}
+	p.Procs = *procs
+
+	if *jsonPath != "" {
+		err = writeBenchJSON(p, *preset, *jsonPath, os.Stdout)
+	} else {
+		err = runFigures(*fig, p, csvWriter(*csvDir), os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volleybench:", err)
+		os.Exit(1)
+	}
+}
+
+func presetByName(name string) (bench.Preset, error) {
+	switch strings.ToLower(name) {
+	case "full":
+		return bench.Full(), nil
+	case "quick":
+		return bench.Quick(), nil
+	default:
+		return bench.Preset{}, fmt.Errorf("unknown preset %q (want full or quick)", name)
+	}
+}
+
+func csvWriter(csvDir string) func(name, data string) error {
+	return func(name, data string) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(csvDir, name), []byte(data), 0o644)
 	}
 }
 
@@ -42,30 +87,14 @@ func run(fig, preset string, out *os.File) error {
 }
 
 func run2(fig, preset, csvDir string, out *os.File) error {
-	writeCSV := func(name, data string) error {
-		if csvDir == "" {
-			return nil
-		}
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
-			return err
-		}
-		return os.WriteFile(filepath.Join(csvDir, name), []byte(data), 0o644)
+	p, err := presetByName(preset)
+	if err != nil {
+		return err
 	}
-	_ = writeCSV
-	return runFigures(fig, preset, writeCSV, out)
+	return runFigures(fig, p, csvWriter(csvDir), out)
 }
 
-func runFigures(fig, preset string, writeCSV func(name, data string) error, out *os.File) error {
-	var p bench.Preset
-	switch strings.ToLower(preset) {
-	case "full":
-		p = bench.Full()
-	case "quick":
-		p = bench.Quick()
-	default:
-		return fmt.Errorf("unknown preset %q (want full or quick)", preset)
-	}
-
+func runFigures(fig string, p bench.Preset, writeCSV func(name, data string) error, out *os.File) error {
 	want := func(name string) bool { return fig == "all" || fig == name }
 	ran := false
 	ablationIdx := 1

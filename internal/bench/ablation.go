@@ -42,9 +42,21 @@ func runAblationConfigs(name string, p Preset, series [][]float64, k float64, co
 	Label string
 	Cfg   ReplayConfig
 }) (*AblationResult, error) {
+	// Every configuration replays the same series at the same selectivity,
+	// so thresholds are derived once (one sort per series) and shared; the
+	// per-series replays of each configuration fan across the pool.
+	eng := p.engine()
+	cache, err := newThresholdCache(eng, series)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ablation %s: %w", name, err)
+	}
+	thresholds, err := cache.forK(k)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ablation %s: %w", name, err)
+	}
 	out := &AblationResult{Name: name}
 	for _, c := range configs {
-		r, err := ReplayMany(series, k, c.Cfg)
+		r, err := replayManyThresholds(eng, series, thresholds, c.Cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: ablation %s %q: %w", name, c.Label, err)
 		}
@@ -170,7 +182,11 @@ func RunAblationCoordPeriod(p Preset) (*AblationResult, error) {
 		return nil, fmt.Errorf("bench: ablation needs %d VMs, workload has %d", p.Fig8Monitors, w.NumVMs())
 	}
 	series := w.Rho[:p.Fig8Monitors]
-	thresholds, err := fig8Thresholds(series, p.Fig8BaseK, 1.0)
+	cache, err := newThresholdCache(p.engine(), series)
+	if err != nil {
+		return nil, err
+	}
+	thresholds, err := fig8Thresholds(cache, p.Fig8BaseK, 1.0)
 	if err != nil {
 		return nil, err
 	}
@@ -178,23 +194,32 @@ func RunAblationCoordPeriod(p Preset) (*AblationResult, error) {
 	if steps > w.Windows() {
 		steps = w.Windows()
 	}
-	out := &AblationResult{Name: "coordinator updating period (paper: 1000·Id)"}
-	for _, period := range []int{p.Fig8UpdatePeriod / 4, p.Fig8UpdatePeriod, p.Fig8UpdatePeriod * 4} {
+	periods := []int{p.Fig8UpdatePeriod / 4, p.Fig8UpdatePeriod, p.Fig8UpdatePeriod * 4}
+	for i, period := range periods {
 		if period < 1 {
-			period = 1
+			periods[i] = 1
 		}
+	}
+	// Each period's distributed run is independent: fan them across the
+	// pool, one result slot per period.
+	rows := make([]AblationRow, len(periods))
+	err = p.engine().ForEach(len(periods), func(i int) error {
 		pp := p
-		pp.Fig8UpdatePeriod = period
+		pp.Fig8UpdatePeriod = periods[i]
 		ratio, _, err := runDistributed(series, thresholds, steps, pp, coord.SchemeAdaptive)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label: fmt.Sprintf("period=%d·Id", period),
+		rows[i] = AblationRow{
+			Label: fmt.Sprintf("period=%d·Id", periods[i]),
 			Ratio: ratio,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{Name: "coordinator updating period (paper: 1000·Id)", Rows: rows}, nil
 }
 
 // RunAblationThresholdSplit compares ways of dividing a global threshold
@@ -241,23 +266,28 @@ func RunAblationThresholdSplit(p Preset) (*AblationResult, error) {
 		return nil, err
 	}
 
-	out := &AblationResult{Name: "threshold decomposition (Section II-A; split of the same global T)"}
-	for _, split := range []struct {
+	splits := []struct {
 		label      string
 		thresholds []float64
 	}{
 		{label: "even (T/n each)", thresholds: even},
 		{label: "weighted by historical mean", thresholds: weighted},
-	} {
-		ratio, cs, err := runDistributed(series, split.thresholds, steps, p, coord.SchemeAdaptive)
+	}
+	rows := make([]AblationRow, len(splits))
+	err = p.engine().ForEach(len(splits), func(i int) error {
+		ratio, cs, err := runDistributed(series, splits[i].thresholds, steps, p, coord.SchemeAdaptive)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label:     fmt.Sprintf("%s: %d local violations, %d polls, %d alerts", split.label, cs.LocalViolations, cs.Polls, cs.GlobalAlerts),
+		rows[i] = AblationRow{
+			Label:     fmt.Sprintf("%s: %d local violations, %d polls, %d alerts", splits[i].label, cs.LocalViolations, cs.Polls, cs.GlobalAlerts),
 			Ratio:     ratio,
 			Misdetect: math.NaN(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{Name: "threshold decomposition (Section II-A; split of the same global T)", Rows: rows}, nil
 }

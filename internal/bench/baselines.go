@@ -42,17 +42,29 @@ func (b *BaselineResult) Table() string {
 // RunBaselines replays the network workload under Volley, then gives the
 // two baselines the budget Volley actually used: periodical sampling at the
 // nearest fixed interval and random sampling with matching probability.
+// Thresholds are derived once per series from a shared sorted copy and
+// reused by every strategy; each strategy's per-series replays fan across
+// the preset's worker pool.
 func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, error) {
 	w, err := GenNetwork(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed+700)
 	if err != nil {
 		return nil, err
 	}
 	series := w.Rho
+	eng := p.engine()
+	cache, err := newThresholdCache(eng, series)
+	if err != nil {
+		return nil, err
+	}
+	thresholds, err := cache.forK(selectivity)
+	if err != nil {
+		return nil, err
+	}
 
 	out := &BaselineResult{Err: errAllow, K: selectivity}
 
 	// Volley first, to establish the budget.
-	volley, err := ReplayMany(series, selectivity, ReplayConfig{
+	volley, err := replayManyThresholds(eng, series, thresholds, ReplayConfig{
 		Err:         errAllow,
 		MaxInterval: p.MaxInterval,
 		Patience:    p.Patience,
@@ -71,7 +83,7 @@ func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, err
 	if fixedInterval < 1 {
 		fixedInterval = 1
 	}
-	fixed, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+	fixed, err := replayManyWith(eng, series, thresholds, func(_ int, s []float64, threshold float64) (task.Accuracy, int, error) {
 		var acc task.Accuracy
 		samples := 0
 		for i, v := range s {
@@ -89,9 +101,11 @@ func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, err
 	fixed.Strategy = fmt.Sprintf("periodical (every %d·Id)", fixedInterval)
 	out.Rows = append(out.Rows, fixed)
 
-	rng := rand.New(rand.NewSource(p.Seed + 701))
 	prob := volley.Ratio
-	random, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+	random, err := replayManyWith(eng, series, thresholds, func(idx int, s []float64, threshold float64) (task.Accuracy, int, error) {
+		// Per-series RNG seeded by the series index, so the draw sequence
+		// is independent of which worker replays which series.
+		rng := rand.New(rand.NewSource(p.Seed + 701 + int64(idx)))
 		var acc task.Accuracy
 		samples := 0
 		for _, v := range s {
@@ -111,7 +125,7 @@ func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, err
 
 	// Fill Volley's episode-detection rate via a second accounting pass so
 	// all rows report the same metric.
-	volleyRow, err := replayManyWith(series, selectivity, func(s []float64, threshold float64) (task.Accuracy, int, error) {
+	volleyRow, err := replayManyWith(eng, series, thresholds, func(_ int, s []float64, threshold float64) (task.Accuracy, int, error) {
 		r, err := ReplaySeries(s, ReplayConfig{
 			Threshold:   threshold,
 			Err:         errAllow,
@@ -136,27 +150,44 @@ func RunBaselines(p Preset, selectivity, errAllow float64) (*BaselineResult, err
 }
 
 // replayManyWith pools a custom per-series sampling strategy across the
-// workload.
-func replayManyWith(series [][]float64, selectivity float64,
-	strategy func(s []float64, threshold float64) (task.Accuracy, int, error)) (BaselineRow, error) {
+// workload against pre-derived thresholds, fanning series across the
+// engine. The strategy receives the series index so any per-series state
+// (e.g. an RNG) can be derived deterministically regardless of which
+// worker runs it; per-series counts land in indexed slots and are reduced
+// in index order.
+func replayManyWith(eng *Engine, series [][]float64, thresholds []float64,
+	strategy func(idx int, s []float64, threshold float64) (task.Accuracy, int, error)) (BaselineRow, error) {
 
+	type partial struct {
+		samples, steps, alerts, missed int
+		rate                           float64
+		rated                          bool
+	}
+	parts := make([]partial, len(series))
+	err := eng.ForEach(len(series), func(i int) error {
+		acc, samples, err := strategy(i, series[i], thresholds[i])
+		if err != nil {
+			return fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		pp := partial{samples: samples, steps: len(series[i]), alerts: acc.Alerts(), missed: acc.Missed()}
+		if rate := acc.EpisodeDetectionRate(); !math.IsNaN(rate) {
+			pp.rate, pp.rated = rate, true
+		}
+		parts[i] = pp
+		return nil
+	})
+	if err != nil {
+		return BaselineRow{}, err
+	}
 	var totalSamples, totalSteps, alerts, missed, rated int
 	var rateSum float64
-	for i, s := range series {
-		threshold, err := task.ThresholdForSelectivity(s, selectivity)
-		if err != nil {
-			return BaselineRow{}, fmt.Errorf("bench: series %d: %w", i, err)
-		}
-		acc, samples, err := strategy(s, threshold)
-		if err != nil {
-			return BaselineRow{}, fmt.Errorf("bench: series %d: %w", i, err)
-		}
-		totalSamples += samples
-		totalSteps += len(s)
-		alerts += acc.Alerts()
-		missed += acc.Missed()
-		if rate := acc.EpisodeDetectionRate(); !math.IsNaN(rate) {
-			rateSum += rate
+	for _, pp := range parts {
+		totalSamples += pp.samples
+		totalSteps += pp.steps
+		alerts += pp.alerts
+		missed += pp.missed
+		if pp.rated {
+			rateSum += pp.rate
 			rated++
 		}
 	}
@@ -184,14 +215,23 @@ func RunAblationAggregation(p Preset) (*AblationResult, error) {
 		return nil, err
 	}
 	const k, errAllow = 1.0, 0.01
+	eng := p.engine()
 	out := &AblationResult{Name: "aggregation window (extension; 1 = the paper's instantaneous tasks)"}
 	for _, window := range []int{1, 4, 16} {
-		var totalSamples, totalSteps, alerts, missed int
-		for _, s := range series {
+		// The windowed-mean ground truth differs per window length, so
+		// thresholds cannot be cached across windows; the per-series
+		// replays within one window are independent and fan across the
+		// pool, each writing its own partial slot.
+		type partial struct {
+			samples, steps, alerts, missed int
+		}
+		parts := make([]partial, len(series))
+		err := eng.ForEach(len(series), func(si int) error {
+			s := series[si]
 			agg := movingMean(s, window)
 			threshold, err := task.ThresholdForSelectivity(agg, k)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sampler, err := core.NewAggregateSampler(core.Config{
 				Threshold:   threshold,
@@ -200,7 +240,7 @@ func RunAblationAggregation(p Preset) (*AblationResult, error) {
 				Patience:    p.Patience,
 			}, core.AggregateMean, window)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			next, interval := 0, 1
 			var acc task.Accuracy
@@ -211,17 +251,25 @@ func RunAblationAggregation(p Preset) (*AblationResult, error) {
 					samples++
 					iv, err := sampler.Observe(s[i], interval)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					interval = iv
 					next = i + iv
 				}
 				acc.Record(agg[i] > threshold, sampled)
 			}
-			totalSamples += samples
-			totalSteps += len(s)
-			alerts += acc.Alerts()
-			missed += acc.Missed()
+			parts[si] = partial{samples: samples, steps: len(s), alerts: acc.Alerts(), missed: acc.Missed()}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var totalSamples, totalSteps, alerts, missed int
+		for _, pp := range parts {
+			totalSamples += pp.samples
+			totalSteps += pp.steps
+			alerts += pp.alerts
+			missed += pp.missed
 		}
 		row := AblationRow{
 			Label:     fmt.Sprintf("window=%d·Id", window),

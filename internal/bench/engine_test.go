@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewEngineDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := NewEngine(0).Procs(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("NewEngine(0).Procs() = %d, want %d", got, want)
+	}
+	if got := NewEngine(-3).Procs(); got < 1 {
+		t.Errorf("NewEngine(-3).Procs() = %d, want ≥ 1", got)
+	}
+	if got := NewEngine(7).Procs(); got != 7 {
+		t.Errorf("NewEngine(7).Procs() = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		const n = 100
+		counts := make([]int32, n)
+		err := NewEngine(procs).ForEach(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("procs=%d: index %d ran %d times, want 1", procs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := NewEngine(4).ForEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Errorf("ForEach(0) = %v, want nil", err)
+	}
+}
+
+func TestForEachSlotDeterminism(t *testing.T) {
+	// The canonical use: each job writes slot i, results reduced in index
+	// order — identical for any worker count.
+	const n = 64
+	ref := make([]float64, n)
+	if err := NewEngine(1).ForEach(n, func(i int) error {
+		ref[i] = float64(i) * 1.5
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 4, 16} {
+		got := make([]float64, n)
+		if err := NewEngine(procs).ForEach(n, func(i int) error {
+			got[i] = float64(i) * 1.5
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("procs=%d: slot %d = %v, want %v", procs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		var ran atomic.Int32
+		err := NewEngine(procs).ForEach(1000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("procs=%d: err = %v, want boom at 3", procs, err)
+		}
+		// Cancellation is best-effort but must stop the fan-out well short
+		// of draining the whole index space.
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("procs=%d: %d jobs ran despite early error", procs, n)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// When several jobs fail, the reported error must not depend on
+	// scheduling: the lowest failing index wins among the jobs that ran.
+	err := NewEngine(8).ForEach(8, func(i int) error {
+		return fmt.Errorf("err %d", i)
+	})
+	if err == nil || err.Error() != "err 0" {
+		t.Errorf("err = %v, want err 0", err)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSerial is the engine's determinism contract: on the
+// Quick preset, the fanned experiment paths must produce byte-identical
+// results to the fully serial -procs=1 path — same floats bit for bit,
+// same rendered tables. Run under -race (make check does) this also
+// exercises the worker pool for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := Quick()
+	serial.Procs = 1
+	parallel := Quick()
+	parallel.Procs = 4
+
+	// render pins every result to a comparable byte string; %v formats
+	// NaN deterministically, so NaN-valued cells compare too.
+	render := func(v any) string { return fmt.Sprintf("%+v", v) }
+
+	t.Run("sweep", func(t *testing.T) {
+		s, err := RunFig5b(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RunFig5b(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(*s) != render(*p) {
+			t.Errorf("SweepResult diverged between procs=1 and procs=4:\nserial:   %s\nparallel: %s", render(*s), render(*p))
+		}
+		if s.RatioTable() != p.RatioTable() || s.MisdetectTable() != p.MisdetectTable() {
+			t.Error("rendered sweep tables diverged between procs=1 and procs=4")
+		}
+	})
+
+	t.Run("ablation", func(t *testing.T) {
+		s, err := RunAblationSlack(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RunAblationSlack(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(*s) != render(*p) {
+			t.Errorf("AblationResult diverged between procs=1 and procs=4:\nserial:   %s\nparallel: %s", render(*s), render(*p))
+		}
+		if s.Table() != p.Table() {
+			t.Error("rendered ablation tables diverged between procs=1 and procs=4")
+		}
+	})
+
+	t.Run("baselines", func(t *testing.T) {
+		s, err := RunBaselines(serial, 1, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RunBaselines(parallel, 1, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(*s) != render(*p) {
+			t.Errorf("BaselineResult diverged between procs=1 and procs=4:\nserial:   %s\nparallel: %s", render(*s), render(*p))
+		}
+		if s.Table() != p.Table() {
+			t.Error("rendered baseline tables diverged between procs=1 and procs=4")
+		}
+	})
+}
+
+// TestCachedThresholdsMatchPerCellSorts pins the threshold cache to the
+// original per-cell derivation: for every (series, k) the cached value
+// must equal ThresholdForSelectivity exactly (same order statistics, same
+// interpolation), so replacing per-cell sorts with the shared sorted copy
+// cannot move any figure.
+func TestCachedThresholdsMatchPerCellSorts(t *testing.T) {
+	p := Quick()
+	series, err := GenSystem(3, 2, 800, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := newThresholdCache(NewEngine(2), series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := cache.grid(p.Ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ki, k := range p.Ks {
+		want, err := ReplayMany(series, k, ReplayConfig{Err: 0.01, MaxInterval: p.MaxInterval, Patience: p.Patience})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := replayManyThresholds(serialEngine, series, grid[ki], ReplayConfig{Err: 0.01, MaxInterval: p.MaxInterval, Patience: p.Patience})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			t.Errorf("k=%v: cached-threshold replay %+v != per-cell replay %+v", k, got, want)
+		}
+	}
+}

@@ -17,10 +17,22 @@ type SweepResult struct {
 }
 
 // RunSweep replays every series of one workload over the full
-// (k × err) grid.
+// (k × err) grid. Thresholds are derived from one sorted copy per series
+// (not one per cell), and the independent grid cells are fanned across the
+// preset's worker pool; every cell writes its own slot, so the grid is
+// identical for any worker count.
 func RunSweep(name string, series [][]float64, p Preset) (*SweepResult, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("bench: %s: no series", name)
+	}
+	eng := p.engine()
+	cache, err := newThresholdCache(eng, series)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	thresholds, err := cache.grid(p.Ks)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
 	}
 	out := &SweepResult{
 		Name:  name,
@@ -28,19 +40,24 @@ func RunSweep(name string, series [][]float64, p Preset) (*SweepResult, error) {
 		Ks:    p.Ks,
 		Cells: make([][]PooledResult, len(p.Ks)),
 	}
-	for ki, k := range p.Ks {
+	for ki := range p.Ks {
 		out.Cells[ki] = make([]PooledResult, len(p.Errs))
-		for ei, errAllow := range p.Errs {
-			r, err := ReplayMany(series, k, ReplayConfig{
-				Err:         errAllow,
-				MaxInterval: p.MaxInterval,
-				Patience:    p.Patience,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s k=%v err=%v: %w", name, k, errAllow, err)
-			}
-			out.Cells[ki][ei] = r
+	}
+	err = eng.ForEach(len(p.Ks)*len(p.Errs), func(idx int) error {
+		ki, ei := idx/len(p.Errs), idx%len(p.Errs)
+		r, err := replayManyThresholds(serialEngine, series, thresholds[ki], ReplayConfig{
+			Err:         p.Errs[ei],
+			MaxInterval: p.MaxInterval,
+			Patience:    p.Patience,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: %s k=%v err=%v: %w", name, p.Ks[ki], p.Errs[ei], err)
 		}
+		out.Cells[ki][ei] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,9 +154,5 @@ func RunFig7(p Preset) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := RunSweep("fig7-system-accuracy", series, p)
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
+	return RunSweep("fig7-system-accuracy", series, p)
 }

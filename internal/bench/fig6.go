@@ -5,7 +5,6 @@ import (
 
 	"volley/internal/cost"
 	"volley/internal/stats"
-	"volley/internal/task"
 )
 
 // Fig6Result holds the Dom0 CPU-utilization distributions of the network
@@ -20,7 +19,9 @@ type Fig6Result struct {
 
 // RunFig6 replays the network workload per VM at each error allowance,
 // marks which windows each VM's monitor sampled, and feeds the per-server
-// inspected-packet volumes through the calibrated CPU model.
+// inspected-packet volumes through the calibrated CPU model. Per-VM
+// thresholds are derived once and shared by every allowance level; the
+// independent allowance levels fan across the preset's worker pool.
 func RunFig6(p Preset, selectivity float64) (*Fig6Result, error) {
 	w, err := GenNetwork(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed)
 	if err != nil {
@@ -31,12 +32,23 @@ func RunFig6(p Preset, selectivity float64) (*Fig6Result, error) {
 		return nil, err
 	}
 
+	eng := p.engine()
+	cache, err := newThresholdCache(eng, w.Rho)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig6: %w", err)
+	}
+	thresholds, err := cache.forK(selectivity)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig6: %w", err)
+	}
+
 	errs := append([]float64{0}, p.Errs...)
-	out := &Fig6Result{Errs: errs, Selectivity: selectivity}
+	out := &Fig6Result{Errs: errs, Selectivity: selectivity, Boxes: make([]stats.BoxSummary, len(errs))}
 	windows := w.Windows()
 	vms := w.NumVMs()
 
-	for _, errAllow := range errs {
+	err = eng.ForEach(len(errs), func(errIdx int) error {
+		errAllow := errs[errIdx]
 		// inspected[server][window] accumulates packets of VMs whose
 		// monitor sampled that window.
 		inspected := make([][]int, p.NetServers)
@@ -44,19 +56,15 @@ func RunFig6(p Preset, selectivity float64) (*Fig6Result, error) {
 			inspected[s] = make([]int, windows)
 		}
 		for vm := 0; vm < vms; vm++ {
-			threshold, err := task.ThresholdForSelectivity(w.Rho[vm], selectivity)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig6 vm %d: %w", vm, err)
-			}
 			r, err := ReplaySeries(w.Rho[vm], ReplayConfig{
-				Threshold:   threshold,
+				Threshold:   thresholds[vm],
 				Err:         errAllow,
 				MaxInterval: p.MaxInterval,
 				Patience:    p.Patience,
 				KeepMask:    true,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("bench: fig6 vm %d: %w", vm, err)
+				return fmt.Errorf("bench: fig6 vm %d: %w", vm, err)
 			}
 			server := w.ServerOf(vm)
 			for step, sampled := range r.Sampled {
@@ -71,7 +79,11 @@ func RunFig6(p Preset, selectivity float64) (*Fig6Result, error) {
 				utilization = append(utilization, model.WindowPct(inspected[s][step]))
 			}
 		}
-		out.Boxes = append(out.Boxes, stats.Summarize(utilization))
+		out.Boxes[errIdx] = stats.Summarize(utilization)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -8,7 +8,6 @@ import (
 	"volley/internal/core"
 	"volley/internal/monitor"
 	"volley/internal/stats"
-	"volley/internal/task"
 	"volley/internal/transport"
 )
 
@@ -47,38 +46,67 @@ func RunFig8(p Preset) (*Fig8Result, error) {
 	}
 	series := w.Rho[:p.Fig8Monitors]
 
-	out := &Fig8Result{Skews: p.Fig8Skews}
-	for _, skew := range p.Fig8Skews {
-		thresholds, err := fig8Thresholds(series, p.Fig8BaseK, skew)
+	// One sorted copy per series serves every skew level's threshold
+	// derivation; the per-(skew, scheme) distributed runs are independent
+	// and fan across the pool, each writing its own slot.
+	eng := p.engine()
+	cache, err := newThresholdCache(eng, series)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig8: %w", err)
+	}
+	thresholdsBySkew := make([][]float64, len(p.Fig8Skews))
+	for si, skew := range p.Fig8Skews {
+		thresholds, err := fig8Thresholds(cache, p.Fig8BaseK, skew)
 		if err != nil {
 			return nil, err
 		}
-		adaptRatio, adaptStats, err := runDistributed(series, thresholds, steps, p, coord.SchemeAdaptive)
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig8 adapt skew=%v: %w", skew, err)
+		thresholdsBySkew[si] = thresholds
+	}
+
+	out := &Fig8Result{
+		Skews:        p.Fig8Skews,
+		AdaptRatio:   make([]float64, len(p.Fig8Skews)),
+		EvenRatio:    make([]float64, len(p.Fig8Skews)),
+		GlobalAlerts: make([]uint64, len(p.Fig8Skews)),
+	}
+	err = eng.ForEach(2*len(p.Fig8Skews), func(idx int) error {
+		si, even := idx/2, idx%2 == 1
+		skew := p.Fig8Skews[si]
+		if even {
+			ratio, _, err := runDistributed(series, thresholdsBySkew[si], steps, p, coord.SchemeEven)
+			if err != nil {
+				return fmt.Errorf("bench: fig8 even skew=%v: %w", skew, err)
+			}
+			out.EvenRatio[si] = ratio
+			return nil
 		}
-		evenRatio, _, err := runDistributed(series, thresholds, steps, p, coord.SchemeEven)
+		ratio, cs, err := runDistributed(series, thresholdsBySkew[si], steps, p, coord.SchemeAdaptive)
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig8 even skew=%v: %w", skew, err)
+			return fmt.Errorf("bench: fig8 adapt skew=%v: %w", skew, err)
 		}
-		out.AdaptRatio = append(out.AdaptRatio, adaptRatio)
-		out.EvenRatio = append(out.EvenRatio, evenRatio)
-		out.GlobalAlerts = append(out.GlobalAlerts, adaptStats.GlobalAlerts)
+		out.AdaptRatio[si] = ratio
+		out.GlobalAlerts[si] = cs.GlobalAlerts
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // fig8Thresholds assigns per-monitor local thresholds so that monitor i's
 // local violation rate is proportional to Zipf weight i at the given skew,
-// with the mean rate equal to baseK percent.
-func fig8Thresholds(series [][]float64, baseK, skew float64) ([]float64, error) {
-	n := len(series)
+// with the mean rate equal to baseK percent. Thresholds come from the
+// shared sorted copies in the cache, so sweeping skew levels costs no
+// additional sorts.
+func fig8Thresholds(cache *thresholdCache, baseK, skew float64) ([]float64, error) {
+	n := len(cache.sorted)
 	weights, err := stats.ZipfWeights(n, skew)
 	if err != nil {
 		return nil, err
 	}
 	thresholds := make([]float64, n)
-	for i, s := range series {
+	for i := range thresholds {
 		k := baseK * float64(n) * weights[i]
 		// Keep every selectivity inside the percentile domain.
 		if k < 0.05 {
@@ -87,7 +115,7 @@ func fig8Thresholds(series [][]float64, baseK, skew float64) ([]float64, error) 
 		if k > 50 {
 			k = 50
 		}
-		t, err := task.ThresholdForSelectivity(s, k)
+		t, err := cache.forSeries(i, k)
 		if err != nil {
 			return nil, err
 		}

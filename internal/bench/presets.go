@@ -36,6 +36,12 @@ type Preset struct {
 	// lowers it so interval growth fits its short traces.
 	Patience int
 	Seed     int64
+
+	// Procs sizes the experiment engine's worker pool: independent replay
+	// cells fan across this many workers. 0 means runtime.GOMAXPROCS(0);
+	// 1 runs fully serial (no goroutines). Results are bit-identical for
+	// every value — see Engine.
+	Procs int
 }
 
 // Full is the paper-shaped preset used by cmd/volleybench and

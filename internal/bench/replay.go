@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"volley/internal/core"
 	"volley/internal/task"
@@ -116,23 +117,46 @@ func ReplayMany(series [][]float64, k float64, cfg ReplayConfig) (PooledResult, 
 	if len(series) == 0 {
 		return PooledResult{}, fmt.Errorf("bench: no series")
 	}
-	var totalSamples, totalSteps, alerts, missed int
+	thresholds := make([]float64, len(series))
 	for i, s := range series {
-		threshold, err := task.ThresholdForSelectivity(s, k)
+		t, err := task.ThresholdForSelectivity(s, k)
 		if err != nil {
 			return PooledResult{}, fmt.Errorf("bench: series %d: %w", i, err)
 		}
+		thresholds[i] = t
+	}
+	return replayManyThresholds(serialEngine, series, thresholds, cfg)
+}
+
+// replayManyThresholds pools adaptive replays of every series against
+// pre-derived per-series thresholds, fanning the independent series across
+// the engine. Per-series counts land in indexed slots and are reduced in
+// index order, so the result is identical for any worker count.
+func replayManyThresholds(eng *Engine, series [][]float64, thresholds []float64, cfg ReplayConfig) (PooledResult, error) {
+	type partial struct {
+		samples, steps, alerts, missed int
+	}
+	parts := make([]partial, len(series))
+	err := eng.ForEach(len(series), func(i int) error {
 		c := cfg
-		c.Threshold = threshold
+		c.Threshold = thresholds[i]
 		c.KeepMask = false
-		r, err := ReplaySeries(s, c)
+		r, err := ReplaySeries(series[i], c)
 		if err != nil {
-			return PooledResult{}, fmt.Errorf("bench: series %d: %w", i, err)
+			return fmt.Errorf("bench: series %d: %w", i, err)
 		}
-		totalSamples += r.Samples
-		totalSteps += len(s)
-		alerts += r.Alerts
-		missed += r.Missed
+		parts[i] = partial{samples: r.Samples, steps: len(series[i]), alerts: r.Alerts, missed: r.Missed}
+		return nil
+	})
+	if err != nil {
+		return PooledResult{}, err
+	}
+	var totalSamples, totalSteps, alerts, missed int
+	for _, p := range parts {
+		totalSamples += p.samples
+		totalSteps += p.steps
+		alerts += p.alerts
+		missed += p.missed
 	}
 	out := PooledResult{
 		Ratio:     float64(totalSamples) / float64(totalSteps),
@@ -143,6 +167,79 @@ func ReplayMany(series [][]float64, k float64, cfg ReplayConfig) (PooledResult, 
 	}
 	if alerts > 0 {
 		out.Misdetect = float64(missed) / float64(alerts)
+	}
+	return out, nil
+}
+
+// thresholdCache amortizes threshold derivation across a whole experiment
+// grid: each series is copied and sorted exactly once (fanned across the
+// engine), after which the threshold for any selectivity is an O(1)
+// interpolation into the shared sorted copy via task.Thresholds. A sweep
+// over |Ks|·|Errs| cells previously paid one copy+sort per (cell, series);
+// with the cache it pays one per series.
+type thresholdCache struct {
+	sorted [][]float64
+}
+
+// newThresholdCache sorts every series once, in parallel.
+func newThresholdCache(eng *Engine, series [][]float64) (*thresholdCache, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("bench: no series")
+	}
+	c := &thresholdCache{sorted: make([][]float64, len(series))}
+	err := eng.ForEach(len(series), func(i int) error {
+		if len(series[i]) == 0 {
+			return fmt.Errorf("bench: series %d is empty", i)
+		}
+		s := make([]float64, len(series[i]))
+		copy(s, series[i])
+		sort.Float64s(s)
+		c.sorted[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// forSeries derives one series' threshold at selectivity k.
+func (c *thresholdCache) forSeries(i int, k float64) (float64, error) {
+	t, err := task.Thresholds(c.sorted[i], []float64{k})
+	if err != nil {
+		return 0, fmt.Errorf("bench: series %d: %w", i, err)
+	}
+	return t[0], nil
+}
+
+// forK derives the per-series threshold vector at one selectivity.
+func (c *thresholdCache) forK(k float64) ([]float64, error) {
+	out := make([]float64, len(c.sorted))
+	for i := range c.sorted {
+		t, err := c.forSeries(i, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// grid derives thresholds for a whole selectivity axis: out[ki][i] is
+// series i's threshold at ks[ki].
+func (c *thresholdCache) grid(ks []float64) ([][]float64, error) {
+	out := make([][]float64, len(ks))
+	for ki := range ks {
+		out[ki] = make([]float64, len(c.sorted))
+	}
+	for i, s := range c.sorted {
+		ts, err := task.Thresholds(s, ks)
+		if err != nil {
+			return nil, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		for ki := range ks {
+			out[ki][i] = ts[ki]
+		}
 	}
 	return out, nil
 }

@@ -74,6 +74,39 @@ func ThresholdForSelectivity(values []float64, k float64) (float64, error) {
 	return stats.Percentile(values, 100-k), nil
 }
 
+// Thresholds derives the monitoring thresholds for many selectivities from
+// one pre-sorted copy of the values: out[i] is the (100−ks[i])-th
+// percentile of sortedValues. Where ThresholdForSelectivity copies and
+// sorts its input on every call, this fast path lets a caller sweeping a
+// selectivity grid sort each series once and answer every k in O(1) — the
+// experiment engine's per-workload threshold cache is built on it, turning
+// O(grid·n log n) sort work into O(series·n log n).
+//
+// sortedValues must be sorted ascending (as by sort.Float64s); the
+// function verifies this in O(n) and returns an error otherwise, as well
+// as for empty values, an empty ks, or any k outside (0, 100).
+func Thresholds(sortedValues []float64, ks []float64) ([]float64, error) {
+	if len(sortedValues) == 0 {
+		return nil, fmt.Errorf("task: no values to derive thresholds from")
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("task: no selectivities")
+	}
+	for i := 1; i < len(sortedValues); i++ {
+		if sortedValues[i-1] > sortedValues[i] {
+			return nil, fmt.Errorf("task: values not sorted at index %d", i)
+		}
+	}
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		if k <= 0 || k >= 100 || math.IsNaN(k) {
+			return nil, fmt.Errorf("task: selectivity %v outside (0, 100)", k)
+		}
+		out[i] = stats.QuantileSorted(sortedValues, (100-k)/100)
+	}
+	return out, nil
+}
+
 // SplitEven divides a global threshold evenly across n monitors: as long
 // as every local value stays below T/n, no global violation is possible and
 // no communication is needed (Section II-A's local-task decomposition).

@@ -2,6 +2,7 @@ package task
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"time"
 )
@@ -229,5 +230,97 @@ func TestAccuracyAllDetected(t *testing.T) {
 	}
 	if got := a.SamplingRatio(); got != 1 {
 		t.Errorf("SamplingRatio() = %v, want 1", got)
+	}
+}
+
+func TestThresholdsMatchPerKDerivation(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64((i * 37) % 1000)
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+
+	ks := []float64{6.4, 3.2, 1.6, 0.8, 0.4, 0.2, 0.1, 50, 99.9}
+	got, err := Thresholds(sorted, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("got %d thresholds, want %d", len(got), len(ks))
+	}
+	for i, k := range ks {
+		want, err := ThresholdForSelectivity(values, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("k=%v: Thresholds = %v, ThresholdForSelectivity = %v", k, got[i], want)
+		}
+	}
+}
+
+func TestThresholdsValidation(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if _, err := Thresholds(nil, []float64{1}); err == nil {
+		t.Error("empty values accepted, want error")
+	}
+	if _, err := Thresholds(sorted, nil); err == nil {
+		t.Error("empty ks accepted, want error")
+	}
+	if _, err := Thresholds(sorted, []float64{0}); err == nil {
+		t.Error("k=0 accepted, want error")
+	}
+	if _, err := Thresholds(sorted, []float64{100}); err == nil {
+		t.Error("k=100 accepted, want error")
+	}
+	if _, err := Thresholds(sorted, []float64{math.NaN()}); err == nil {
+		t.Error("NaN k accepted, want error")
+	}
+	if _, err := Thresholds([]float64{3, 1, 2}, []float64{1}); err == nil {
+		t.Error("unsorted values accepted, want error")
+	}
+}
+
+// benchThresholdValues is a realistic trace length for the sweep figures.
+func benchThresholdValues() []float64 {
+	values := make([]float64, 15000)
+	for i := range values {
+		values[i] = math.Sin(float64(i)) * float64(i%97)
+	}
+	return values
+}
+
+var benchKs = []float64{6.4, 3.2, 1.6, 0.8, 0.4, 0.2, 0.1}
+
+// BenchmarkThresholdPerCellSorts measures the pre-engine sweep cost: one
+// copy+sort per (cell, series), i.e. ThresholdForSelectivity once per k.
+func BenchmarkThresholdPerCellSorts(b *testing.B) {
+	values := benchThresholdValues()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range benchKs {
+			if _, err := ThresholdForSelectivity(values, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkThresholdsSharedSort measures the cached path: one copy+sort
+// per series, then every k answered from the shared sorted copy.
+func BenchmarkThresholdsSharedSort(b *testing.B) {
+	values := benchThresholdValues()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sorted := make([]float64, len(values))
+		copy(sorted, values)
+		sort.Float64s(sorted)
+		if _, err := Thresholds(sorted, benchKs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -126,16 +126,21 @@ func (s *Sim) Every(period time.Duration, fn Event) (*Ticker, error) {
 // Step runs the earliest pending event. It reports whether an event ran
 // (false when the queue is empty).
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		item := heap.Pop(&s.queue).(*eventItem)
-		if item.cancelled {
-			continue
-		}
-		s.now = item.at
-		item.fn(s.now)
-		return true
+	item := s.peek()
+	if item == nil {
+		return false
 	}
-	return false
+	s.runHead(item)
+	return true
+}
+
+// runHead pops and fires the head event returned by peek. peek has already
+// discarded cancelled items above it, so the head is item itself and each
+// event pays for lazy deletion exactly once.
+func (s *Sim) runHead(item *eventItem) {
+	heap.Pop(&s.queue)
+	s.now = item.at
+	item.fn(s.now)
 }
 
 // RunUntil processes events until the clock would pass deadline or the queue
@@ -143,15 +148,12 @@ func (s *Sim) Step() bool {
 // min(deadline, time of last event); if the queue drains early the clock
 // still advances to deadline so repeated RunUntil calls compose.
 func (s *Sim) RunUntil(deadline time.Duration) {
-	for len(s.queue) > 0 {
+	for {
 		next := s.peek()
-		if next == nil {
+		if next == nil || next.at > deadline {
 			break
 		}
-		if next.at > deadline {
-			break
-		}
-		s.Step()
+		s.runHead(next)
 	}
 	if s.now < deadline {
 		s.now = deadline

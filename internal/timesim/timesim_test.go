@@ -312,3 +312,66 @@ func TestManyEventsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRunUntilSkipsCancelledHeads(t *testing.T) {
+	s := New()
+	var fired []int
+	// Interleave live and cancelled events, including a cancelled run at
+	// the head of the queue, so RunUntil must discard them lazily without
+	// firing any.
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		i := i
+		timer, err := s.At(time.Duration(i)*time.Second, func(time.Duration) {
+			fired = append(fired, i)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		timers = append(timers, timer)
+	}
+	for _, i := range []int{0, 1, 2, 5, 9} {
+		timers[i].Cancel()
+	}
+	s.RunUntil(20 * time.Second)
+	want := []int{3, 4, 6, 7, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 20*time.Second {
+		t.Errorf("Now() = %v, want 20s", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestStepRunsPeekedHeadOnce(t *testing.T) {
+	s := New()
+	ran := 0
+	cancelled, err := s.At(time.Second, func(time.Duration) { t.Fatal("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled.Cancel()
+	if _, err := s.At(2*time.Second, func(time.Duration) { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Step() {
+		t.Fatal("Step() = false with a live event pending")
+	}
+	if ran != 1 {
+		t.Fatalf("event ran %d times, want 1", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", s.Now())
+	}
+	if s.Step() {
+		t.Error("Step() = true on drained queue")
+	}
+}
