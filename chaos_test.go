@@ -65,6 +65,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	var alerts []time.Duration
+	tracer := volley.NewTracer(4096)
 	coordinator, err := volley.NewCoordinator(volley.CoordinatorConfig{
 		ID:           "chaos-coord",
 		Task:         "chaos",
@@ -74,6 +75,7 @@ func TestChaosSoak(t *testing.T) {
 		Network:      net,
 		UpdatePeriod: 500,
 		DeadAfter:    deadAfter,
+		Tracer:       tracer,
 		OnAlert:      func(now time.Duration, _ float64) { alerts = append(alerts, now) },
 	})
 	if err != nil {
@@ -190,6 +192,57 @@ func TestChaosSoak(t *testing.T) {
 	ns := net.Stats()
 	if ns.Dropped == 0 || ns.Reordered == 0 {
 		t.Errorf("fault injection inert: %+v", ns)
+	}
+
+	// The decision trace must tell the crash story end to end: monitor 3
+	// declared dead with its allowance reclaimed after the crash at 3500,
+	// then resurrected with the allowance restored after the restart at
+	// 4500 — in that order, all attributed to the right peer.
+	var death, reclaim, resurrect, restore *volley.TraceEvent
+	for _, e := range tracer.Events() {
+		if e.Peer != ids[3] || e.Time < 3500*time.Second {
+			continue
+		}
+		e := e
+		switch e.Type {
+		case volley.TraceHeartbeatDeath:
+			if death == nil {
+				death = &e
+			}
+		case volley.TraceAllowanceReclaim:
+			if reclaim == nil {
+				reclaim = &e
+			}
+		case volley.TraceResurrection:
+			if resurrect == nil {
+				resurrect = &e
+			}
+		case volley.TraceAllowanceRestore:
+			if restore == nil {
+				restore = &e
+			}
+		}
+	}
+	for name, e := range map[string]*volley.TraceEvent{
+		"heartbeat-death": death, "allowance-reclaim": reclaim,
+		"resurrection": resurrect, "allowance-restore": restore,
+	} {
+		if e == nil {
+			t.Fatalf("crash cycle event %s missing from trace for %s", name, ids[3])
+		}
+	}
+	if !(death.Seq < reclaim.Seq && reclaim.Seq < resurrect.Seq && resurrect.Seq < restore.Seq) {
+		t.Errorf("crash cycle out of order: death=%d reclaim=%d resurrect=%d restore=%d",
+			death.Seq, reclaim.Seq, resurrect.Seq, restore.Seq)
+	}
+	if reclaim.Value <= 0 {
+		t.Errorf("reclaim event carries no allowance amount: %+v", *reclaim)
+	}
+	if resurrect.Time < 4500*time.Second {
+		t.Errorf("resurrection at %v, want after the restart at step 4500", resurrect.Time)
+	}
+	if got, want := tracer.TypeCount(volley.TraceGlobalAlert), uint64(len(alerts)); got != want {
+		t.Errorf("global-alert trace count = %d, want %d (one per OnAlert call)", got, want)
 	}
 	t.Logf("chaos soak: %d alerts, %d/%d episodes detected, net %+v, coord %+v",
 		len(alerts), len(episodes)-missed, len(episodes), ns, cs)

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"volley/internal/bench"
 )
@@ -47,6 +48,7 @@ func main() {
 	}
 	p.Procs = *procs
 
+	start := time.Now()
 	if *jsonPath != "" {
 		err = writeBenchJSON(p, *preset, *jsonPath, os.Stdout)
 	} else {
@@ -55,6 +57,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volleybench:", err)
 		os.Exit(1)
+	}
+	if cells, _ := bench.EngineMetrics(); cells > 0 {
+		elapsed := time.Since(start)
+		fmt.Printf("engine: %d experiment cells in %v (%.0f cells/sec, %d workers)\n",
+			cells, elapsed.Round(time.Millisecond),
+			float64(cells)/elapsed.Seconds(), bench.NewEngine(p.Procs).Procs())
 	}
 }
 

@@ -27,7 +27,12 @@
 //	-max-interval  largest interval in units of Id (default 20)
 //	-window     optional aggregation window (in intervals) over which the
 //	            moving mean is monitored instead of raw values
-//	-listen     optional address to serve /metrics on
+//	-listen     optional address to serve the observability endpoints on:
+//	            /metrics (Prometheus text), /healthz (JSON liveness),
+//	            /debug/vars (expvar), /debug/pprof/* and /debug/events
+//	            (recent decision events as JSON)
+//	-events     also tail decision events (interval grow/reset, violations)
+//	            as JSON lines on stdout, interleaved with the sample log
 //	-duration   optional run duration (default: run forever)
 //	-state      optional file persisting sampler state across restarts
 package main
@@ -35,21 +40,24 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"volley"
-	"volley/internal/export"
-	"volley/internal/monitor"
 )
 
 func main() {
@@ -61,7 +69,8 @@ func main() {
 		errAllow    = flag.Float64("err", 0.01, "error allowance")
 		maxInterval = flag.Int("max-interval", 20, "maximum interval in units of Id")
 		window      = flag.Int("window", 0, "aggregation window in intervals (0 = monitor raw values)")
-		listen      = flag.String("listen", "", "serve Prometheus-style /metrics on this address")
+		listen      = flag.String("listen", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/events on this address")
+		events      = flag.Bool("events", false, "tail decision events as JSON lines on stdout")
 		duration    = flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
 		stateFile   = flag.String("state", "", "persist sampler state to this file and restore it on start")
 	)
@@ -79,6 +88,7 @@ func main() {
 		maxInterval: *maxInterval,
 		window:      *window,
 		listen:      *listen,
+		events:      *events,
 		duration:    *duration,
 		stateFile:   *stateFile,
 		out:         os.Stdout,
@@ -97,9 +107,11 @@ type options struct {
 	maxInterval int
 	window      int
 	listen      string
+	events      bool
 	duration    time.Duration
 	stateFile   string
 	out         io.Writer
+	onListen    func(addr string) // test hook: reports the bound address
 }
 
 // event is one JSON log line.
@@ -162,35 +174,132 @@ func run(ctx context.Context, opts options) error {
 		}()
 	}
 
-	// Metrics endpoint: wrap the daemon's sampler in a monitor facade so
-	// the export registry can render it.
-	var srv *http.Server
+	// Observability: every run carries a live instrument registry and a
+	// decision-event tracer, whether or not an HTTP listener is attached.
+	// Instruments are atomic, so the HTTP handlers below may read them
+	// while the sampling loop writes.
+	start := time.Now()
+	tracerOpts := []volley.TracerOption{
+		volley.WithTraceClock(func() time.Duration { return time.Since(start) }),
+	}
+	if opts.events {
+		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(opts.out))
+	}
+	tracer := volley.NewTracer(1024, tracerOpts...)
+	reg := volley.NewMetrics()
+	var (
+		samplesTotal   = reg.Counter("volley_sampler_observations_total", "Adaptive sampling operations.", "instance", "volleyd")
+		alertsTotal    = reg.Counter("volleyd_alerts_total", "State alerts raised.")
+		agentErrsTotal = reg.Counter("volleyd_agent_errors_total", "Failed sampling attempts.")
+		intervalGauge  = reg.Gauge("volley_sampler_interval", "Current sampling interval in default intervals.", "instance", "volleyd")
+		boundGauge     = reg.Gauge("volley_sampler_bound", "Last mis-detection bound.", "instance", "volleyd")
+		valueGauge     = reg.Gauge("volleyd_last_value", "Most recently sampled value.")
+	)
+	reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	stateSampler.Instrument(volley.SamplerObs{
+		Tracer:       tracer,
+		Node:         "volleyd",
+		Task:         opts.source,
+		Observations: samplesTotal,
+		Grows:        reg.Counter("volley_sampler_interval_grows_total", "Interval growth decisions.", "instance", "volleyd"),
+		Resets:       reg.Counter("volley_sampler_interval_resets_total", "Interval reset decisions.", "instance", "volleyd"),
+		Interval:     intervalGauge,
+		Bound:        boundGauge,
+		BoundDist:    reg.Histogram("volley_sampler_bound_dist", "Distribution of mis-detection bounds.", volley.DefBoundBuckets, "instance", "volleyd"),
+	})
+	status := func() map[string]any {
+		return map[string]any{
+			"status":         "ok",
+			"source":         opts.source,
+			"uptime_seconds": time.Since(start).Seconds(),
+			"samples":        samplesTotal.Value(),
+			"alerts":         alertsTotal.Value(),
+			"agent_errors":   agentErrsTotal.Value(),
+			"interval":       intervalGauge.Value(),
+			"bound":          boundGauge.Value(),
+		}
+	}
+	publishExpvar(status)
+
+	// The observability endpoints. The listener is created synchronously so
+	// ":0" works in tests (onListen reports the bound address) and a bad
+	// -listen value fails fast instead of dying silently in a goroutine.
+	var (
+		srv      *http.Server
+		serveErr chan error
+	)
 	if opts.listen != "" {
-		registry := export.NewRegistry()
-		// A lightweight monitor that mirrors the daemon's agent, used only
-		// for exposition (it shares the live sampler state via closures).
-		mon, err := monitor.New(monitor.Config{
-			ID:      "volleyd",
-			Agent:   monitor.AgentFunc(agent),
-			Sampler: cfg,
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+			tracer.WritePrometheus(w)
 		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(status())
+		})
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(tracer.Events())
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", opts.listen)
 		if err != nil {
 			return err
 		}
-		if err := registry.AddMonitor("volleyd", mon); err != nil {
-			return err
+		if opts.onListen != nil {
+			opts.onListen(ln.Addr().String())
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", registry.Handler())
-		srv = &http.Server{Addr: opts.listen, Handler: mux}
-		go func() { _ = srv.ListenAndServe() }()
-		defer func() {
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
-			defer cancel()
-			_ = srv.Shutdown(shutdownCtx)
-		}()
+		srv = &http.Server{Handler: mux}
+		serveErr = make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
 	}
 
+	loopErr := sampleLoop(ctx, opts, loopState{
+		agent:   agent,
+		sampler: sampler,
+		agg:     agg,
+		tracer:  tracer,
+		alerts:  alertsTotal,
+		errs:    agentErrsTotal,
+		value:   valueGauge,
+	})
+
+	// Graceful shutdown: stop accepting, drain in-flight scrapes, surface
+	// any listener failure that would otherwise be lost in the goroutine.
+	if srv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return errors.Join(loopErr, err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return errors.Join(loopErr, err)
+		}
+	}
+	return loopErr
+}
+
+// loopState carries the sampling loop's collaborators.
+type loopState struct {
+	agent   func() (float64, error)
+	sampler *volley.Sampler
+	agg     *volley.AggregateSampler
+	tracer  *volley.Tracer
+	alerts  *volley.Counter
+	errs    *volley.Counter
+	value   *volley.Gauge
+}
+
+func sampleLoop(ctx context.Context, opts options, st loopState) error {
 	if opts.duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.duration)
@@ -213,34 +322,41 @@ func run(ctx context.Context, opts options) error {
 			untilNext--
 			continue
 		}
-		value, sampleErr := agent()
+		value, sampleErr := st.agent()
 		now := time.Now()
 		if sampleErr != nil {
+			st.errs.Inc()
 			_ = enc.Encode(event{Time: now, Kind: "error", Err: sampleErr.Error()})
 			continue // retry at the next default interval
 		}
+		st.value.Set(value)
 
 		var violating bool
 		var bound float64
-		if agg != nil {
-			iv, obsErr := agg.Observe(value, interval)
+		if st.agg != nil {
+			iv, obsErr := st.agg.Observe(value, interval)
 			if obsErr != nil {
 				return obsErr
 			}
 			interval = iv
-			violating = agg.Violates()
-			bound = agg.Bound()
-			value = agg.Value()
+			violating = st.agg.Violates()
+			bound = st.agg.Bound()
+			value = st.agg.Value()
 		} else {
-			interval = sampler.Observe(value)
-			violating = sampler.Violates(value)
-			bound = sampler.Bound()
+			interval = st.sampler.Observe(value)
+			violating = st.sampler.Violates(value)
+			bound = st.sampler.Bound()
 		}
 		untilNext = interval - 1
 
 		kind := "sample"
 		if violating {
 			kind = "alert"
+			st.alerts.Inc()
+			st.tracer.Record(volley.TraceEvent{
+				Type: volley.TraceViolation, Node: "volleyd", Task: opts.source,
+				Value: value, Bound: bound, Interval: interval,
+			})
 		}
 		_ = enc.Encode(event{
 			Time:     now,
@@ -250,6 +366,24 @@ func run(ctx context.Context, opts options) error {
 			Bound:    bound,
 		})
 	}
+}
+
+// currentStatus lets the process-global expvar publication follow the most
+// recent run (tests run the daemon repeatedly; expvar.Publish panics on
+// duplicate names, so the var is published once and re-pointed per run).
+var currentStatus atomic.Value // of func() map[string]any
+
+func publishExpvar(status func() map[string]any) {
+	currentStatus.Store(status)
+	if expvar.Get("volleyd") != nil {
+		return
+	}
+	expvar.Publish("volleyd", expvar.Func(func() any {
+		if fn, ok := currentStatus.Load().(func() map[string]any); ok {
+			return fn()
+		}
+		return nil
+	}))
 }
 
 func parseDirection(s string) (volley.Direction, error) {

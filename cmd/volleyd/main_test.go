@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -332,5 +334,199 @@ func TestRestoreStateRejectsCorruptFile(t *testing.T) {
 	}
 	if err := restoreState(path, s); err == nil {
 		t.Error("corrupt state file accepted, want error")
+	}
+}
+
+// startDaemon runs the daemon with an HTTP listener on a free port and
+// returns the bound address plus a channel carrying run's return value.
+func startDaemon(t *testing.T, ctx context.Context, opts options) (addr string, done chan error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	opts.listen = "127.0.0.1:0"
+	opts.onListen = func(a string) { addrCh <- a }
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, opts) }()
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	return addr, done
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestRunGracefulShutdown cancels the daemon context mid-run and verifies
+// the HTTP server is shut down cleanly: run returns nil (not a listener
+// error) and the port stops accepting connections.
+func TestRunGracefulShutdown(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("1"))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startDaemon(t, ctx, options{
+		source:      srv.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		out:         io.Discard,
+	})
+
+	if code, _ := httpGet(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status = %d before shutdown", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting connections after shutdown")
+	}
+}
+
+// TestObservabilityEndToEnd is the acceptance test for the observability
+// layer: it scrapes the live endpoints during a run whose signal spikes
+// over the threshold, and asserts the exposition carries non-zero sample
+// and violation counters and that interval decisions landed in the trace
+// ring.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var calls atomic.Int64
+	src := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		v := "10"
+		if n := calls.Add(1); n > 20 && n%10 < 3 {
+			v = "100" // recurring spikes: violations plus interval resets
+		}
+		_, _ = w.Write([]byte(v))
+	}))
+	defer src.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startDaemon(t, ctx, options{
+		source:      src.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		out:         io.Discard,
+	})
+	base := "http://" + addr
+
+	// Poll /metrics until the run has produced samples, alerts and
+	// interval decisions (or time out and report what is missing).
+	deadline := time.Now().Add(10 * time.Second)
+	var metrics string
+	for {
+		_, metrics = httpGet(t, base+"/metrics")
+		ok := !strings.Contains(metrics, "volley_sampler_observations_total{instance=\"volleyd\"} 0\n") &&
+			!strings.Contains(metrics, "volleyd_alerts_total 0\n") &&
+			(strings.Contains(metrics, `volley_trace_events_total{type="interval-grow"}`) &&
+				!strings.Contains(metrics, `volley_trace_events_total{type="interval-grow"} 0`))
+		if ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, name := range []string{
+		"volley_sampler_observations_total", "volleyd_alerts_total",
+		"volley_sampler_interval", "volley_sampler_bound_dist_bucket",
+		"volley_trace_events_total", "volleyd_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s:\n%s", name, metrics)
+		}
+	}
+	if strings.Contains(metrics, "volley_sampler_observations_total{instance=\"volleyd\"} 0\n") {
+		t.Error("sample counter never moved")
+	}
+	if strings.Contains(metrics, "volleyd_alerts_total 0\n") {
+		t.Error("alert counter never moved despite spikes")
+	}
+
+	// The trace ring must hold interval decisions and violations.
+	_, eventsBody := httpGet(t, base+"/debug/events")
+	var evs []volley.TraceEvent
+	if err := json.Unmarshal([]byte(eventsBody), &evs); err != nil {
+		t.Fatalf("/debug/events not valid JSON: %v\n%s", err, eventsBody)
+	}
+	byType := map[volley.TraceEventType]int{}
+	for _, e := range evs {
+		byType[e.Type]++
+	}
+	if byType[volley.TraceIntervalGrow] == 0 {
+		t.Error("no interval-grow events in trace ring")
+	}
+	if byType[volley.TraceViolation] == 0 {
+		t.Error("no violation events in trace ring")
+	}
+
+	// Remaining endpoints answer.
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d %s", code, body)
+	}
+	if code, body := httpGet(t, base+"/debug/vars"); code != http.StatusOK || !strings.Contains(body, "volleyd") {
+		t.Errorf("/debug/vars = %d, want volleyd var present", code)
+	}
+	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestEventsFlagTailsDecisions verifies -events interleaves decision events
+// (JSON objects with a "type" field) with the regular sample log.
+func TestEventsFlagTailsDecisions(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("10"))
+	}))
+	defer srv.Close()
+	var buf bytes.Buffer
+	err := run(context.Background(), options{
+		source:      srv.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		events:      true,
+		duration:    300 * time.Millisecond,
+		out:         &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type":"interval-grow"`) {
+		t.Errorf("no interval-grow events tailed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"kind":"sample"`) {
+		t.Errorf("sample log suppressed by -events:\n%s", buf.String())
 	}
 }

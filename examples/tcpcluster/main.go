@@ -15,13 +15,23 @@
 // Run with:
 //
 //	go run ./examples/tcpcluster
+//
+// and to watch the cluster live, add an observability endpoint and scrape
+// it mid-run:
+//
+//	go run ./examples/tcpcluster -listen 127.0.0.1:9464 &
+//	curl -s localhost:9464/metrics
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -89,7 +99,9 @@ func (n *tcpNetwork) Send(from, to string, msg volley.Message) error {
 func (n *tcpNetwork) Addr() string { return n.node.Addr() }
 
 func main() {
-	if err := run(); err != nil {
+	listen := flag.String("listen", "", "serve Prometheus-style /metrics on this address during the run")
+	flag.Parse()
+	if err := run(*listen, nil); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -117,12 +129,26 @@ func contains(list []string, s string) bool {
 	return false
 }
 
-func run() error {
+// run executes the scripted failure cycle; when listen is non-empty the
+// cluster's metrics and decision trace are served on /metrics for the
+// duration of the run (onListen, if set, receives the bound address — a
+// test hook so ":0" works).
+func run(listen string, onListen func(addr string)) error {
 	coordNet, err := newTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer coordNet.node.Close()
+
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+
+	// One instrument registry and one decision tracer span the whole
+	// cluster: per-monitor sampler series are distinguished by their
+	// instance label, and the tracer sees coordinator-side liveness and
+	// allowance decisions.
+	metrics := volley.NewMetrics()
+	tracer := volley.NewTracer(512, volley.WithTraceClock(now))
 
 	monitorNets := make([]*tcpNetwork, monitors)
 	addrs := make([]string, monitors)
@@ -148,6 +174,8 @@ func run() error {
 		Monitors:  addrs,
 		Network:   coordNet,
 		DeadAfter: deadAfter,
+		Metrics:   metrics,
+		Tracer:    tracer,
 		OnAlert: func(time.Duration, float64) {
 			alertMu.Lock()
 			alerts++
@@ -162,8 +190,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	now := func() time.Duration { return time.Since(start) }
 
 	newDemoMonitor := func(i int, net *tcpNetwork) (*volley.Monitor, error) {
 		rng := rand.New(rand.NewSource(int64(100 + i)))
@@ -188,6 +214,8 @@ func run() error {
 			Network:        net,
 			Coordinator:    coordNet.Addr(),
 			HeartbeatEvery: heartbeatEvery,
+			Metrics:        metrics,
+			Tracer:         tracer,
 		})
 	}
 
@@ -196,6 +224,40 @@ func run() error {
 		if monitorNodes[i], err = newDemoMonitor(i, monitorNets[i]); err != nil {
 			return err
 		}
+	}
+
+	// Observability endpoint: component facades (monitor/coordinator
+	// stats), the low-level instruments, and the decision trace rendered on
+	// one /metrics page.
+	if listen != "" {
+		registry := volley.NewMetricsRegistry()
+		if err := registry.AddCoordinator("coordinator", coordinator); err != nil {
+			return err
+		}
+		for i, m := range monitorNodes {
+			if err := registry.AddMonitor(addrs[i], m); err != nil {
+				return err
+			}
+		}
+		registry.AddCollector(metrics.WritePrometheus)
+		registry.AddCollector(tracer.WritePrometheus)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry.Handler())
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		if onListen != nil {
+			onListen(ln.Addr().String())
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		}()
 	}
 
 	// Drive everything on real wall-clock tickers; each loop can be stopped
@@ -325,6 +387,11 @@ func run() error {
 		cs.LocalViolations, cs.Polls, finalAlerts)
 	fmt.Printf("failure cycle:       heartbeats=%d reclamations=%d restorations=%d\n",
 		cs.Heartbeats, cs.Reclamations, cs.Restorations)
+	fmt.Printf("decision trace:      %d events (%d heartbeat-deaths, %d reclaims, %d restores)\n",
+		tracer.Total(),
+		tracer.TypeCount(volley.TraceHeartbeatDeath),
+		tracer.TypeCount(volley.TraceAllowanceReclaim),
+		tracer.TypeCount(volley.TraceAllowanceRestore))
 	if finalAlerts == 0 {
 		return fmt.Errorf("expected at least one global alert from the end-of-run spike")
 	}

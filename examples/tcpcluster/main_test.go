@@ -1,14 +1,59 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
 
 // TestRun exercises the full TCP deployment once (a few seconds of wall
-// clock, real sockets on localhost).
+// clock, real sockets on localhost) with the observability endpoint
+// attached, scraping /metrics mid-run the way the README quick-start does
+// with curl.
 func TestRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping TCP example in short mode")
 	}
-	if err := run(); err != nil {
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run("127.0.0.1:0", func(a string) { addrCh <- a }) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics endpoint never came up")
+	}
+
+	// Scrape midway through the run: the cluster is live, so the page must
+	// show component facades, low-level instruments and the trace counters.
+	time.Sleep(1500 * time.Millisecond)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"volley_monitor_samples_total",
+		"volley_coordinator_polls_total",
+		"volley_sampler_observations_total",
+		"volley_trace_events_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,7 +4,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"volley/internal/obs"
 )
+
+// Package-level engine instrumentation, shared by every pool (presets
+// construct engines internally, so per-engine registries would be
+// unreachable). Zero values are usable; reads go through EngineMetrics.
+var (
+	engineCells obs.Counter // experiment cells completed across all pools
+	engineBusy  obs.Gauge   // workers currently inside a job function
+)
+
+// EngineMetrics reports the total number of completed experiment cells and
+// the number of workers currently executing a job, across every engine in
+// the process. cells/sec over a wall-clock window gives sweep throughput;
+// busy vs Procs gives worker utilization.
+func EngineMetrics() (cells uint64, busy float64) {
+	return engineCells.Value(), engineBusy.Value()
+}
 
 // Engine is the bounded worker pool behind every figure sweep. It fans
 // independent experiment cells (grid cells of a sweep, ablation
@@ -57,9 +75,13 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			engineBusy.Add(1)
+			err := fn(i)
+			engineBusy.Add(-1)
+			if err != nil {
 				return err
 			}
+			engineCells.Inc()
 		}
 		return nil
 	}
@@ -87,9 +109,14 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				engineBusy.Add(1)
+				err := fn(i)
+				engineBusy.Add(-1)
+				if err != nil {
 					errs[i] = err // distinct slot per job: race-free
 					failed.Store(true)
+				} else {
+					engineCells.Inc()
 				}
 			}
 		}()

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestEngineMetrics verifies the pool's shared instrumentation: completed
+// cells accumulate across serial and parallel engines, failed cells do not
+// count, and the busy gauge returns to zero once ForEach returns.
+func TestEngineMetrics(t *testing.T) {
+	before, _ := EngineMetrics()
+
+	if err := NewEngine(1).ForEach(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEngine(4).ForEach(25, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	after, busy := EngineMetrics()
+	if got := after - before; got != 35 {
+		t.Errorf("cells delta = %d, want 35", got)
+	}
+	if busy != 0 {
+		t.Errorf("busy = %v after ForEach returned, want 0", busy)
+	}
+
+	boom := errors.New("boom")
+	_ = NewEngine(1).ForEach(5, func(i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	failedAfter, busy := EngineMetrics()
+	if got := failedAfter - after; got != 2 {
+		t.Errorf("cells delta after failure = %d, want 2 (indices 0 and 1)", got)
+	}
+	if busy != 0 {
+		t.Errorf("busy = %v after failed ForEach, want 0", busy)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"volley/internal/core"
+	"volley/internal/obs"
 	"volley/internal/transport"
 )
 
@@ -100,6 +101,14 @@ type Config struct {
 	DeadAfter int
 	// OnAlert is invoked on confirmed global violations. Optional.
 	OnAlert AlertFunc
+	// Metrics registers the coordinator's live views (per-monitor
+	// allowance assignments, alive-monitor count) in this registry.
+	// Optional.
+	Metrics *obs.Registry
+	// Tracer records decision events: allowance shifts, reclamations and
+	// restorations, liveness transitions, and confirmed global alerts.
+	// Optional.
+	Tracer *obs.Tracer
 }
 
 // Stats counts coordinator activity.
@@ -237,6 +246,13 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, m := range cfg.Monitors {
 		c.assignments[m] = even
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeVecFunc("volley_coordinator_assignment",
+			"Per-monitor error-allowance assignment.", "monitor", c.Assignments)
+		cfg.Metrics.GaugeFunc("volley_coordinator_alive_monitors",
+			"Monitors currently considered alive.",
+			func() float64 { return float64(len(c.AliveMonitors())) })
+	}
 	if err := cfg.Network.Register(cfg.ID, c.handle); err != nil {
 		return nil, fmt.Errorf("coord %s: %w", cfg.ID, err)
 	}
@@ -314,11 +330,19 @@ func (c *Coordinator) updateLivenessLocked() bool {
 		}
 		if isDead {
 			c.dead[m] = true
+			c.cfg.Tracer.Record(obs.Event{
+				Type: obs.EventHeartbeatDeath, Node: c.cfg.ID, Task: c.cfg.Task,
+				Time: c.now, Peer: m,
+			})
 			if c.reclaimLocked(m) {
 				changed = true
 			}
 		} else {
 			delete(c.dead, m)
+			c.cfg.Tracer.Record(obs.Event{
+				Type: obs.EventResurrection, Node: c.cfg.ID, Task: c.cfg.Task,
+				Time: c.now, Peer: m,
+			})
 			if c.restoreLocked(m) {
 				changed = true
 			}
@@ -372,6 +396,10 @@ func (c *Coordinator) reclaimLocked(m string) bool {
 		y.fresh = false
 	}
 	c.stats.Reclamations++
+	c.cfg.Tracer.Record(obs.Event{
+		Type: obs.EventAllowanceReclaim, Node: c.cfg.ID, Task: c.cfg.Task,
+		Time: c.now, Peer: m, Value: r, Err: c.cfg.Err,
+	})
 	return true
 }
 
@@ -399,6 +427,10 @@ func (c *Coordinator) restoreLocked(m string) bool {
 	}
 	c.assignments[m] += r
 	c.stats.Restorations++
+	c.cfg.Tracer.Record(obs.Event{
+		Type: obs.EventAllowanceRestore, Node: c.cfg.ID, Task: c.cfg.Task,
+		Time: c.now, Peer: m, Value: r, Err: c.cfg.Err,
+	})
 	return true
 }
 
@@ -530,12 +562,14 @@ func (c *Coordinator) rebalanceLocked() bool {
 	}
 	target := distributeWithFloors(pool, yields, floors)
 	changed := false
+	var moved float64
 	for m, e := range target {
 		cur := c.assignments[m]
 		next := cur + assignmentGain*(e-cur)
 		if math.Abs(next-cur) > 1e-15 {
 			changed = true
 		}
+		moved += math.Abs(next - cur)
 		c.assignments[m] = next
 	}
 	for _, r := range c.yields {
@@ -543,6 +577,10 @@ func (c *Coordinator) rebalanceLocked() bool {
 	}
 	if changed {
 		c.stats.Rebalances++
+		c.cfg.Tracer.Record(obs.Event{
+			Type: obs.EventAllowanceShift, Node: c.cfg.ID, Task: c.cfg.Task,
+			Time: c.now, Value: moved, Err: c.cfg.Err,
+		})
 	} else {
 		c.stats.RebalancesSkipped++
 	}
@@ -751,8 +789,14 @@ func (c *Coordinator) finishPoll() {
 	onAlert := c.cfg.OnAlert
 	c.mu.Unlock()
 
-	if alert && onAlert != nil {
-		onAlert(started, total)
+	if alert {
+		c.cfg.Tracer.Record(obs.Event{
+			Type: obs.EventGlobalAlert, Node: c.cfg.ID, Task: c.cfg.Task,
+			Time: started, Value: total,
+		})
+		if onAlert != nil {
+			onAlert(started, total)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"volley/internal/obs"
 	"volley/internal/stats"
 )
 
@@ -164,7 +165,37 @@ type Sampler struct {
 	samples   uint64
 	resets    uint64
 	increases uint64
+
+	obs SamplerObs
 }
+
+// SamplerObs wires a sampler's decision points into the observability
+// layer. Every field is optional — the obs instruments are nil-safe, so an
+// un-instrumented sampler pays one nil check per decision point and
+// allocates nothing either way (alloc_test.go guards both).
+type SamplerObs struct {
+	// Tracer receives IntervalGrow/IntervalReset events carrying the
+	// misdetection bound that drove the decision.
+	Tracer *obs.Tracer
+	// Node and Task label the tracer events.
+	Node string
+	Task string
+	// Observations counts Observe calls.
+	Observations *obs.Counter
+	// Grows and Resets count interval increases and fallbacks.
+	Grows  *obs.Counter
+	Resets *obs.Counter
+	// Interval and Bound track the current interval and last bound.
+	Interval *obs.Gauge
+	Bound    *obs.Gauge
+	// BoundDist accumulates the distribution of misdetection bounds.
+	BoundDist *obs.Histogram
+}
+
+// Instrument attaches observability instruments to the sampler. Replacing
+// them mid-run is allowed; the new instruments simply count from their own
+// current state.
+func (s *Sampler) Instrument(o SamplerObs) { s.obs = o }
 
 // NewSampler returns a sampler with interval 1 (the default interval) and
 // no history. It returns an error for invalid configurations.
@@ -189,6 +220,7 @@ func (s *Sampler) Observe(value float64) int {
 		value = -value
 	}
 	s.samples++
+	s.obs.Observations.Inc()
 	if s.hasLast {
 		// δ̂ = (v(t) − v(t−I)) / I, Section III-B.
 		s.delta.Observe((value - s.lastValue) / float64(s.interval))
@@ -203,6 +235,8 @@ func (s *Sampler) Observe(value float64) int {
 		panic(fmt.Sprintf("core: misdetect bound: %v", err))
 	}
 	s.lastBound = bound
+	s.obs.Bound.Set(bound)
+	s.obs.BoundDist.Observe(bound)
 
 	if s.cfg.Err == 0 {
 		// Zero allowance degenerates to periodical sampling at the default
@@ -217,6 +251,11 @@ func (s *Sampler) Observe(value float64) int {
 		// Risky: fall back to the default interval immediately.
 		if s.interval != 1 {
 			s.resets++
+			s.obs.Resets.Inc()
+			s.obs.Tracer.Record(obs.Event{
+				Type: obs.EventIntervalReset, Node: s.obs.Node, Task: s.obs.Task,
+				Bound: bound, Err: s.cfg.Err, Interval: 1,
+			})
 		}
 		s.interval = 1
 		s.streak = 0
@@ -226,11 +265,17 @@ func (s *Sampler) Observe(value float64) int {
 			s.interval = s.grow(s.interval)
 			s.increases++
 			s.streak = 0
+			s.obs.Grows.Inc()
+			s.obs.Tracer.Record(obs.Event{
+				Type: obs.EventIntervalGrow, Node: s.obs.Node, Task: s.obs.Task,
+				Bound: bound, Err: s.cfg.Err, Interval: s.interval,
+			})
 		}
 	default:
 		// Within the slack band: hold the current interval.
 		s.streak = 0
 	}
+	s.obs.Interval.Set(float64(s.interval))
 	return s.interval
 }
 

@@ -10,6 +10,7 @@ package export
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -25,6 +26,7 @@ type Registry struct {
 	mu           sync.Mutex
 	monitors     map[string]*monitor.Monitor
 	coordinators map[string]*coord.Coordinator
+	collectors   []func(w io.Writer)
 }
 
 // NewRegistry returns an empty registry.
@@ -67,6 +69,21 @@ func (r *Registry) AddCoordinator(name string, c *coord.Coordinator) error {
 	}
 	r.coordinators[name] = c
 	return nil
+}
+
+// AddCollector appends a raw exposition-format writer that runs after the
+// built-in monitor/coordinator metrics on every scrape. It bridges other
+// producers of the text format — obs.Registry.WritePrometheus,
+// obs.Tracer.WritePrometheus — into one endpoint. The collector must emit
+// complete families (its own HELP/TYPE lines) and must not register
+// metric names the built-ins already use.
+func (r *Registry) AddCollector(fn func(w io.Writer)) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
 }
 
 // Handler returns an http.Handler serving the current metrics.
@@ -140,6 +157,9 @@ func (r *Registry) Render() string {
 			fmt.Fprintf(&b, "%s{instance=%s} %s\n",
 				s.name, strconv.Quote(s.instance), formatValue(s.value))
 		}
+	}
+	for _, fn := range r.collectors {
+		fn(&b)
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 	"volley/internal/coord"
 	"volley/internal/core"
 	"volley/internal/monitor"
+	"volley/internal/obs"
 	"volley/internal/transport"
 )
 
@@ -166,5 +167,25 @@ func TestInstanceNamesEscaped(t *testing.T) {
 	out := r.Render()
 	if !strings.Contains(out, `instance="we\"ird"`) {
 		t.Errorf("quotes not escaped:\n%s", out)
+	}
+}
+
+// TestAddCollector verifies appended collectors render after the built-in
+// component metrics on every scrape, bridging the obs instrument registry
+// into the component exposition page.
+func TestAddCollector(t *testing.T) {
+	r := NewRegistry()
+	obsReg := obs.NewRegistry()
+	obsReg.Counter("volley_test_collector_total", "Test counter.").Add(7)
+	r.AddCollector(obsReg.WritePrometheus)
+	r.AddCollector(func(w io.Writer) { _, _ = io.WriteString(w, "# custom trailer\n") })
+	r.AddCollector(nil) // ignored
+
+	out := r.Render()
+	if !strings.Contains(out, "volley_test_collector_total 7") {
+		t.Errorf("collector output missing:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# custom trailer\n") {
+		t.Errorf("collectors not appended in order after built-ins:\n%s", out)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"volley/internal/core"
+	"volley/internal/obs"
 	"volley/internal/transport"
 )
 
@@ -61,6 +62,13 @@ type Config struct {
 	// liveness tracking needs explicit beacons; set this well below the
 	// coordinator's DeadAfter horizon. Zero disables heartbeats.
 	HeartbeatEvery int
+	// Metrics registers the monitor's sampler instruments (interval,
+	// bound, observation/grow/reset counters; instance label = ID) in this
+	// registry. Optional.
+	Metrics *obs.Registry
+	// Tracer records decision events: interval adaptation from the sampler
+	// and local violations from the monitor. Optional.
+	Tracer *obs.Tracer
 }
 
 // Stats counts a monitor's activity.
@@ -126,6 +134,19 @@ func New(cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor %s: %w", cfg.ID, err)
 	}
 	m := &Monitor{cfg: cfg, sampler: sampler}
+	if cfg.Metrics != nil || cfg.Tracer != nil {
+		sampler.Instrument(core.SamplerObs{
+			Tracer:       cfg.Tracer,
+			Node:         cfg.ID,
+			Task:         cfg.Task,
+			Observations: cfg.Metrics.Counter("volley_sampler_observations_total", "Adaptive sampling operations performed.", "instance", cfg.ID),
+			Grows:        cfg.Metrics.Counter("volley_sampler_interval_grows_total", "Interval increases after a comfortable-bound streak.", "instance", cfg.ID),
+			Resets:       cfg.Metrics.Counter("volley_sampler_interval_resets_total", "Falls back to the default interval.", "instance", cfg.ID),
+			Interval:     cfg.Metrics.Gauge("volley_sampler_interval", "Current sampling interval in default intervals.", "instance", cfg.ID),
+			Bound:        cfg.Metrics.Gauge("volley_sampler_bound", "Last misdetection bound.", "instance", cfg.ID),
+			BoundDist:    cfg.Metrics.Histogram("volley_sampler_bound_dist", "Distribution of misdetection bounds.", obs.DefBoundBuckets, "instance", cfg.ID),
+		})
+	}
 	if cfg.Network != nil {
 		if err := cfg.Network.Register(cfg.ID, m.handle); err != nil {
 			return nil, fmt.Errorf("monitor %s: %w", cfg.ID, err)
@@ -187,6 +208,10 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 
 	if m.sampler.Violates(v) {
 		m.stats.LocalViolations++
+		m.cfg.Tracer.Record(obs.Event{
+			Type: obs.EventViolation, Node: m.cfg.ID, Task: m.cfg.Task,
+			Time: now, Value: v, Interval: interval,
+		})
 		outgoing = append(outgoing, transport.Message{
 			Kind:  transport.KindLocalViolation,
 			Task:  m.cfg.Task,

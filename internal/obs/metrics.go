@@ -1,0 +1,393 @@
+// Package obs is Volley's observability substrate: a lock-cheap metrics
+// registry (atomic counters, gauges, fixed-bucket streaming histograms)
+// plus a structured decision-event tracer (trace.go). Monitoring the
+// monitor is the point — Volley's value proposition is a runtime trade-off
+// between sampling cost and misdetection probability, and this package
+// makes that trade-off visible while it happens.
+//
+// Design constraints, in order:
+//
+//   - Zero allocations on the hot path. Counter.Inc, Gauge.Set,
+//     Histogram.Observe and Tracer.Record (without a JSONL sink) allocate
+//     nothing; the per-sample guards in alloc_test.go enforce this.
+//   - Nil-safety everywhere. The zero value of every instrument works, and
+//     every method is a no-op on a nil receiver, so an un-instrumented
+//     component pays exactly one nil check per decision point instead of
+//     branching on a configuration flag.
+//   - No dependencies. Exposition is the hand-rolled Prometheus text
+//     format (prom.go); obs imports only the standard library and sits
+//     below every other volley package.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; methods on a nil *Counter are no-ops.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; methods on a nil *Gauge are no-ops.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the gauge by d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reports the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket streaming distribution: cumulative counts
+// over ascending upper bounds plus an implicit +Inf bucket, with an atomic
+// running sum. Observe is lock-free and allocation-free; quantiles are
+// estimated at read time by linear interpolation within the bucket, the
+// classic monitoring-stack compromise between streaming cost and accuracy
+// (cf. incremental quantile estimation for networked applications).
+//
+// Construct with NewHistogram; the zero value has no buckets and only
+// tracks count and sum.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBoundBuckets suits misdetection-probability distributions: log-spaced
+// from 1e-6 to 1 (bounds are probabilities in [0, 1]).
+var DefBoundBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2, 0.5, 1}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (copied). Non-ascending bounds are sorted and deduplicated rather than
+// rejected — a misconfigured histogram should degrade, not crash a monitor.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{
+		bounds:  dedup,
+		buckets: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if len(h.buckets) > 0 {
+		// Linear scan: bucket counts are small (≈10) and the scan avoids
+		// the bounds-check patterns that defeat inlining in sort.Search.
+		i := len(h.bounds) // +Inf bucket
+		for j, b := range h.bounds {
+			if v <= b {
+				i = j
+				break
+			}
+		}
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) from the bucket
+// counts, interpolating linearly within the winning bucket. It returns NaN
+// with no observations or no buckets. Values in the +Inf bucket clamp to
+// the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric kinds for rendering.
+const (
+	kindCounter = iota
+	kindGauge
+	kindGaugeFunc
+	kindGaugeVecFunc
+	kindHistogram
+)
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels string // pre-rendered `key="value",...` without braces; "" if unlabeled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help string
+	kind       int
+	series     []*series
+	vecLabel   string
+	vecFn      func() map[string]float64
+}
+
+// Registry collects metric families for exposition. Registration takes a
+// lock and may allocate; the instruments it hands out are the atomic types
+// above, so the observe path never touches the registry again. All methods
+// are nil-safe: registering on a nil *Registry returns a detached (but
+// fully usable) instrument, so components can instrument themselves
+// unconditionally.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family returns the family for name, creating it with the given help and
+// kind. A name registered before with a different kind yields nil (the
+// caller then hands out a detached instrument).
+func (r *Registry) familyFor(name, help string, kind int) *family {
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			return nil
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// renderLabels turns ("k1", "v1", "k2", "v2") pairs into `k1="v1",k2="v2"`.
+// A trailing odd element is ignored.
+func renderLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	return b.String()
+}
+
+// findSeries returns the series with the given label string, if any.
+func (f *family) findSeries(labels string) *series {
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter registers (or retrieves) a counter with the given name and label
+// pairs. Kind conflicts and nil registries yield a detached counter that
+// works but is not exposed.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter)
+	if f == nil {
+		return &Counter{}
+	}
+	ls := renderLabels(labelPairs)
+	if s := f.findSeries(ls); s != nil {
+		return s.c
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: ls, c: c})
+	return c
+}
+
+// Gauge registers (or retrieves) a gauge; same conventions as Counter.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge)
+	if f == nil {
+		return &Gauge{}
+	}
+	ls := renderLabels(labelPairs)
+	if s := f.findSeries(ls); s != nil {
+		return s.g
+	}
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: ls, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. fn must not call
+// back into the registry (the registry lock is held during rendering).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGaugeFunc)
+	if f == nil {
+		return
+	}
+	ls := renderLabels(labelPairs)
+	if f.findSeries(ls) != nil {
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, fn: fn})
+}
+
+// GaugeVecFunc registers a dynamically labeled gauge family: at scrape time
+// fn returns a map of label value → gauge value, rendered with the given
+// label key in sorted order. Use it for per-peer state (send-queue depths,
+// per-monitor assignments) where the label set changes at runtime. fn must
+// not call back into the registry.
+func (r *Registry) GaugeVecFunc(name, help, labelKey string, fn func() map[string]float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGaugeVecFunc)
+	if f == nil || f.vecFn != nil {
+		return
+	}
+	f.vecLabel = labelKey
+	f.vecFn = fn
+}
+
+// Histogram registers (or retrieves) a fixed-bucket histogram over the
+// given ascending upper bounds; same conventions as Counter.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram)
+	if f == nil {
+		return NewHistogram(bounds)
+	}
+	ls := renderLabels(labelPairs)
+	if s := f.findSeries(ls); s != nil {
+		return s.h
+	}
+	h := NewHistogram(bounds)
+	f.series = append(f.series, &series{labels: ls, h: h})
+	return h
+}

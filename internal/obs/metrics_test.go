@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Counter.Value = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("Gauge.Value = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram counted")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+	var r *Registry
+	r.Counter("x", "h").Inc()
+	r.Gauge("y", "h").Set(1)
+	r.Histogram("z", "h", DefBoundBuckets).Observe(1)
+	r.GaugeFunc("f", "h", func() float64 { return 1 })
+	r.GaugeVecFunc("v", "h", "k", func() map[string]float64 { return nil })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered %q", b.String())
+	}
+	var tr *Tracer
+	tr.Record(Event{Type: EventViolation})
+	if tr.Total() != 0 || tr.Events() != nil || tr.TypeCount(EventViolation) != 0 {
+		t.Error("nil tracer recorded")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewRegistry().Counter("c", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", got)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("concurrent gauge = %v, want 8000", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-15.7) > 1e-9 {
+		t.Errorf("Sum = %v, want 15.7", got)
+	}
+	// Median rank 2.5 falls in the (1,2] bucket (cumulative 1 → 3).
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Errorf("Quantile(0.5) = %v, want in (1,2]", q)
+	}
+	// +Inf-bucket values clamp to the top finite bound.
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %v, want 8", got)
+	}
+	if !math.IsNaN(NewHistogram(nil).Quantile(0.5)) {
+		t.Error("bucketless histogram quantile not NaN")
+	}
+}
+
+func TestHistogramUnsortedBoundsDegrade(t *testing.T) {
+	h := NewHistogram([]float64{4, 1, 4, 2})
+	h.Observe(3)
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1", h.Count())
+	}
+	if len(h.bounds) != 3 {
+		t.Errorf("bounds = %v, want sorted dedup [1 2 4]", h.bounds)
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("volley_x_total", "help", "instance", "a")
+	b := r.Counter("volley_x_total", "help", "instance", "a")
+	if a != b {
+		t.Error("same name+labels did not return the same counter")
+	}
+	other := r.Counter("volley_x_total", "help", "instance", "b")
+	if other == a {
+		t.Error("distinct labels shared a counter")
+	}
+	// Kind conflict: usable but detached.
+	g := r.Gauge("volley_x_total", "help")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Error("detached gauge unusable")
+	}
+	var w strings.Builder
+	r.WritePrometheus(&w)
+	if strings.Contains(w.String(), " 7\n") {
+		t.Errorf("conflicting gauge leaked into exposition:\n%s", w.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("volley_samples_total", "Samples.", "instance", "m0").Add(3)
+	r.Gauge("volley_interval", "Interval.").Set(4)
+	r.GaugeFunc("volley_alive", "Alive.", func() float64 { return 2 })
+	r.GaugeVecFunc("volley_queue_depth", "Depth.", "peer", func() map[string]float64 {
+		return map[string]float64{"b:1": 1, "a:1": 5}
+	})
+	h := r.Histogram("volley_bound", "Bound.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE volley_samples_total counter",
+		`volley_samples_total{instance="m0"} 3`,
+		"volley_interval 4",
+		"volley_alive 2",
+		`volley_queue_depth{peer="a:1"} 5`,
+		`volley_queue_depth{peer="b:1"} 1`,
+		"# TYPE volley_bound histogram",
+		`volley_bound_bucket{le="0.1"} 1`,
+		`volley_bound_bucket{le="1"} 2`,
+		`volley_bound_bucket{le="+Inf"} 3`,
+		"volley_bound_sum 3.55",
+		"volley_bound_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Vec labels render in sorted order for deterministic scrapes.
+	if strings.Index(out, `peer="a:1"`) > strings.Index(out, `peer="b:1"`) {
+		t.Error("vec gauge labels not sorted")
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h", DefBoundBuckets)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(0.5)
+		g.Add(1)
+		h.Observe(0.02)
+	}); allocs != 0 {
+		t.Errorf("metrics hot path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// formatFloat renders a sample value the way Prometheus text format
+// expects: shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample emits one `name{labels} value` line; extra is appended to the
+// label string (used for histogram `le`).
+func writeSample(w io.Writer, name, labels, extra, value string) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, extra, value)
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extra, value)
+	}
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), in registration order. Nil registries
+// render nothing.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.order {
+		kind := "gauge"
+		if f.kind == kindCounter {
+			kind = "counter"
+		}
+		if f.kind == kindHistogram {
+			kind = "histogram"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind)
+		switch f.kind {
+		case kindCounter:
+			for _, s := range f.series {
+				writeSample(w, f.name, s.labels, "", strconv.FormatUint(s.c.Value(), 10))
+			}
+		case kindGauge:
+			for _, s := range f.series {
+				writeSample(w, f.name, s.labels, "", formatFloat(s.g.Value()))
+			}
+		case kindGaugeFunc:
+			for _, s := range f.series {
+				writeSample(w, f.name, s.labels, "", formatFloat(s.fn()))
+			}
+		case kindGaugeVecFunc:
+			vals := f.vecFn()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeSample(w, f.name, f.vecLabel+"="+strconv.Quote(k), "", formatFloat(vals[k]))
+			}
+		case kindHistogram:
+			for _, s := range f.series {
+				h := s.h
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += h.buckets[i].Load()
+					writeSample(w, f.name+"_bucket", s.labels,
+						`le=`+strconv.Quote(formatFloat(b)), strconv.FormatUint(cum, 10))
+				}
+				writeSample(w, f.name+"_bucket", s.labels, `le="+Inf"`,
+					strconv.FormatUint(h.Count(), 10))
+				writeSample(w, f.name+"_sum", s.labels, "", formatFloat(h.Sum()))
+				writeSample(w, f.name+"_count", s.labels, "", strconv.FormatUint(h.Count(), 10))
+			}
+		}
+	}
+}
+
+// Handler serves WritePrometheus over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

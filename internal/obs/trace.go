@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType discriminates the decision points a Volley deployment can emit.
+type EventType uint8
+
+// The event taxonomy, one constant per decision point (DESIGN.md §10):
+// interval adaptation (core.Sampler), violation detection (monitor and
+// coordinator), allowance coordination and liveness (coord), and transport
+// resilience (transport.TCPNode).
+const (
+	// EventIntervalGrow: a sampler grew its interval after a patience
+	// streak of comfortable misdetection bounds. Bound, Err, Interval set.
+	EventIntervalGrow EventType = iota + 1
+	// EventIntervalReset: a sampler fell back to the default interval
+	// because the bound exceeded the allowance. Bound, Err set.
+	EventIntervalReset
+	// EventViolation: a monitor observed a local threshold crossing.
+	// Value, Interval set.
+	EventViolation
+	// EventGlobalAlert: a coordinator's global poll confirmed a global
+	// violation. Value is the polled total.
+	EventGlobalAlert
+	// EventAllowanceShift: a coordinator rebalance moved allowance between
+	// monitors. Value is the total absolute allowance moved.
+	EventAllowanceShift
+	// EventAllowanceReclaim: a dead monitor's allowance was redistributed
+	// to the live ones. Peer is the dead monitor, Value the amount.
+	EventAllowanceReclaim
+	// EventAllowanceRestore: a resurrected monitor got its reclaimed slice
+	// back. Peer is the monitor, Value the amount.
+	EventAllowanceRestore
+	// EventHeartbeatDeath: a monitor crossed the liveness horizon and was
+	// declared dead. Peer is the monitor.
+	EventHeartbeatDeath
+	// EventResurrection: a dead monitor was heard from again. Peer is the
+	// monitor.
+	EventResurrection
+	// EventReconnect: a transport re-established a connection to a peer
+	// after a failure.
+	EventReconnect
+	// EventQueueFull: a transport dropped a send because the peer's
+	// outbound queue was full.
+	EventQueueFull
+	// EventDropped: a transport dropped a queued message after exhausting
+	// its delivery attempts.
+	EventDropped
+)
+
+// eventTypeCount sizes per-type counter arrays (index 0 is unused).
+const eventTypeCount = int(EventDropped) + 1
+
+var eventTypeNames = [eventTypeCount]string{
+	EventIntervalGrow:     "interval-grow",
+	EventIntervalReset:    "interval-reset",
+	EventViolation:        "violation",
+	EventGlobalAlert:      "global-alert",
+	EventAllowanceShift:   "allowance-shift",
+	EventAllowanceReclaim: "allowance-reclaim",
+	EventAllowanceRestore: "allowance-restore",
+	EventHeartbeatDeath:   "heartbeat-death",
+	EventResurrection:     "resurrection",
+	EventReconnect:        "reconnect",
+	EventQueueFull:        "queue-full",
+	EventDropped:          "dropped",
+}
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	if int(t) < eventTypeCount && eventTypeNames[t] != "" {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// MarshalJSON renders the type as its name, so JSONL sinks stay readable.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, t.String()), nil
+}
+
+// UnmarshalJSON parses a type name (or a bare number, for robustness).
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] != '"' {
+		n, err := strconv.ParseUint(string(data), 10, 8)
+		if err != nil {
+			return err
+		}
+		*t = EventType(n)
+		return nil
+	}
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	for i, name := range eventTypeNames {
+		if name == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// Event is one structured decision record. Fields not listed for a type
+// are zero and omitted from JSON.
+type Event struct {
+	// Seq is the tracer-assigned sequence number (1-based, gap-free).
+	Seq uint64 `json:"seq"`
+	// Time is the emitter's (virtual or relative) timestamp; 0 lets the
+	// tracer stamp it with its clock, if one is configured.
+	Time time.Duration `json:"time"`
+	// Type is the decision point.
+	Type EventType `json:"type"`
+	// Node is the emitting component's address/name.
+	Node string `json:"node,omitempty"`
+	// Task is the monitoring task involved, when known.
+	Task string `json:"task,omitempty"`
+	// Peer is the other party (dead monitor, transport destination).
+	Peer string `json:"peer,omitempty"`
+	// Value carries the monitored value, polled total, or allowance moved.
+	Value float64 `json:"value,omitempty"`
+	// Bound is the misdetection bound that drove an interval decision.
+	Bound float64 `json:"bound,omitempty"`
+	// Err is the error allowance in force at the decision.
+	Err float64 `json:"err,omitempty"`
+	// Interval is the sampling interval after the decision.
+	Interval int `json:"interval,omitempty"`
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithJSONLSink additionally streams every recorded event to w as one JSON
+// object per line. Writes happen under the tracer lock so lines never
+// interleave; the first write error disables the sink (SinkErr reports
+// it). The sink path allocates — attach one for tail/debug runs, not on
+// datacenter-scale hot paths.
+func WithJSONLSink(w io.Writer) TracerOption {
+	return func(t *Tracer) {
+		t.sinkW = w
+		t.enc = json.NewEncoder(w)
+	}
+}
+
+// WithNowFunc stamps events recorded with a zero Time using the given
+// clock (e.g. time.Since(start) for a daemon, the virtual clock in a
+// simulation).
+func WithNowFunc(now func() time.Duration) TracerOption {
+	return func(t *Tracer) { t.now = now }
+}
+
+// Tracer records decision events into a bounded ring buffer, keeping the
+// most recent events; per-type totals survive ring eviction. Record on a
+// nil *Tracer is a no-op, so components accept a tracer unconditionally.
+//
+// Tracer is safe for concurrent use.
+type Tracer struct {
+	now   func() time.Duration
+	sinkW io.Writer
+	enc   *json.Encoder
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	size    int
+	seq     uint64
+	sinkErr error
+
+	totals [eventTypeCount]atomic.Uint64
+}
+
+// NewTracer builds a tracer retaining the last capacity events (minimum 1).
+func NewTracer(capacity int, opts ...TracerOption) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]Event, capacity)}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Record stores one event, assigning its sequence number and (for a zero
+// e.Time) its timestamp. Without a JSONL sink this allocates nothing.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time == 0 && t.now != nil {
+		e.Time = t.now()
+	}
+	if int(e.Type) < eventTypeCount {
+		t.totals[e.Type].Add(1)
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	if t.enc != nil && t.sinkErr == nil {
+		if err := t.enc.Encode(e); err != nil {
+			t.sinkErr = err
+			t.enc = nil
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.size)
+	start := t.next - t.size
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// TypeCount reports how many events of one type were ever recorded.
+func (t *Tracer) TypeCount(typ EventType) uint64 {
+	if t == nil || int(typ) >= eventTypeCount {
+		return 0
+	}
+	return t.totals[typ].Load()
+}
+
+// SinkErr reports the write error that disabled the JSONL sink, if any.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// WritePrometheus renders the per-type event totals as one counter family,
+// `volley_trace_events_total{type="..."}`, plus the ring size. Every type
+// is emitted (zeros included) so dashboards see a stable series set.
+func (t *Tracer) WritePrometheus(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fmt.Fprint(w, "# HELP volley_trace_events_total Decision events recorded, by type.\n# TYPE volley_trace_events_total counter\n")
+	for i := 1; i < eventTypeCount; i++ {
+		fmt.Fprintf(w, "volley_trace_events_total{type=%s} %d\n",
+			strconv.Quote(EventType(i).String()), t.totals[i].Load())
+	}
+	fmt.Fprint(w, "# HELP volley_trace_ring_events Decision events currently retained in the ring buffer.\n# TYPE volley_trace_ring_events gauge\n")
+	t.mu.Lock()
+	size := t.size
+	t.mu.Unlock()
+	fmt.Fprintf(w, "volley_trace_ring_events %d\n", size)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingKeepsMostRecent(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Type: EventViolation, Value: float64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if want := float64(i + 2); e.Value != want {
+			t.Errorf("event %d value = %v, want %v (oldest-first)", i, e.Value, want)
+		}
+		if want := uint64(i + 3); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+	if tr.TypeCount(EventViolation) != 5 {
+		t.Errorf("TypeCount = %d, want 5 (totals survive eviction)", tr.TypeCount(EventViolation))
+	}
+}
+
+func TestTracerStampsTime(t *testing.T) {
+	clock := 7 * time.Second
+	tr := NewTracer(4, WithNowFunc(func() time.Duration { return clock }))
+	tr.Record(Event{Type: EventIntervalGrow})
+	tr.Record(Event{Type: EventIntervalReset, Time: 3 * time.Second})
+	evs := tr.Events()
+	if evs[0].Time != 7*time.Second {
+		t.Errorf("zero time not stamped: %v", evs[0].Time)
+	}
+	if evs[1].Time != 3*time.Second {
+		t.Errorf("explicit time overwritten: %v", evs[1].Time)
+	}
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(8, WithJSONLSink(&b))
+	tr.Record(Event{Type: EventAllowanceReclaim, Node: "coord", Peer: "m3", Value: 0.0125})
+	tr.Record(Event{Type: EventResurrection, Node: "coord", Peer: "m3"})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), b.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("bad JSONL: %v", err)
+	}
+	if e.Type != EventAllowanceReclaim || e.Peer != "m3" || e.Value != 0.0125 {
+		t.Errorf("round-trip mismatch: %+v", e)
+	}
+	if !strings.Contains(lines[0], `"type":"allowance-reclaim"`) {
+		t.Errorf("type not rendered as name: %s", lines[0])
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Errorf("SinkErr = %v", err)
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("sink broken") }
+
+func TestTracerSinkErrorDisablesSink(t *testing.T) {
+	tr := NewTracer(4, WithJSONLSink(errWriter{}))
+	tr.Record(Event{Type: EventViolation})
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error not captured")
+	}
+	// Recording keeps working without the sink.
+	tr.Record(Event{Type: EventViolation})
+	if tr.Total() != 2 {
+		t.Errorf("Total = %d, want 2", tr.Total())
+	}
+}
+
+func TestEventTypeStringsAndJSON(t *testing.T) {
+	for typ := EventIntervalGrow; typ <= EventDropped; typ++ {
+		s := typ.String()
+		if strings.HasPrefix(s, "event(") {
+			t.Errorf("type %d has no name", typ)
+		}
+		data, err := json.Marshal(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventType
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != typ {
+			t.Errorf("round trip %v → %v", typ, back)
+		}
+	}
+	if s := EventType(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown type string = %q", s)
+	}
+	var back EventType
+	if err := json.Unmarshal([]byte(`"no-such-event"`), &back); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Type: EventReconnect, Node: "n"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 4000 {
+		t.Errorf("Total = %d, want 4000", tr.Total())
+	}
+	if got := len(tr.Events()); got != 64 {
+		t.Errorf("ring holds %d, want 64", got)
+	}
+}
+
+func TestTracerWritePrometheus(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(Event{Type: EventIntervalGrow})
+	tr.Record(Event{Type: EventIntervalGrow})
+	tr.Record(Event{Type: EventQueueFull})
+	var b strings.Builder
+	tr.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE volley_trace_events_total counter",
+		`volley_trace_events_total{type="interval-grow"} 2`,
+		`volley_trace_events_total{type="queue-full"} 1`,
+		`volley_trace_events_total{type="heartbeat-death"} 0`,
+		"volley_trace_ring_events 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerRecordZeroAlloc(t *testing.T) {
+	tr := NewTracer(256)
+	e := Event{Type: EventIntervalReset, Node: "mon-1", Task: "t", Bound: 0.02, Err: 0.01, Interval: 1}
+	if allocs := testing.AllocsPerRun(2000, func() {
+		tr.Record(e)
+	}); allocs != 0 {
+		t.Errorf("Tracer.Record allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"volley/internal/obs"
+)
+
+// TestTCPQueueDepths verifies the per-peer queue-depth snapshot: a peer
+// with no listener accumulates queued messages that the snapshot reports.
+func TestTCPQueueDepths(t *testing.T) {
+	n, err := ListenTCP("127.0.0.1:0", func(Message) {}, fastOpts(WithQueueDepth(8))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	if depths := n.QueueDepths(); len(depths) != 0 {
+		t.Errorf("QueueDepths before any send = %v, want empty", depths)
+	}
+	// An unreachable peer: messages sit in the queue while the writer
+	// retries the dial.
+	dead := "127.0.0.1:1"
+	for i := 0; i < 3; i++ {
+		_ = n.Send(n.Addr(), dead, Message{Kind: KindHeartbeat})
+	}
+	depths := n.QueueDepths()
+	if depths[dead] == 0 {
+		t.Errorf("QueueDepths[%s] = %v, want queued messages", dead, depths)
+	}
+}
+
+// TestTCPObserverEvents verifies WithObserver records queue-full and
+// dropped events with the peer attributed.
+func TestTCPObserverEvents(t *testing.T) {
+	tr := obs.NewTracer(64)
+	n, err := ListenTCP("127.0.0.1:0", func(Message) {},
+		fastOpts(WithQueueDepth(1), WithSendRetries(1), WithObserver(tr, "test-node"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	dead := "127.0.0.1:1"
+	// Overfill the depth-1 queue: the overflow send must be rejected and
+	// traced.
+	for i := 0; i < 8; i++ {
+		_ = n.Send(n.Addr(), dead, Message{Kind: KindHeartbeat})
+	}
+	if tr.TypeCount(obs.EventQueueFull) == 0 {
+		t.Error("no queue-full events recorded")
+	}
+
+	// The writer gives up on the unreachable peer after its retries and
+	// must trace the drop.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.TypeCount(obs.EventDropped) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tr.TypeCount(obs.EventDropped) == 0 {
+		t.Error("no dropped events recorded after retries exhausted")
+	}
+	for _, e := range tr.Events() {
+		if e.Node != "test-node" {
+			t.Fatalf("event %v missing node attribution: %+v", e.Type, e)
+		}
+		if e.Peer != dead {
+			t.Fatalf("event %v attributed to %q, want %q", e.Type, e.Peer, dead)
+		}
+	}
+}
+
+// TestStatsSnapshotConsistent hammers a Memory network from many
+// goroutines while reading Stats, relying on the race detector to prove
+// the snapshot path is safe and on the final counts to prove nothing is
+// lost.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	m := NewMemory()
+	if err := m.Register("a", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			_ = m.Stats()
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = m.Send("b", "a", Message{Kind: KindHeartbeat})
+	}
+	<-done
+	st := m.Stats()
+	if st.Sent != 1000 || st.Delivered != 1000 {
+		t.Errorf("Stats = %+v, want 1000 sent and delivered", st)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"volley/internal/obs"
 )
 
 // Defaults for the fault-tolerant TCP node. They target LAN-scale
@@ -68,6 +70,13 @@ func WithDedupWindow(window int) TCPOption {
 	return func(n *TCPNode) { n.dedupWin = window }
 }
 
+// WithObserver attaches a decision-event tracer: the node records
+// Reconnect, QueueFull and Dropped events under the given node name,
+// unifying the ad-hoc Stats counters with the rest of the event taxonomy.
+func WithObserver(tr *obs.Tracer, node string) TCPOption {
+	return func(n *TCPNode) { n.tracer, n.name = tr, node }
+}
+
 // TCPNode is one endpoint of a gob-over-TCP network. Each node listens on
 // its own address and dials peers on demand. Unlike Memory there is no
 // central registry: the address *is* the location.
@@ -95,13 +104,15 @@ type TCPNode struct {
 	retries     int
 	dedupWin    int
 
-	seq atomic.Uint64
+	seq    atomic.Uint64
+	stats  counters
+	tracer *obs.Tracer
+	name   string
 
 	mu      sync.Mutex
 	peers   map[string]*tcpPeer
 	inbound map[net.Conn]struct{}
 	dedup   map[string]*seqWindow
-	stats   Stats
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -265,13 +276,13 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			return
 		}
 		n.mu.Lock()
-		if n.duplicateLocked(msg) {
-			n.stats.Duplicates++
-			n.mu.Unlock()
+		dup := n.duplicateLocked(msg)
+		n.mu.Unlock()
+		if dup {
+			n.stats.duplicates.Add(1)
 			continue
 		}
-		n.stats.Delivered++
-		n.mu.Unlock()
+		n.stats.delivered.Add(1)
 		n.handler(msg)
 	}
 }
@@ -314,17 +325,16 @@ func (n *TCPNode) Send(from, to string, msg Message) error {
 		n.wg.Add(1)
 		go n.writeLoop(p)
 	}
-	n.stats.Sent++
 	n.mu.Unlock()
+	n.stats.sent.Add(1)
 
 	select {
 	case p.queue <- msg:
 		return nil
 	default:
-		n.mu.Lock()
-		n.stats.Dropped++
-		n.stats.QueueFull++
-		n.mu.Unlock()
+		n.stats.dropped.Add(1)
+		n.stats.queueFull.Add(1)
+		n.tracer.Record(obs.Event{Type: obs.EventQueueFull, Node: n.name, Peer: to})
 		return fmt.Errorf("transport: send to %s: outbound queue full", to)
 	}
 }
@@ -376,9 +386,8 @@ func (n *TCPNode) writeLoop(p *tcpPeer) {
 					}
 					conn, enc = c, gob.NewEncoder(c)
 					if everConnected {
-						n.mu.Lock()
-						n.stats.Reconnects++
-						n.mu.Unlock()
+						n.stats.reconnects.Add(1)
+						n.tracer.Record(obs.Event{Type: obs.EventReconnect, Node: n.name, Peer: p.addr})
 					}
 					everConnected = true
 				}
@@ -395,19 +404,31 @@ func (n *TCPNode) writeLoop(p *tcpPeer) {
 				break
 			}
 			if !delivered {
-				n.mu.Lock()
-				n.stats.Dropped++
-				n.mu.Unlock()
+				n.stats.dropped.Add(1)
+				n.tracer.Record(obs.Event{Type: obs.EventDropped, Node: n.name, Peer: p.addr})
 			}
 		}
 	}
 }
 
-// Stats returns a snapshot of the node's traffic counters.
+// Stats returns a consistent snapshot of the node's traffic counters,
+// assembled from one atomic struct rather than field-by-field reads of
+// mutex-guarded state.
 func (n *TCPNode) Stats() Stats {
+	return n.stats.snapshot()
+}
+
+// QueueDepths reports the number of messages currently queued per peer —
+// the early-warning signal for a dead or slow peer, shaped for
+// obs.Registry.GaugeVecFunc.
+func (n *TCPNode) QueueDepths() map[string]float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.stats
+	out := make(map[string]float64, len(n.peers))
+	for addr, p := range n.peers {
+		out[addr] = float64(len(p.queue))
+	}
+	return out
 }
 
 // Close shuts the node down: stops accepting, closes all connections and

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -103,7 +104,7 @@ type Network interface {
 	Send(from, to string, msg Message) error
 }
 
-// Stats counts a network's traffic.
+// Stats is a snapshot of a network's traffic counters.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
@@ -119,6 +120,33 @@ type Stats struct {
 	QueueFull uint64
 	// Reordered counts deliveries deferred by reorder injection (Memory).
 	Reordered uint64
+}
+
+// counters is the live form of Stats: one atomic per field, so hot paths
+// (the TCP send/receive/write loops in particular) count without taking
+// the node mutex, and Stats() assembles a snapshot from a single struct
+// instead of field-by-field reads of mutex-guarded state.
+type counters struct {
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	duplicates atomic.Uint64
+	reconnects atomic.Uint64
+	queueFull  atomic.Uint64
+	reordered  atomic.Uint64
+}
+
+// snapshot copies the counters into the exported Stats form.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Sent:       c.sent.Load(),
+		Delivered:  c.delivered.Load(),
+		Dropped:    c.dropped.Load(),
+		Duplicates: c.duplicates.Load(),
+		Reconnects: c.reconnects.Load(),
+		QueueFull:  c.queueFull.Load(),
+		Reordered:  c.reordered.Load(),
+	}
 }
 
 // Memory is the deterministic in-process Network used in simulations. If a
@@ -137,7 +165,7 @@ type Stats struct {
 type Memory struct {
 	mu          sync.Mutex
 	handlers    map[string]Handler
-	stats       Stats
+	stats       counters
 	lossProb    float64
 	dupProb     float64
 	reorderProb float64
@@ -319,18 +347,18 @@ func (m *Memory) Send(from, to string, msg Message) error {
 		m.mu.Unlock()
 		return fmt.Errorf("transport: unknown address %q", to)
 	}
-	m.stats.Sent++
+	m.stats.sent.Add(1)
 	m.seq++
 	msg.From = from
 	msg.Seq = m.seq
 	if m.unreachableLocked(from, to) {
-		m.stats.Dropped++
+		m.stats.dropped.Add(1)
 		m.mu.Unlock()
 		return nil
 	}
 	dropped := m.lossProb > 0 && m.rngLocked().Float64() < m.lossProb
 	if dropped {
-		m.stats.Dropped++
+		m.stats.dropped.Add(1)
 		m.mu.Unlock()
 		return nil
 	}
@@ -339,7 +367,7 @@ func (m *Memory) Send(from, to string, msg Message) error {
 	// after the next undeferred one, producing a pairwise swap.
 	if m.reorderProb > 0 && len(m.held) == 0 && m.rngLocked().Float64() < m.reorderProb {
 		m.held = append(m.held, heldDelivery{h: h, to: to, msg: msg})
-		m.stats.Reordered++
+		m.stats.reordered.Add(1)
 		m.mu.Unlock()
 		return nil
 	}
@@ -352,9 +380,7 @@ func (m *Memory) Send(from, to string, msg Message) error {
 	deliver := func(h Handler, msg Message) func() {
 		return func() {
 			h(msg)
-			m.mu.Lock()
-			m.stats.Delivered++
-			m.mu.Unlock()
+			m.stats.delivered.Add(1)
 		}
 	}
 	var deliveries []func()
@@ -372,7 +398,7 @@ func (m *Memory) Send(from, to string, msg Message) error {
 		m.mu.Lock()
 		cut := m.unreachableLocked(hd.msg.From, hd.to)
 		if cut {
-			m.stats.Dropped++
+			m.stats.dropped.Add(1)
 		}
 		m.mu.Unlock()
 		if !cut {
@@ -391,9 +417,7 @@ func (m *Memory) Send(from, to string, msg Message) error {
 	return nil
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a consistent snapshot of the traffic counters.
 func (m *Memory) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return m.stats.snapshot()
 }

@@ -1,0 +1,85 @@
+package volley
+
+import (
+	"io"
+	"time"
+
+	"volley/internal/core"
+	"volley/internal/obs"
+)
+
+// Metrics is a lock-cheap instrument registry: atomic counters and
+// gauges, a streaming fixed-bucket histogram, and hand-rolled Prometheus
+// text exposition. All instruments are nil-safe no-ops, so un-instrumented
+// code paths pay a single nil check. It complements MetricsRegistry: that
+// type renders component facades (monitors, coordinators); Metrics holds
+// the low-level instruments components update on their hot paths.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty instrument registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter = obs.Counter
+
+// Gauge is an atomic float64 gauge.
+type Gauge = obs.Gauge
+
+// Histogram is a streaming fixed-bucket histogram with atomic buckets.
+type Histogram = obs.Histogram
+
+// Tracer is a bounded ring buffer of structured decision events with an
+// optional JSONL sink; every adaptation decision Volley makes (interval
+// growth and reset, allowance movement, liveness transitions, transport
+// faults) is recorded as a typed TraceEvent.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer whose ring holds the most recent capacity
+// events.
+func NewTracer(capacity int, opts ...TracerOption) *Tracer {
+	return obs.NewTracer(capacity, opts...)
+}
+
+// TracerOption configures a Tracer.
+type TracerOption = obs.TracerOption
+
+// WithTraceJSONL streams every recorded event to w as one JSON object per
+// line, in addition to the ring buffer.
+func WithTraceJSONL(w io.Writer) TracerOption { return obs.WithJSONLSink(w) }
+
+// WithTraceClock sets the clock used to stamp events recorded with a zero
+// Time.
+func WithTraceClock(now func() time.Duration) TracerOption { return obs.WithNowFunc(now) }
+
+// TraceEvent is one recorded decision event.
+type TraceEvent = obs.Event
+
+// TraceEventType identifies the kind of decision a TraceEvent records.
+type TraceEventType = obs.EventType
+
+// Trace event types, covering every decision point in the stack: the
+// monitor-level sampler (grow/reset with the mis-detection bound), the
+// task level (violations, global alerts, allowance movement, liveness),
+// and the transport (reconnects, queue pressure, drops).
+const (
+	TraceIntervalGrow     = obs.EventIntervalGrow
+	TraceIntervalReset    = obs.EventIntervalReset
+	TraceViolation        = obs.EventViolation
+	TraceGlobalAlert      = obs.EventGlobalAlert
+	TraceAllowanceShift   = obs.EventAllowanceShift
+	TraceAllowanceReclaim = obs.EventAllowanceReclaim
+	TraceAllowanceRestore = obs.EventAllowanceRestore
+	TraceHeartbeatDeath   = obs.EventHeartbeatDeath
+	TraceResurrection     = obs.EventResurrection
+	TraceReconnect        = obs.EventReconnect
+	TraceQueueFull        = obs.EventQueueFull
+	TraceDropped          = obs.EventDropped
+)
+
+// SamplerObs wires metrics instruments and a tracer into a Sampler; pass
+// it to Sampler.Instrument. Unset fields are simply not updated.
+type SamplerObs = core.SamplerObs
+
+// DefBoundBuckets is the default histogram bucket layout for mis-detection
+// bound observations (bounds live in [0, 1], log-ish spaced).
+var DefBoundBuckets = obs.DefBoundBuckets
