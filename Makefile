@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json examples
+.PHONY: build vet test race check bench bench-json bench-coord examples
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ bench:
 # mis-detection rates and per-figure wall clock on the quick preset.
 bench-json:
 	$(GO) run ./cmd/volleybench -preset quick -json BENCH_quick.json
+
+# Benchmark the coordinator rebalance hot path at 100/1k/10k monitors and
+# snapshot ns/op + allocs/op (must be 0) to BENCH_coord.json.
+bench-coord:
+	$(GO) run ./cmd/volleybench -coordjson BENCH_coord.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"volley/internal/coord"
+)
+
+// coordBenchSizes are the coordinator scales BENCH_coord.json tracks —
+// matching BenchmarkRebalance's sub-benchmarks so CI numbers and local
+// `go test -bench Rebalance` runs are directly comparable.
+var coordBenchSizes = []int{100, 1000, 10000}
+
+// coordBenchEntry is one scale point of the coordinator rebalance hot
+// path: ns per full rebalance (gather + water-filling distribution +
+// damped apply) and the steady-state allocation profile, which must stay
+// at zero (TestRebalanceZeroAlloc gates it).
+type coordBenchEntry struct {
+	Monitors    int     `json:"monitors"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// coordBenchReport is the schema of BENCH_coord.json.
+type coordBenchReport struct {
+	GoMaxProcs       int               `json:"gomaxprocs"`
+	Entries          []coordBenchEntry `json:"rebalance"`
+	TotalWallClockNS int64             `json:"total_wall_clock_ns"`
+}
+
+// writeCoordBenchJSON measures the rebalance hot path at each scale with
+// testing.Benchmark and writes the results to path.
+func writeCoordBenchJSON(path string, out *os.File) error {
+	report := coordBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	start := time.Now()
+	for _, n := range coordBenchSizes {
+		h, err := coord.NewRebalanceHarness(n)
+		if err != nil {
+			return fmt.Errorf("coord bench n=%d: %w", n, err)
+		}
+		h.Rebalance() // warm scratch + donor hysteresis
+		h.Rebalance()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Rebalance()
+			}
+		})
+		report.Entries = append(report.Entries, coordBenchEntry{
+			Monitors:    n,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	report.TotalWallClockNS = time.Since(start).Nanoseconds()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Entries {
+		fmt.Fprintf(out, "rebalance n=%-6d %12.0f ns/op %6d B/op %4d allocs/op\n",
+			e.Monitors, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Fprintf(out, "wrote %d scale points to %s (total %s)\n",
+		len(report.Entries), path, time.Duration(report.TotalWallClockNS).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteCoordBenchJSON runs the coordinator bench writer end to end
+// (with the real harness, so it also exercises the rebalance path through
+// testing.Benchmark) and checks the BENCH_coord.json schema: every tracked
+// scale present, plausible timings, and the zero-allocation steady state.
+func TestWriteCoordBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_coord.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := writeCoordBenchJSON(path, devnull); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report coordBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_coord.json is not valid JSON: %v", err)
+	}
+	if len(report.Entries) != len(coordBenchSizes) {
+		t.Fatalf("%d entries, want %d", len(report.Entries), len(coordBenchSizes))
+	}
+	for i, e := range report.Entries {
+		if e.Monitors != coordBenchSizes[i] {
+			t.Errorf("entry %d: monitors %d, want %d", i, e.Monitors, coordBenchSizes[i])
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Errorf("n=%d: implausible measurement %+v", e.Monitors, e)
+		}
+		if e.AllocsPerOp != 0 {
+			t.Errorf("n=%d: steady-state rebalance allocates %d/op, want 0", e.Monitors, e.AllocsPerOp)
+		}
+	}
+}

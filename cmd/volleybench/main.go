@@ -8,14 +8,17 @@
 // Usage:
 //
 //	volleybench [-fig all|1|5a|5b|5c|6|7|8|ablations] [-preset full|quick]
-//	            [-procs N] [-csv dir] [-json file]
+//	            [-procs N] [-csv dir] [-json file] [-coordjson file]
 //
 // -procs sizes the experiment engine's worker pool (0 = all cores, 1 =
 // fully serial); the figures are bit-identical for every value. -json
 // runs the figure suite once and writes headline metrics (sampling
 // ratios, mis-detection rates, per-figure wall clock) to the given file —
 // `make bench-json` uses it to track the performance trajectory in
-// BENCH_quick.json.
+// BENCH_quick.json. -coordjson skips the figures and instead benchmarks
+// the coordinator rebalance hot path at 100/1k/10k monitors, writing
+// ns/op and allocs/op to the given file — `make bench-coord` uses it to
+// track BENCH_coord.json.
 //
 // Absolute numbers come from the synthetic workloads documented in
 // DESIGN.md §2; the shapes are what reproduce the paper (see
@@ -39,6 +42,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
 	procs := flag.Int("procs", 0, "experiment-engine workers: 0 = all cores, 1 = serial")
 	jsonPath := flag.String("json", "", "write headline metrics (ratios, misdetect rates, wall clock) as JSON to this file instead of printing tables")
+	coordJSONPath := flag.String("coordjson", "", "benchmark the coordinator rebalance hot path at 100/1k/10k monitors and write ns/op and allocs/op as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -49,6 +53,13 @@ func main() {
 	p.Procs = *procs
 
 	start := time.Now()
+	if *coordJSONPath != "" {
+		if err := writeCoordBenchJSON(*coordJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		err = writeBenchJSON(p, *preset, *jsonPath, os.Stdout)
 	} else {

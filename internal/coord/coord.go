@@ -4,6 +4,13 @@
 // monitors — either evenly (the baseline of Fig. 8) or with the paper's
 // iterative yield-based scheme that moves allowance toward monitors with
 // the highest cost-reduction yield per unit of allowance.
+//
+// Monitor addresses are interned to dense indices at construction; every
+// hot-path structure (assignments, yield reports, liveness, poll state) is
+// a slice indexed by that dense index, and the rebalance/poll/send paths
+// run allocation-free over reusable scratch. Map-based views survive only
+// at the public boundary (Assignments, AliveMonitors, …) as snapshot
+// conversions.
 package coord
 
 import (
@@ -130,6 +137,8 @@ type Stats struct {
 	Restorations uint64
 }
 
+// yieldReport is the latest yield report of one monitor, stored densely by
+// monitor index. The zero value means "never reported" (fresh = false).
 type yieldReport struct {
 	reduction float64
 	needed    float64
@@ -142,35 +151,61 @@ type yieldReport struct {
 	donorStreak int
 }
 
-type poll struct {
-	active  bool
-	started time.Duration
-	age     int
-	pending map[string]bool
-	values  map[string]float64
+// pollState is the in-flight global poll, tracked densely by monitor
+// index. pending/hasValue/values are allocated once at construction and
+// cleared per poll.
+type pollState struct {
+	active   bool
+	started  time.Duration
+	age      int
+	npending int
+	pending  []bool
+	hasValue []bool
+	values   []float64
 }
 
 // Coordinator is one task's coordinator. Like Monitor, its Tick and
 // handler must be driven from one goroutine in simulations; the mutex
-// protects TCP deployments.
+// protects TCP deployments (where handlers run on per-peer receive
+// goroutines while one driver goroutine calls Tick).
 type Coordinator struct {
 	cfg Config
+	// index interns monitor addresses to dense indices into every slice
+	// below; it is built once in New and read-only afterwards.
+	index map[string]int
 
-	mu          sync.Mutex
-	stats       Stats
-	yields      map[string]*yieldReport
-	assignments map[string]float64
-	lastSeen    map[string]time.Duration
+	mu    sync.Mutex
+	stats Stats
+	// Dense per-monitor state, indexed by index[addr].
+	yields   []yieldReport
+	assign   []float64
+	lastSeen []time.Duration
+	heard    []bool
 	// dead tracks which monitors have been declared dead (and had their
 	// allowance reclaimed); reclaimed remembers how much was taken so a
 	// resurrected monitor gets its slice back.
-	dead        map[string]bool
-	reclaimed   map[string]float64
-	poll        poll
-	now         time.Duration
-	ticks       uint64
+	dead      []bool
+	reclaimed []float64
+	poll      pollState
+	now       time.Duration
+	ticks     uint64
 	ticksToNext int
 	initialSent bool
+
+	// Reusable scratch, sized to len(Monitors) at construction so the
+	// steady-state rebalance and assignment fan-out allocate nothing.
+	cands  []wfCand  // rebalance candidates (gather + sort buffer)
+	suffY  []float64 // suffix yield sums for distributeDense
+	target []float64 // distribution output, indexed by monitor index
+	// sendBuf snapshots assignments under the lock so the network sends
+	// happen outside it. Only Tick writes it, and Tick is single-driver by
+	// contract, so no second synchronization is needed.
+	sendBuf []float64
+	// pollBuf collects the monitor indices to poll. It is handed out under
+	// the lock (swapped to nil) and returned after the sends, so a second
+	// poll racing the send loop falls back to a fresh allocation instead
+	// of stomping the buffer.
+	pollBuf []int
 }
 
 // New validates cfg, builds the coordinator and registers it on the
@@ -224,27 +259,40 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.DeadAfter < 0 {
 		return nil, fmt.Errorf("coord %s: dead-after %d < 0", cfg.ID, cfg.DeadAfter)
 	}
-	seen := make(map[string]bool, len(cfg.Monitors))
-	for _, m := range cfg.Monitors {
+	n := len(cfg.Monitors)
+	index := make(map[string]int, n)
+	for i, m := range cfg.Monitors {
 		if m == "" {
 			return nil, fmt.Errorf("coord %s: empty monitor address", cfg.ID)
 		}
-		if seen[m] {
+		if _, dup := index[m]; dup {
 			return nil, fmt.Errorf("coord %s: duplicate monitor %q", cfg.ID, m)
 		}
-		seen[m] = true
+		index[m] = i
 	}
 	c := &Coordinator{
-		cfg:         cfg,
-		yields:      make(map[string]*yieldReport, len(cfg.Monitors)),
-		assignments: make(map[string]float64, len(cfg.Monitors)),
-		lastSeen:    make(map[string]time.Duration, len(cfg.Monitors)),
-		dead:        make(map[string]bool, len(cfg.Monitors)),
-		reclaimed:   make(map[string]float64, len(cfg.Monitors)),
+		cfg:       cfg,
+		index:     index,
+		yields:    make([]yieldReport, n),
+		assign:    make([]float64, n),
+		lastSeen:  make([]time.Duration, n),
+		heard:     make([]bool, n),
+		dead:      make([]bool, n),
+		reclaimed: make([]float64, n),
+		poll: pollState{
+			pending:  make([]bool, n),
+			hasValue: make([]bool, n),
+			values:   make([]float64, n),
+		},
+		cands:   make([]wfCand, 0, n),
+		suffY:   make([]float64, n),
+		target:  make([]float64, n),
+		sendBuf: make([]float64, n),
+		pollBuf: make([]int, 0, n),
 	}
-	even := cfg.Err / float64(len(cfg.Monitors))
-	for _, m := range cfg.Monitors {
-		c.assignments[m] = even
+	even := cfg.Err / float64(n)
+	for i := range c.assign {
+		c.assign[i] = even
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.GaugeVecFunc("volley_coordinator_assignment",
@@ -266,7 +314,7 @@ func (c *Coordinator) ID() string { return c.cfg.ID }
 // initial even allowance on the first tick, and rebalances every updating
 // period.
 func (c *Coordinator) Tick(now time.Duration) {
-	var assignments map[string]float64
+	send := false
 
 	c.mu.Lock()
 	c.now = now
@@ -274,44 +322,61 @@ func (c *Coordinator) Tick(now time.Duration) {
 	if c.poll.active {
 		c.poll.age++
 		if c.poll.age > c.cfg.PollExpiry {
-			c.poll = poll{}
+			c.resetPollLocked()
 			c.stats.PollsExpired++
 		}
 	}
 	if c.cfg.DeadAfter > 0 && c.updateLivenessLocked() {
-		assignments = c.snapshotAssignmentsLocked()
+		send = true
 	}
 	if !c.initialSent {
 		c.initialSent = true
-		assignments = c.snapshotAssignmentsLocked()
+		send = true
 	}
 	c.ticksToNext++
 	if c.ticksToNext >= c.cfg.UpdatePeriod {
 		c.ticksToNext = 0
 		if c.rebalanceLocked() {
-			assignments = c.snapshotAssignmentsLocked()
+			send = true
 		}
+	}
+	if send {
+		copy(c.sendBuf, c.assign)
 	}
 	c.mu.Unlock()
 
-	if assignments != nil {
-		c.sendAssignments(assignments)
+	if send {
+		c.sendAssignments(now)
 	}
 }
 
-// deadLocked reports whether nothing has been heard from a monitor for
-// longer than the liveness horizon. Monitors never heard from are judged by
-// the coordinator's own uptime. Caller holds c.mu.
-func (c *Coordinator) deadLocked(m string) bool {
+// horizonLocked is the liveness horizon in clock units, or 0 when liveness
+// tracking is disabled. Caller holds c.mu.
+func (c *Coordinator) horizonLocked() time.Duration {
 	if c.cfg.DeadAfter == 0 {
+		return 0
+	}
+	return time.Duration(c.cfg.DeadAfter) * c.tickUnitLocked()
+}
+
+// deadAt reports whether monitor i has been silent beyond the given
+// horizon (0 = liveness disabled, never dead). Monitors never heard from
+// are judged by the coordinator's own uptime. Caller holds c.mu.
+func (c *Coordinator) deadAt(i int, horizon time.Duration) bool {
+	if horizon == 0 {
 		return false
 	}
-	horizon := time.Duration(c.cfg.DeadAfter) * c.tickUnitLocked()
-	last, heard := c.lastSeen[m]
-	if !heard {
-		last = 0
+	var last time.Duration
+	if c.heard[i] {
+		last = c.lastSeen[i]
 	}
 	return c.now-last > horizon
+}
+
+// deadIdxLocked is deadAt with a freshly computed horizon, for one-off
+// checks. Loops should hoist horizonLocked instead. Caller holds c.mu.
+func (c *Coordinator) deadIdxLocked(i int) bool {
+	return c.deadAt(i, c.horizonLocked())
 }
 
 // updateLivenessLocked scans for monitors that crossed the liveness
@@ -323,27 +388,28 @@ func (c *Coordinator) deadLocked(m string) bool {
 // Reports whether any assignment changed. Caller holds c.mu.
 func (c *Coordinator) updateLivenessLocked() bool {
 	changed := false
-	for _, m := range c.cfg.Monitors {
-		isDead := c.deadLocked(m)
-		if isDead == c.dead[m] {
+	horizon := c.horizonLocked()
+	for i, m := range c.cfg.Monitors {
+		isDead := c.deadAt(i, horizon)
+		if isDead == c.dead[i] {
 			continue
 		}
 		if isDead {
-			c.dead[m] = true
+			c.dead[i] = true
 			c.cfg.Tracer.Record(obs.Event{
 				Type: obs.EventHeartbeatDeath, Node: c.cfg.ID, Task: c.cfg.Task,
 				Time: c.now, Peer: m,
 			})
-			if c.reclaimLocked(m) {
+			if c.reclaimLocked(i, horizon) {
 				changed = true
 			}
 		} else {
-			delete(c.dead, m)
+			c.dead[i] = false
 			c.cfg.Tracer.Record(obs.Event{
 				Type: obs.EventResurrection, Node: c.cfg.ID, Task: c.cfg.Task,
 				Time: c.now, Peer: m,
 			})
-			if c.restoreLocked(m) {
+			if c.restoreLocked(i, horizon) {
 				changed = true
 			}
 		}
@@ -351,54 +417,57 @@ func (c *Coordinator) updateLivenessLocked() bool {
 	return changed
 }
 
-// liveOthersLocked lists the monitors currently alive, excluding m, and the
-// sum of their assignments. Caller holds c.mu.
-func (c *Coordinator) liveOthersLocked(m string) ([]string, float64) {
-	var live []string
-	var sum float64
-	for _, o := range c.cfg.Monitors {
-		if o == m || c.deadLocked(o) {
+// liveOthersLocked counts the monitors currently alive excluding i and
+// sums their assignments, in one index-ordered pass with no allocation.
+// Caller holds c.mu.
+func (c *Coordinator) liveOthersLocked(i int, horizon time.Duration) (count int, sum float64) {
+	for j := range c.assign {
+		if j == i || c.deadAt(j, horizon) {
 			continue
 		}
-		live = append(live, o)
-		sum += c.assignments[o]
+		count++
+		sum += c.assign[j]
 	}
-	return live, sum
+	return count, sum
 }
 
 // reclaimLocked moves a dead monitor's allowance to the live monitors,
 // proportionally to their current assignments (evenly when all are zero).
 // With no live monitor to receive it the allowance stays put — conservation
 // over starvation. Caller holds c.mu.
-func (c *Coordinator) reclaimLocked(m string) bool {
-	r := c.assignments[m]
+func (c *Coordinator) reclaimLocked(i int, horizon time.Duration) bool {
+	r := c.assign[i]
 	if r <= 0 {
 		return false
 	}
-	live, sum := c.liveOthersLocked(m)
-	if len(live) == 0 {
+	count, sum := c.liveOthersLocked(i, horizon)
+	if count == 0 {
 		return false
 	}
-	c.assignments[m] = 0
+	c.assign[i] = 0
 	if sum > 0 {
-		for _, o := range live {
-			c.assignments[o] += r * c.assignments[o] / sum
+		for j := range c.assign {
+			if j == i || c.deadAt(j, horizon) {
+				continue
+			}
+			c.assign[j] += r * c.assign[j] / sum
 		}
 	} else {
-		share := r / float64(len(live))
-		for _, o := range live {
-			c.assignments[o] += share
+		share := r / float64(count)
+		for j := range c.assign {
+			if j == i || c.deadAt(j, horizon) {
+				continue
+			}
+			c.assign[j] += share
 		}
 	}
-	c.reclaimed[m] = r
+	c.reclaimed[i] = r
 	// The dead monitor's last yield report is stale by definition.
-	if y, ok := c.yields[m]; ok {
-		y.fresh = false
-	}
+	c.yields[i].fresh = false
 	c.stats.Reclamations++
 	c.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventAllowanceReclaim, Node: c.cfg.ID, Task: c.cfg.Task,
-		Time: c.now, Peer: m, Value: r, Err: c.cfg.Err,
+		Time: c.now, Peer: c.cfg.Monitors[i], Value: r, Err: c.cfg.Err,
 	})
 	return true
 }
@@ -406,14 +475,14 @@ func (c *Coordinator) reclaimLocked(m string) bool {
 // restoreLocked gives a resurrected monitor its reclaimed slice back,
 // scaling the live monitors' assignments down proportionally so the pool
 // stays conserved. Caller holds c.mu.
-func (c *Coordinator) restoreLocked(m string) bool {
-	r := c.reclaimed[m]
-	delete(c.reclaimed, m)
+func (c *Coordinator) restoreLocked(i int, horizon time.Duration) bool {
+	r := c.reclaimed[i]
+	c.reclaimed[i] = 0
 	if r <= 0 {
 		return false
 	}
-	live, sum := c.liveOthersLocked(m)
-	if len(live) == 0 || sum <= 0 {
+	count, sum := c.liveOthersLocked(i, horizon)
+	if count == 0 || sum <= 0 {
 		// Nothing to take back from; the monitor re-earns allowance at the
 		// next rebalance.
 		return false
@@ -422,14 +491,17 @@ func (c *Coordinator) restoreLocked(m string) bool {
 		r = sum
 	}
 	scale := (sum - r) / sum
-	for _, o := range live {
-		c.assignments[o] *= scale
+	for j := range c.assign {
+		if j == i || c.deadAt(j, horizon) {
+			continue
+		}
+		c.assign[j] *= scale
 	}
-	c.assignments[m] += r
+	c.assign[i] += r
 	c.stats.Restorations++
 	c.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventAllowanceRestore, Node: c.cfg.ID, Task: c.cfg.Task,
-		Time: c.now, Peer: m, Value: r, Err: c.cfg.Err,
+		Time: c.now, Peer: c.cfg.Monitors[i], Value: r, Err: c.cfg.Err,
 	})
 	return true
 }
@@ -449,31 +521,35 @@ func (c *Coordinator) tickUnitLocked() time.Duration {
 	return unit
 }
 
-func (c *Coordinator) snapshotAssignmentsLocked() map[string]float64 {
-	out := make(map[string]float64, len(c.assignments))
-	for m, e := range c.assignments {
-		out[m] = e
-	}
-	return out
-}
-
-func (c *Coordinator) sendAssignments(assignments map[string]float64) {
-	for _, m := range c.cfg.Monitors {
-		e, ok := assignments[m]
-		if !ok {
-			continue
-		}
+// sendAssignments pushes the snapshot in sendBuf to every monitor. Called
+// without the lock; sendBuf is stable because only Tick (single-driver by
+// contract) writes it.
+func (c *Coordinator) sendAssignments(now time.Duration) {
+	for i, m := range c.cfg.Monitors {
 		_ = c.cfg.Network.Send(c.cfg.ID, m, transport.Message{
 			Kind: transport.KindErrAssignment,
 			Task: c.cfg.Task,
-			Time: c.now,
-			Err:  e,
+			Time: now,
+			Err:  c.sendBuf[i],
 		})
 	}
 }
 
+// resetPollLocked clears the in-flight poll state for reuse. Caller holds
+// c.mu.
+func (c *Coordinator) resetPollLocked() {
+	c.poll.active = false
+	c.poll.started = 0
+	c.poll.age = 0
+	c.poll.npending = 0
+	clear(c.poll.pending)
+	clear(c.poll.hasValue)
+}
+
 // rebalanceLocked recomputes assignments; it reports whether they changed.
-// Caller holds c.mu.
+// The whole pass — candidate gather, water-filling distribution, damped
+// update — is O(n log n) and allocation-free in steady state (the scratch
+// slices are sized at construction). Caller holds c.mu.
 func (c *Coordinator) rebalanceLocked() bool {
 	if c.cfg.Scheme == SchemeEven {
 		// The even scheme never moves allowance; nothing to resend.
@@ -492,21 +568,24 @@ func (c *Coordinator) rebalanceLocked() bool {
 	if eFloor <= 0 {
 		eFloor = 1e-9
 	}
-	yields := make(map[string]float64, len(c.yields))
-	floors := make(map[string]float64, len(c.yields))
+	horizon := c.horizonLocked()
+	cands := c.cands[:0]
 	minY, maxY := math.Inf(1), math.Inf(-1)
-	for m, r := range c.yields {
+	for i := range c.yields {
+		r := &c.yields[i]
 		if !r.fresh {
 			continue
 		}
 		// A dead monitor's report is stale; trading allowance against it
 		// would hand the pool to a node that cannot use it.
-		if c.deadLocked(m) {
+		if c.deadAt(i, horizon) {
 			continue
 		}
 		e := math.Max(r.needed, eFloor)
-		y := r.reduction / e
-		yields[m] = y
+		// Sanitize here (not just in the distribution core) so a NaN or
+		// ±Inf reduction from a corrupt report cannot poison the throttle
+		// comparison either.
+		y := sanitizeWeight(r.reduction / e)
 		minY = math.Min(minY, y)
 		maxY = math.Max(maxY, y)
 
@@ -530,13 +609,14 @@ func (c *Coordinator) rebalanceLocked() bool {
 			r.donorStreak = 0
 		}
 		if r.donorStreak < donorHysteresis {
-			if cur := c.assignments[m]; cur > floor {
+			if cur := c.assign[i]; cur > floor {
 				floor = cur
 			}
 		}
-		floors[m] = floor
+		cands = append(cands, wfCand{idx: i, yield: y, floor: floor})
 	}
-	if len(yields) < 2 {
+	c.cands = cands // keep any grown capacity
+	if len(cands) < 2 {
 		return false // nothing to trade off
 	}
 	// Throttle: skip reallocation unless some pair of yields differs by
@@ -557,23 +637,23 @@ func (c *Coordinator) rebalanceLocked() bool {
 	// every floor is at most the current assignment, the damped update
 	// never violates a floor and conserves the pool exactly.
 	var pool float64
-	for m := range yields {
-		pool += c.assignments[m]
+	for _, cd := range cands {
+		pool += c.assign[cd.idx]
 	}
-	target := distributeWithFloors(pool, yields, floors)
+	distributeDense(pool, cands, c.suffY, c.target)
 	changed := false
 	var moved float64
-	for m, e := range target {
-		cur := c.assignments[m]
-		next := cur + assignmentGain*(e-cur)
+	for _, cd := range cands {
+		cur := c.assign[cd.idx]
+		next := cur + assignmentGain*(c.target[cd.idx]-cur)
 		if math.Abs(next-cur) > 1e-15 {
 			changed = true
 		}
 		moved += math.Abs(next - cur)
-		c.assignments[m] = next
+		c.assign[cd.idx] = next
 	}
-	for _, r := range c.yields {
-		r.fresh = false
+	for i := range c.yields {
+		c.yields[i].fresh = false
 	}
 	if changed {
 		c.stats.Rebalances++
@@ -587,111 +667,38 @@ func (c *Coordinator) rebalanceLocked() bool {
 	return changed
 }
 
-// distributeByYield splits pool proportionally to yields, flooring every
-// assignment at errMin (the paper's throttle against starving a monitor).
-// If the floors alone exceed the pool, it degrades to an even split.
-func distributeByYield(pool float64, yields map[string]float64, errMin float64) map[string]float64 {
-	floors := make(map[string]float64, len(yields))
-	for m := range yields {
-		floors[m] = errMin
-	}
-	return distributeWithFloors(pool, yields, floors)
-}
-
-// distributeWithFloors splits pool proportionally to yields with a
-// per-monitor floor: err_i = pool·y_i/Σy_j, except that no assignment drops
-// below its floor (monitors whose proportional share would violate the
-// floor are pinned at it and the remainder is re-split). If the floors
-// alone exceed the pool, floors are scaled down proportionally.
-func distributeWithFloors(pool float64, yields, floors map[string]float64) map[string]float64 {
-	n := len(yields)
-	out := make(map[string]float64, n)
-	if pool <= 0 || n == 0 {
-		for m := range yields {
-			out[m] = 0
-		}
-		return out
-	}
-	var floorSum float64
-	for m := range yields {
-		floorSum += floors[m]
-	}
-	if floorSum >= pool {
-		scale := pool / floorSum
-		for m := range yields {
-			out[m] = floors[m] * scale
-		}
-		return out
-	}
-	// Iteratively pin monitors that would fall below their floor, then
-	// split the remainder proportionally among the rest.
-	pinned := make(map[string]bool, n)
-	for {
-		var sumY, pinnedSum float64
-		for m, y := range yields {
-			if pinned[m] {
-				pinnedSum += floors[m]
-			} else {
-				sumY += y
-			}
-		}
-		remaining := pool - pinnedSum
-		newlyPinned := false
-		for m, y := range yields {
-			if pinned[m] {
-				continue
-			}
-			share := remaining / float64(n-len(pinned))
-			if sumY > 0 {
-				share = remaining * y / sumY
-			}
-			if share < floors[m] {
-				pinned[m] = true
-				newlyPinned = true
-			}
-		}
-		if !newlyPinned {
-			for m, y := range yields {
-				if pinned[m] {
-					out[m] = floors[m]
-					continue
-				}
-				share := remaining / float64(n-len(pinned))
-				if sumY > 0 {
-					share = remaining * y / sumY
-				}
-				out[m] = share
-			}
-			return out
-		}
-	}
-}
-
-// handle processes monitor messages.
+// handle processes monitor messages. Senders outside the task's monitor
+// set are dropped after the relevant counters (the old map-based state
+// would silently grow entries for them; the dense table makes the monitor
+// set closed by construction).
 func (c *Coordinator) handle(msg transport.Message) {
-	c.mu.Lock()
-	c.lastSeen[msg.From] = c.now
-	c.mu.Unlock()
+	idx, known := c.index[msg.From]
+	if known {
+		c.mu.Lock()
+		c.lastSeen[idx] = c.now
+		c.heard[idx] = true
+		c.mu.Unlock()
+	}
 
 	switch msg.Kind {
 	case transport.KindLocalViolation:
-		c.onLocalViolation(msg)
+		c.onLocalViolation(idx, known, msg)
 	case transport.KindPollResponse:
-		c.onPollResponse(msg)
+		if known {
+			c.onPollResponse(idx, msg)
+		}
 	case transport.KindYieldReport:
-		c.mu.Lock()
-		streak := 0
-		if prev, ok := c.yields[msg.From]; ok {
-			streak = prev.donorStreak
+		if known {
+			c.mu.Lock()
+			r := &c.yields[idx]
+			r.reduction = msg.Reduction
+			r.needed = msg.Needed
+			r.interval = msg.Interval
+			r.fresh = true
+			// donorStreak carries over: hysteresis is a property of the
+			// monitor, not of one report.
+			c.mu.Unlock()
 		}
-		c.yields[msg.From] = &yieldReport{
-			reduction:   msg.Reduction,
-			needed:      msg.Needed,
-			interval:    msg.Interval,
-			fresh:       true,
-			donorStreak: streak,
-		}
-		c.mu.Unlock()
 	case transport.KindHeartbeat:
 		// Pure liveness traffic: the lastSeen update above is the payload.
 		c.mu.Lock()
@@ -702,16 +709,24 @@ func (c *Coordinator) handle(msg transport.Message) {
 	}
 }
 
-func (c *Coordinator) onLocalViolation(msg transport.Message) {
+func (c *Coordinator) onLocalViolation(idx int, known bool, msg transport.Message) {
 	c.mu.Lock()
 	c.stats.LocalViolations++
+	if !known {
+		// A violation from outside the task cannot join the task's global
+		// aggregate.
+		c.mu.Unlock()
+		return
+	}
 	if c.poll.active {
 		// Fold the report into the in-flight poll.
-		if c.poll.pending[msg.From] {
-			delete(c.poll.pending, msg.From)
+		if c.poll.pending[idx] {
+			c.poll.pending[idx] = false
+			c.poll.npending--
 		}
-		c.poll.values[msg.From] = msg.Value
-		done := len(c.poll.pending) == 0
+		c.poll.values[idx] = msg.Value
+		c.poll.hasValue[idx] = true
+		done := c.poll.npending == 0
 		c.mu.Unlock()
 		if done {
 			c.finishPoll()
@@ -721,63 +736,77 @@ func (c *Coordinator) onLocalViolation(msg transport.Message) {
 	// Start a global poll: the reporter's value is already known, collect
 	// everyone else's.
 	c.stats.Polls++
-	c.poll = poll{
-		active:  true,
-		started: msg.Time,
-		pending: make(map[string]bool, len(c.cfg.Monitors)),
-		values:  map[string]float64{msg.From: msg.Value},
-	}
-	var toPoll []string
-	for _, m := range c.cfg.Monitors {
-		if m == msg.From {
+	c.resetPollLocked()
+	c.poll.active = true
+	c.poll.started = msg.Time
+	c.poll.values[idx] = msg.Value
+	c.poll.hasValue[idx] = true
+	horizon := c.horizonLocked()
+	toPoll := c.pollBuf
+	c.pollBuf = nil // handed out; returned below after the sends
+	for i := range c.cfg.Monitors {
+		if i == idx {
 			continue
 		}
-		if c.deadLocked(m) {
+		if c.deadAt(i, horizon) {
 			c.stats.DeadSkipped++
 			continue
 		}
-		c.poll.pending[m] = true
-		toPoll = append(toPoll, m)
+		c.poll.pending[i] = true
+		c.poll.npending++
+		toPoll = append(toPoll, i)
 	}
 	c.mu.Unlock()
 
-	for _, m := range toPoll {
+	for _, i := range toPoll {
 		// Synchronous transports may complete the poll re-entrantly
 		// during these sends; finishPoll below tolerates that.
-		_ = c.cfg.Network.Send(c.cfg.ID, m, transport.Message{
+		_ = c.cfg.Network.Send(c.cfg.ID, c.cfg.Monitors[i], transport.Message{
 			Kind: transport.KindPollRequest,
 			Task: c.cfg.Task,
 			Time: msg.Time,
 		})
 	}
 	c.finishPoll()
+
+	c.mu.Lock()
+	if c.pollBuf == nil {
+		c.pollBuf = toPoll[:0]
+	}
+	c.mu.Unlock()
 }
 
-func (c *Coordinator) onPollResponse(msg transport.Message) {
+func (c *Coordinator) onPollResponse(idx int, msg transport.Message) {
 	c.mu.Lock()
-	if !c.poll.active || !c.poll.pending[msg.From] {
+	if !c.poll.active || !c.poll.pending[idx] {
 		c.mu.Unlock()
 		return
 	}
-	delete(c.poll.pending, msg.From)
-	c.poll.values[msg.From] = msg.Value
+	c.poll.pending[idx] = false
+	c.poll.npending--
+	c.poll.values[idx] = msg.Value
+	c.poll.hasValue[idx] = true
 	c.mu.Unlock()
 	c.finishPoll()
 }
 
-// finishPoll evaluates and clears the poll once all responses are in.
+// finishPoll evaluates and clears the poll once all responses are in. The
+// total is summed in monitor-index order, so the verdict is deterministic
+// (the old map-keyed poll summed in map iteration order).
 func (c *Coordinator) finishPoll() {
 	c.mu.Lock()
-	if !c.poll.active || len(c.poll.pending) > 0 {
+	if !c.poll.active || c.poll.npending > 0 {
 		c.mu.Unlock()
 		return
 	}
 	var total float64
-	for _, v := range c.poll.values {
-		total += v
+	for i, has := range c.poll.hasValue {
+		if has {
+			total += c.poll.values[i]
+		}
 	}
 	started := c.poll.started
-	c.poll = poll{}
+	c.resetPollLocked()
 	c.stats.PollsCompleted++
 	alert := total > c.cfg.Threshold
 	if c.cfg.Direction == core.Below {
@@ -806,8 +835,9 @@ func (c *Coordinator) AliveMonitors() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.cfg.Monitors))
-	for _, m := range c.cfg.Monitors {
-		if !c.deadLocked(m) {
+	horizon := c.horizonLocked()
+	for i, m := range c.cfg.Monitors {
+		if !c.deadAt(i, horizon) {
 			out = append(out, m)
 		}
 	}
@@ -819,9 +849,9 @@ func (c *Coordinator) AliveMonitors() []string {
 func (c *Coordinator) DeadMonitors() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.dead))
-	for _, m := range c.cfg.Monitors {
-		if c.dead[m] {
+	var out []string
+	for i, m := range c.cfg.Monitors {
+		if c.dead[i] {
 			out = append(out, m)
 		}
 	}
@@ -829,11 +859,15 @@ func (c *Coordinator) DeadMonitors() []string {
 }
 
 // Assignments returns a snapshot of the current per-monitor error
-// allowances.
+// allowances as a map — the boundary conversion from the dense table.
 func (c *Coordinator) Assignments() map[string]float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.snapshotAssignmentsLocked()
+	out := make(map[string]float64, len(c.assign))
+	for i, m := range c.cfg.Monitors {
+		out[m] = c.assign[i]
+	}
+	return out
 }
 
 // Stats returns a snapshot of the coordinator's counters.

@@ -1,0 +1,80 @@
+package coord
+
+import (
+	"testing"
+)
+
+// BenchmarkRebalance measures the dense-index rebalance hot path — fresh
+// yield gather, single-sort water-filling distribution, damped update —
+// at coordinator scales from hundreds to tens of thousands of monitors.
+// Steady state must be 0 allocs/op (TestRebalanceZeroAlloc makes that a
+// gate); compare BenchmarkRebalanceMapBaseline for the old map-based cost.
+func BenchmarkRebalance(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"100", 100}, {"1k", 1000}, {"10k", 10000}} {
+		b.Run(size.name, func(b *testing.B) {
+			h, err := NewRebalanceHarness(size.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Rebalance() // warm scratch + donor hysteresis
+			h.Rebalance()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Rebalance()
+			}
+		})
+	}
+}
+
+// TestRebalanceZeroAlloc makes the dense rebalance's 0 allocs/op a hard
+// regression gate: once the scratch slices are warm, a full rebalance —
+// candidate gather, sort, water-fill, damped apply — must not touch the
+// heap, no matter how many monitors the task has.
+func TestRebalanceZeroAlloc(t *testing.T) {
+	for _, n := range []int{10, 1000} {
+		h, err := NewRebalanceHarness(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Rebalance() // warm scratch + donor hysteresis
+		h.Rebalance()
+		allocs := testing.AllocsPerRun(100, h.Rebalance)
+		if allocs != 0 {
+			t.Errorf("n=%d: rebalance allocates %.1f times per call, want 0", n, allocs)
+		}
+	}
+}
+
+// TestRebalanceHarnessConserves sanity-checks the harness itself: the
+// rebalances it drives must conserve the task allowance and actually move
+// allowance (the benchmark would otherwise time a no-op skip path).
+func TestRebalanceHarnessConserves(t *testing.T) {
+	h, err := NewRebalanceHarness(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Rebalance()
+	}
+	c := h.Coordinator()
+	var sum float64
+	for _, e := range c.Assignments() {
+		sum += e
+	}
+	if diff := sum - 0.01; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("allowance pool %v, want conserved at 0.01", sum)
+	}
+	if c.Stats().Rebalances == 0 {
+		t.Error("harness rebalances never changed assignments; benchmark would time a skip path")
+	}
+}
+
+func TestRebalanceHarnessRejectsTinyN(t *testing.T) {
+	if _, err := NewRebalanceHarness(1); err == nil {
+		t.Error("harness accepted n=1, want error")
+	}
+}

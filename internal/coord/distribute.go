@@ -1,0 +1,208 @@
+package coord
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// maxWeight caps sanitized yields and floors. Anything larger (including
+// +Inf) is indistinguishable in practice — it already dwarfs every sane
+// co-candidate — and keeping the arithmetic finite prevents a single
+// corrupt yield report from turning the whole split into NaNs.
+const maxWeight = 1e300
+
+// sanitizeWeight maps a possibly hostile float (yield reports arrive over
+// the network) into [0, maxWeight]: NaN and negative values carry no
+// usable information and become 0; +Inf is capped.
+func sanitizeWeight(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > maxWeight {
+		return maxWeight
+	}
+	return v
+}
+
+// wfCand is one water-filling candidate: a dense monitor index with its
+// yield and floor. ratio = floor/yield is the pinning key — the multiplier
+// λ below which the proportional share would undercut the floor.
+type wfCand struct {
+	ratio float64
+	yield float64
+	floor float64
+	idx   int
+}
+
+// compareCand orders candidates by descending pin ratio, breaking ties by
+// ascending index so the sort (and therefore the whole distribution) is
+// deterministic regardless of input order.
+func compareCand(a, b wfCand) int {
+	switch {
+	case a.ratio > b.ratio:
+		return -1
+	case a.ratio < b.ratio:
+		return 1
+	case a.idx < b.idx:
+		return -1
+	case a.idx > b.idx:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// distributeDense splits pool proportionally to candidate yields with a
+// per-candidate floor, writing out[cand.idx] for every candidate. It is the
+// dense-index replacement for the old iterative map-based pinning loop:
+// instead of re-scanning all candidates after each pin (O(n²) when floors
+// engage one by one), it sorts candidates once by floor-to-yield ratio and
+// pins them in a single descending pass — O(n log n) total, with zero
+// allocations when cands and suffY come from reusable scratch.
+//
+// The algorithm: the proportional share of candidate i under multiplier
+// λ = remaining/ΣY is λ·y_i, which undercuts floor_i exactly when
+// λ < floor_i/y_i. Since λ only shrinks as candidates get pinned (a pinned
+// candidate had floor > λ·y, so removing it lowers the remainder more than
+// the yield mass), the final pinned set is precisely the candidates with
+// the largest ratios — a prefix of the ratio-sorted order. The scan walks
+// that order, maintaining Σfloors of the pinned prefix and the suffix sums
+// of yields, and stops at the first prefix whose remainder clears the next
+// candidate's floor. This reaches the same fixpoint as the old iterative
+// loop (see TestDistributeDenseMatchesLegacy), just without the quadratic
+// re-scans.
+//
+// Candidates may be reordered in place. suffY is scratch and must have
+// capacity ≥ len(cands). Degenerate branches are deterministic by
+// construction (index-ordered, no map iteration): a non-positive or NaN
+// pool zeroes every candidate; jointly infeasible floors are scaled down
+// proportionally; an all-zero yield set degrades to an even split
+// (water-filled against unit yields so floors still hold).
+func distributeDense(pool float64, cands []wfCand, suffY, out []float64) {
+	n := len(cands)
+	if n == 0 {
+		return
+	}
+	if !(pool > 0) { // covers pool ≤ 0 and NaN pool
+		for i := range cands {
+			out[cands[i].idx] = 0
+		}
+		return
+	}
+	var floorSum, sumY float64
+	for i := range cands {
+		cands[i].yield = sanitizeWeight(cands[i].yield)
+		cands[i].floor = sanitizeWeight(cands[i].floor)
+		floorSum += cands[i].floor
+		sumY += cands[i].yield
+	}
+	if floorSum >= pool {
+		// Floors alone exhaust the pool: scale them down proportionally.
+		scale := pool / floorSum
+		for i := range cands {
+			out[cands[i].idx] = cands[i].floor * scale
+		}
+		return
+	}
+	if sumY <= 0 {
+		// No yield information at all: degrade to an even split, expressed
+		// as water-filling against unit yields so floors are still honored.
+		for i := range cands {
+			cands[i].yield = 1
+		}
+	}
+	for i := range cands {
+		if cands[i].yield <= 0 {
+			// A zero-yield candidate's proportional share is 0, so it is
+			// pinned at its floor no matter what; +Inf sorts it first.
+			cands[i].ratio = math.Inf(1)
+		} else {
+			cands[i].ratio = cands[i].floor / cands[i].yield
+		}
+	}
+	slices.SortFunc(cands, compareCand)
+
+	// Suffix sums of yields: suffY[i] = Σ_{j ≥ i} y_j, accumulated backward
+	// so each value is a fresh sum (no subtractive cancellation).
+	suffY = suffY[:n]
+	var acc float64
+	for i := n - 1; i >= 0; i-- {
+		acc += cands[i].yield
+		suffY[i] = acc
+	}
+
+	// Pin the descending-ratio prefix until the remainder clears the next
+	// candidate's floor. floorSum < pool guarantees the scan terminates
+	// with at least one unpinned candidate (the last positive-yield
+	// candidate's share is the whole remainder, which exceeds its floor).
+	var pinnedFloor float64
+	k := 0
+	for k < n {
+		sy := suffY[k]
+		if sy > 0 {
+			lambda := (pool - pinnedFloor) / sy
+			if lambda >= cands[k].ratio {
+				break
+			}
+		}
+		pinnedFloor += cands[k].floor
+		k++
+	}
+	remaining := pool - pinnedFloor
+	if k == n {
+		// Unreachable when floorSum < pool; kept for defense in depth with
+		// a deterministic answer: spread the remainder evenly on top.
+		extra := remaining / float64(n)
+		for i := range cands {
+			out[cands[i].idx] = cands[i].floor + extra
+		}
+		return
+	}
+	sy := suffY[k]
+	for i := 0; i < k; i++ {
+		out[cands[i].idx] = cands[i].floor
+	}
+	for i := k; i < n; i++ {
+		out[cands[i].idx] = remaining * cands[i].yield / sy
+	}
+}
+
+// distributeWithFloors is the map-based boundary wrapper around
+// distributeDense: it interns the keys (sorted, so the result is
+// deterministic regardless of map iteration order), runs the dense core
+// and converts back. The coordinator's rebalance path does not go through
+// here — it feeds reusable scratch slices to distributeDense directly.
+func distributeWithFloors(pool float64, yields, floors map[string]float64) map[string]float64 {
+	n := len(yields)
+	out := make(map[string]float64, n)
+	if n == 0 {
+		return out
+	}
+	ids := make([]string, 0, n)
+	for m := range yields {
+		ids = append(ids, m)
+	}
+	sort.Strings(ids)
+	cands := make([]wfCand, n)
+	for i, m := range ids {
+		cands[i] = wfCand{idx: i, yield: yields[m], floor: floors[m]}
+	}
+	dense := make([]float64, n)
+	distributeDense(pool, cands, make([]float64, n), dense)
+	for i, m := range ids {
+		out[m] = dense[i]
+	}
+	return out
+}
+
+// distributeByYield splits pool proportionally to yields, flooring every
+// assignment at errMin (the paper's throttle against starving a monitor).
+// If the floors alone exceed the pool, it degrades to an even split.
+func distributeByYield(pool float64, yields map[string]float64, errMin float64) map[string]float64 {
+	floors := make(map[string]float64, len(yields))
+	for m := range yields {
+		floors[m] = errMin
+	}
+	return distributeWithFloors(pool, yields, floors)
+}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -75,5 +76,178 @@ func TestDistributeWithFloorsZeroPool(t *testing.T) {
 	out := distributeWithFloors(0, map[string]float64{"a": 1}, map[string]float64{"a": 0.1})
 	if out["a"] != 0 {
 		t.Errorf("zero pool allocated %v", out["a"])
+	}
+}
+
+// TestDistributeWithFloorsProportionalAmongUnpinned checks the core
+// fairness invariant: monitors whose assignment cleared their floor split
+// the remainder exactly proportionally to yield.
+func TestDistributeWithFloorsProportionalAmongUnpinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(10)
+		pool, yields, floors := randomDistributionCase(rng, n)
+		out := distributeWithFloors(pool, yields, floors)
+		var floorSum float64
+		for _, f := range floors {
+			floorSum += f
+		}
+		if floorSum >= pool {
+			continue // infeasible floors: scaled branch, nothing unpinned
+		}
+		// Collect unpinned monitors (strictly above their floor).
+		type up struct{ y, v float64 }
+		var ups []up
+		for m, v := range out {
+			if v > floors[m]+1e-12 {
+				ups = append(ups, up{yields[m], v})
+			}
+		}
+		for i := 1; i < len(ups); i++ {
+			a, b := ups[0], ups[i]
+			// v_a·y_b == v_b·y_a within rounding (cross-multiplied to
+			// avoid dividing by tiny yields).
+			lhs, rhs := a.v*b.y, b.v*a.y
+			if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs))) {
+				t.Fatalf("trial %d: unpinned shares not proportional: %v vs %v", trial, a, b)
+			}
+		}
+	}
+}
+
+// TestDistributeWithFloorsEvenSplitDegradation: when the floors alone
+// exceed the pool, every monitor gets its floor scaled by pool/Σfloors —
+// and with uniform floors that is exactly the even split.
+func TestDistributeWithFloorsEvenSplitDegradation(t *testing.T) {
+	yields := map[string]float64{"a": 9, "b": 1, "c": 0.01}
+	floors := map[string]float64{"a": 0.5, "b": 0.5, "c": 0.5}
+	out := distributeWithFloors(0.3, yields, floors)
+	for m, v := range out {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Errorf("%s = %v, want even 0.1 when floors exceed pool", m, v)
+		}
+	}
+}
+
+// --- Satellite regressions: hostile inputs and degenerate branches. ---
+
+// TestDistributeWithFloorsNaNYield: a NaN yield (e.g. a corrupt report
+// propagating 0/0) must be treated as "no usable yield" — the monitor is
+// pinned at its floor — and must not poison anyone else's share.
+func TestDistributeWithFloorsNaNYield(t *testing.T) {
+	yields := map[string]float64{"a": 3, "b": math.NaN(), "c": 1}
+	floors := map[string]float64{"a": 0.01, "b": 0.05, "c": 0.01}
+	out := distributeWithFloors(1, yields, floors)
+	var sum float64
+	for m, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NaN yield poisoned %s = %v", m, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v, want pool 1", sum)
+	}
+	if math.Abs(out["b"]-0.05) > 1e-12 {
+		t.Errorf("NaN-yield monitor got %v, want pinned at floor 0.05", out["b"])
+	}
+	// a and c split the rest 3:1.
+	if math.Abs(out["a"]-0.95*0.75) > 1e-9 || math.Abs(out["c"]-0.95*0.25) > 1e-9 {
+		t.Errorf("survivors split %v/%v, want 0.7125/0.2375", out["a"], out["c"])
+	}
+}
+
+// TestDistributeWithFloorsInfYield: an infinite yield is capped, wins the
+// whole surplus, and everyone else keeps exactly their floor — no NaNs.
+func TestDistributeWithFloorsInfYield(t *testing.T) {
+	yields := map[string]float64{"a": math.Inf(1), "b": 2, "c": 1}
+	floors := map[string]float64{"a": 0.01, "b": 0.05, "c": 0.07}
+	out := distributeWithFloors(1, yields, floors)
+	var sum float64
+	for m, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Inf yield poisoned %s = %v", m, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v, want pool 1", sum)
+	}
+	if math.Abs(out["b"]-0.05) > 1e-9 || math.Abs(out["c"]-0.07) > 1e-9 {
+		t.Errorf("finite-yield monitors got %v/%v, want their floors", out["b"], out["c"])
+	}
+	if math.Abs(out["a"]-0.88) > 1e-9 {
+		t.Errorf("Inf-yield monitor got %v, want the 0.88 surplus", out["a"])
+	}
+}
+
+// TestDistributeWithFloorsNegativeYield: negative yields carry no meaning
+// (reductions are non-negative by construction); they are clamped to zero
+// rather than producing negative assignments.
+func TestDistributeWithFloorsNegativeYield(t *testing.T) {
+	yields := map[string]float64{"a": -5, "b": 1}
+	floors := map[string]float64{"a": 0.1, "b": 0.1}
+	out := distributeWithFloors(1, yields, floors)
+	if out["a"] != 0.1 {
+		t.Errorf("negative-yield monitor got %v, want pinned at floor 0.1", out["a"])
+	}
+	if math.Abs(out["b"]-0.9) > 1e-12 {
+		t.Errorf("b = %v, want 0.9", out["b"])
+	}
+}
+
+// TestDistributeWithFloorsDeterministic: the degenerate branches (all
+// yields zero → even split; floors exceed pool → scaled) and the regular
+// branch must produce bit-identical results regardless of map insertion
+// order — the old implementation iterated maps, so summation order (and
+// with it the low bits) depended on runtime map randomization.
+func TestDistributeWithFloorsDeterministic(t *testing.T) {
+	cases := []struct {
+		name   string
+		pool   float64
+		yields map[string]float64
+		floors map[string]float64
+	}{
+		{
+			name:   "zero sumY even split",
+			pool:   0.07,
+			yields: map[string]float64{"a": 0, "b": 0, "c": 0, "d": 0, "e": 0},
+			floors: map[string]float64{"a": 0.001, "b": 0.002, "c": 0, "d": 0.003, "e": 0.001},
+		},
+		{
+			name:   "all pinned scaled floors",
+			pool:   0.05,
+			yields: map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5},
+			floors: map[string]float64{"a": 0.02, "b": 0.02, "c": 0.02, "d": 0.02, "e": 0.02},
+		},
+		{
+			name:   "regular water-fill",
+			pool:   0.1,
+			yields: map[string]float64{"a": 100, "b": 10, "c": 1, "d": 0.1, "e": 0},
+			floors: map[string]float64{"a": 0.001, "b": 0.03, "c": 0.03, "d": 0.03, "e": 0.001},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := distributeWithFloors(tc.pool, tc.yields, tc.floors)
+			for round := 0; round < 20; round++ {
+				// Rebuild the maps fresh each round so Go's per-map seed
+				// changes the iteration order the wrapper sees.
+				y := make(map[string]float64, len(tc.yields))
+				f := make(map[string]float64, len(tc.floors))
+				for k, v := range tc.yields {
+					y[k] = v
+				}
+				for k, v := range tc.floors {
+					f[k] = v
+				}
+				got := distributeWithFloors(tc.pool, y, f)
+				for m, v := range base {
+					if got[m] != v { // bit-exact, not approximate
+						t.Fatalf("round %d: %s = %v, want bit-identical %v", round, m, got[m], v)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,104 @@
+package coord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDistributeWithFloors checks the distribution invariants every
+// rebalance relies on over arbitrary — including hostile — inputs (run with
+// `go test -fuzz=FuzzDistributeWithFloors` for deep exploration; the seed
+// corpus runs as a regular test):
+//
+//   - conservation: assignments sum to the pool within 1e-9 (relative);
+//   - floors: no assignment below its floor when floors are jointly
+//     feasible, floors scaled proportionally when they are not;
+//   - proportionality: unpinned monitors split the remainder in exact
+//     yield proportion;
+//   - hygiene: never NaN, ±Inf or negative, even when yields are.
+func FuzzDistributeWithFloors(f *testing.F) {
+	f.Add(int64(1), uint8(3), 0.1, false, false)
+	f.Add(int64(2), uint8(1), 0.001, true, false)
+	f.Add(int64(3), uint8(12), 1.0, false, true)
+	f.Add(int64(4), uint8(40), 0.05, true, true)
+	f.Add(int64(5), uint8(7), 0.0, false, false)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, pool float64, hostile, tightFloors bool) {
+		if math.IsNaN(pool) || math.IsInf(pool, 0) || pool < 0 || pool > 1e6 {
+			t.Skip()
+		}
+		n := 1 + int(nRaw)%64
+		rng := rand.New(rand.NewSource(seed))
+		yields := make(map[string]float64, n)
+		floors := make(map[string]float64, n)
+		var floorSum float64
+		for i := 0; i < n; i++ {
+			id := string(rune('A' + i%26)) + string(rune('a'+i/26))
+			switch {
+			case hostile && rng.Intn(4) == 0:
+				yields[id] = [3]float64{math.NaN(), math.Inf(1), -1}[rng.Intn(3)]
+			case rng.Intn(8) == 0:
+				yields[id] = 0
+			default:
+				yields[id] = math.Pow(10, -4+8*rng.Float64())
+			}
+			scale := 0.5
+			if tightFloors {
+				scale = 2.5 // push Σfloors past the pool
+			}
+			floors[id] = rng.Float64() * scale * pool / float64(n)
+			floorSum += floors[id]
+		}
+
+		out := distributeWithFloors(pool, yields, floors)
+		if len(out) != n {
+			t.Fatalf("%d assignments for %d monitors", len(out), n)
+		}
+		var sum float64
+		for id, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("assignment %s = %v (yields=%v)", id, v, yields)
+			}
+			if pool > 0 && floorSum <= pool && v < floors[id]-1e-9*pool {
+				t.Fatalf("assignment %s = %v below feasible floor %v", id, v, floors[id])
+			}
+			sum += v
+		}
+		if pool == 0 {
+			if sum != 0 {
+				t.Fatalf("zero pool allocated %v", sum)
+			}
+			return
+		}
+		if math.Abs(sum-pool) > 1e-9*math.Max(1, pool) {
+			t.Fatalf("sum %v != pool %v", sum, pool)
+		}
+
+		if floorSum <= pool {
+			// Proportionality among unpinned monitors (cross-multiplied so
+			// tiny yields don't amplify rounding).
+			type up struct{ y, v float64 }
+			var ups []up
+			for id, v := range out {
+				y := sanitizeWeight(yields[id])
+				if v > floors[id]+1e-9*pool && y > 0 {
+					ups = append(ups, up{y, v})
+				}
+			}
+			for i := 1; i < len(ups); i++ {
+				lhs, rhs := ups[0].v*ups[i].y, ups[i].v*ups[0].y
+				if math.Abs(lhs-rhs) > 1e-6*math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs))) {
+					t.Fatalf("unpinned shares not yield-proportional: %+v vs %+v", ups[0], ups[i])
+				}
+			}
+		} else {
+			// Infeasible floors: everyone gets floor·pool/Σfloors.
+			for id, v := range out {
+				want := floors[id] * pool / floorSum
+				if math.Abs(v-want) > 1e-9*math.Max(1, pool) {
+					t.Fatalf("scaled floor %s = %v, want %v", id, v, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package coord
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// legacyDistributeWithFloors is the pre-dense-index implementation of the
+// distribution core, kept verbatim (maps, iterative pinning loop — O(n²)
+// when floors engage one at a time). It is the reference for the
+// equivalence tests and the baseline for BenchmarkRebalanceMapBaseline.
+func legacyDistributeWithFloors(pool float64, yields, floors map[string]float64) map[string]float64 {
+	n := len(yields)
+	out := make(map[string]float64, n)
+	if pool <= 0 || n == 0 {
+		for m := range yields {
+			out[m] = 0
+		}
+		return out
+	}
+	var floorSum float64
+	for m := range yields {
+		floorSum += floors[m]
+	}
+	if floorSum >= pool {
+		scale := pool / floorSum
+		for m := range yields {
+			out[m] = floors[m] * scale
+		}
+		return out
+	}
+	// Iteratively pin monitors that would fall below their floor, then
+	// split the remainder proportionally among the rest.
+	pinned := make(map[string]bool, n)
+	for {
+		var sumY, pinnedSum float64
+		for m, y := range yields {
+			if pinned[m] {
+				pinnedSum += floors[m]
+			} else {
+				sumY += y
+			}
+		}
+		remaining := pool - pinnedSum
+		newlyPinned := false
+		for m, y := range yields {
+			if pinned[m] {
+				continue
+			}
+			share := remaining / float64(n-len(pinned))
+			if sumY > 0 {
+				share = remaining * y / sumY
+			}
+			if share < floors[m] {
+				pinned[m] = true
+				newlyPinned = true
+			}
+		}
+		if !newlyPinned {
+			for m, y := range yields {
+				if pinned[m] {
+					out[m] = floors[m]
+					continue
+				}
+				share := remaining / float64(n-len(pinned))
+				if sumY > 0 {
+					share = remaining * y / sumY
+				}
+				out[m] = share
+			}
+			return out
+		}
+	}
+}
+
+// randomDistributionCase builds a random (pool, yields, floors) instance
+// shaped like real rebalances: log-uniform yields spanning several orders
+// of magnitude, floors that are a mix of err_min and current-assignment
+// protections, and a pool comparable to a task allowance.
+func randomDistributionCase(rng *rand.Rand, n int) (pool float64, yields, floors map[string]float64) {
+	pool = 0.001 + rng.Float64()*0.2
+	yields = make(map[string]float64, n)
+	floors = make(map[string]float64, n)
+	errMin := pool / float64(n) / 10
+	var floorSum float64
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("m%04d", i)
+		switch rng.Intn(8) {
+		case 0:
+			yields[id] = 0 // saturated
+		default:
+			yields[id] = math.Pow(10, -4+8*rng.Float64())
+		}
+		if rng.Intn(2) == 0 {
+			floors[id] = errMin // donor
+		} else {
+			// Protected at (an analog of) its current assignment.
+			floors[id] = errMin + rng.Float64()*1.5*pool/float64(n)
+		}
+		floorSum += floors[id]
+	}
+	return pool, yields, floors
+}
+
+// TestDistributeDenseMatchesLegacy is the tentpole equivalence proof: the
+// single-sort water-filling distribution must reproduce the iterative
+// map-based pinning loop within 1e-12 on every monitor, across sizes and
+// random shapes (both feasible and infeasible floor sets).
+func TestDistributeDenseMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 50, 200} {
+		for trial := 0; trial < 200; trial++ {
+			pool, yields, floors := randomDistributionCase(rng, n)
+			want := legacyDistributeWithFloors(pool, yields, floors)
+			got := distributeWithFloors(pool, yields, floors)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d trial=%d: %d assignments, want %d", n, trial, len(got), len(want))
+			}
+			for m, w := range want {
+				if math.Abs(got[m]-w) > 1e-12 {
+					t.Fatalf("n=%d trial=%d monitor %s: dense %v, legacy %v (Δ=%g)\npool=%v yields=%v floors=%v",
+						n, trial, m, got[m], w, got[m]-w, pool, yields, floors)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributeDenseMatchesLegacyTableCases pins the named shapes the old
+// unit tests exercised, so a regression points at the failing shape.
+func TestDistributeDenseMatchesLegacyTableCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		pool   float64
+		yields map[string]float64
+		floors map[string]float64
+	}{
+		{
+			name:   "proportional no pins",
+			pool:   1,
+			yields: map[string]float64{"a": 3, "b": 1},
+			floors: map[string]float64{"a": 0.1, "b": 0.1},
+		},
+		{
+			name:   "single pin",
+			pool:   1,
+			yields: map[string]float64{"a": 100, "b": 0.0001},
+			floors: map[string]float64{"a": 0.2, "b": 0.2},
+		},
+		{
+			name:   "cascading pins",
+			pool:   1,
+			yields: map[string]float64{"a": 1000, "b": 10, "c": 1, "d": 0.1},
+			floors: map[string]float64{"a": 0.01, "b": 0.2, "c": 0.2, "d": 0.2},
+		},
+		{
+			name:   "floors exceed pool",
+			pool:   0.1,
+			yields: map[string]float64{"a": 5, "b": 1},
+			floors: map[string]float64{"a": 0.2, "b": 0.2},
+		},
+		{
+			name:   "all zero yields",
+			pool:   1,
+			yields: map[string]float64{"a": 0, "b": 0, "c": 0},
+			floors: map[string]float64{"a": 0.1, "b": 0.2, "c": 0},
+		},
+		{
+			name:   "mixed zero yields",
+			pool:   1,
+			yields: map[string]float64{"a": 2, "b": 0, "c": 1},
+			floors: map[string]float64{"a": 0.05, "b": 0.3, "c": 0.05},
+		},
+		{
+			name:   "zero pool",
+			pool:   0,
+			yields: map[string]float64{"a": 1, "b": 2},
+			floors: map[string]float64{"a": 0.1, "b": 0.1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := legacyDistributeWithFloors(tc.pool, tc.yields, tc.floors)
+			got := distributeWithFloors(tc.pool, tc.yields, tc.floors)
+			for m, w := range want {
+				if math.Abs(got[m]-w) > 1e-12 {
+					t.Errorf("monitor %s: dense %v, legacy %v", m, got[m], w)
+				}
+			}
+		})
+	}
+}
+
+// legacyRebalanceState mimics the shape of the pre-dense coordinator
+// rebalance: per-call map churn (yields, floors, target) plus map-keyed
+// assignment writes. BenchmarkRebalanceMapBaseline runs it for the old
+// cost; the dense path in BenchmarkRebalance replaces it.
+type legacyRebalanceState struct {
+	monitors    []string
+	assignments map[string]float64
+	reports     []yieldReport
+	errMin      float64
+}
+
+func newLegacyRebalanceState(n int) *legacyRebalanceState {
+	s := &legacyRebalanceState{
+		monitors:    make([]string, n),
+		assignments: make(map[string]float64, n),
+		reports:     make([]yieldReport, n),
+		// Same err_min the dense harness uses (see NewRebalanceHarness):
+		// scaled with n so the floors stay feasible and both benchmarks
+		// exercise the real water-filling branch, not the degenerate
+		// scaled-floors path.
+		errMin: 0.01 * 0.1 / float64(n),
+	}
+	for i := range s.monitors {
+		s.monitors[i] = fmt.Sprintf("m%06d", i)
+		s.assignments[s.monitors[i]] = 0.01 / float64(n)
+	}
+	return s
+}
+
+// rebalance mirrors the old rebalanceLocked: gather fresh yields into
+// maps, distribute with the iterative loop, apply the damped update.
+func (s *legacyRebalanceState) rebalance() {
+	for i := range s.reports {
+		r := &s.reports[i]
+		if i%3 == 0 {
+			r.reduction, r.needed, r.interval = 0, 1e-6, 20
+		} else {
+			r.reduction = 0.5 / float64(1+i%7)
+			r.needed = 1e-4 * float64(1+i%13)
+			r.interval = 3
+		}
+		r.fresh = true
+	}
+	eFloor := s.errMin
+	yields := make(map[string]float64, len(s.monitors))
+	floors := make(map[string]float64, len(s.monitors))
+	for i, m := range s.monitors {
+		r := &s.reports[i]
+		e := math.Max(r.needed, eFloor)
+		yields[m] = r.reduction / e
+		floor := s.errMin
+		hopeless := r.interval <= 1.1 && r.needed > 0.01
+		saturated := r.reduction <= saturatedReduction
+		if hopeless || saturated {
+			r.donorStreak++
+		} else {
+			r.donorStreak = 0
+		}
+		if r.donorStreak < donorHysteresis {
+			if cur := s.assignments[m]; cur > floor {
+				floor = cur
+			}
+		}
+		floors[m] = floor
+	}
+	var pool float64
+	for m := range yields {
+		pool += s.assignments[m]
+	}
+	target := legacyDistributeWithFloors(pool, yields, floors)
+	for m, e := range target {
+		cur := s.assignments[m]
+		s.assignments[m] = cur + assignmentGain*(e-cur)
+	}
+	for i := range s.reports {
+		s.reports[i].fresh = false
+	}
+}
+
+// BenchmarkRebalanceMapBaseline measures the old map-based rebalance cost
+// at each size; compare against BenchmarkRebalance for the dense-index
+// speedup quoted in DESIGN.md §9.
+func BenchmarkRebalanceMapBaseline(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"100", 100}, {"1k", 1000}, {"10k", 10000}} {
+		b.Run(size.name, func(b *testing.B) {
+			s := newLegacyRebalanceState(size.n)
+			s.rebalance() // warm the donor hysteresis
+			s.rebalance()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.rebalance()
+			}
+		})
+	}
+}

@@ -80,6 +80,9 @@ func MisdetectBound(est Estimator, value, threshold, mean, stddev float64, inter
 	if interval < 1 {
 		return 0, fmt.Errorf("core: interval %d < 1", interval)
 	}
+	if _, ok := est.(ChebyshevEstimator); ok {
+		return chebyshevMisdetectBound(value, threshold, mean, stddev, interval), nil
+	}
 	noViolation := 1.0
 	for i := 1; i <= interval; i++ {
 		// P[v + iδ > T] = P[δ > (T − v)/i].
@@ -104,4 +107,47 @@ func MisdetectBound(est Estimator, value, threshold, mean, stddev float64, inter
 		bound = 1
 	}
 	return bound, nil
+}
+
+// chebyshevMisdetectBound is the devirtualized fast path for the paper's
+// default estimator. MisdetectBound runs on every Observe of every
+// monitor, and with the generic loop each of the I steps pays an interface
+// dispatch into ChebyshevEstimator.ExceedProb plus a call into
+// stats.ChebyshevExceedProb; here (T − v) is hoisted out of the loop and
+// the Cantelli bound 1/(1 + k²) is inlined, so the loop body is pure
+// arithmetic. The result is bit-identical to the generic path — same
+// operations in the same order (pinned by TestChebyshevFastPathBitIdentical).
+func chebyshevMisdetectBound(value, threshold, mean, stddev float64, interval int) float64 {
+	d := threshold - value
+	noViolation := 1.0
+	for i := 1; i <= interval; i++ {
+		// P[v + iδ > T] = P[δ > (T − v)/i], bounded by Cantelli:
+		// P(δ − μ ≥ kσ) ≤ 1/(1 + k²) for k > 0, vacuous (1) otherwise.
+		stepThreshold := d / float64(i)
+		var p float64
+		if stddev <= 0 {
+			if mean > stepThreshold {
+				p = 1
+			}
+		} else {
+			k := (stepThreshold - mean) / stddev
+			if k <= 0 {
+				p = 1
+			} else {
+				p = 1 / (1 + k*k)
+			}
+		}
+		noViolation *= 1 - p
+		if noViolation == 0 {
+			break
+		}
+	}
+	bound := 1 - noViolation
+	if bound < 0 {
+		bound = 0
+	}
+	if bound > 1 {
+		bound = 1
+	}
+	return bound
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"volley/internal/stats"
+)
+
+// genericChebyshev computes the exact same Cantelli bound as
+// ChebyshevEstimator but is a distinct type, so MisdetectBound's type
+// assertion misses and the generic interface-dispatch loop runs. It is the
+// reference the devirtualized fast path must match bit for bit.
+type genericChebyshev struct{}
+
+func (genericChebyshev) ExceedProb(mean, stddev, threshold float64) float64 {
+	return stats.ChebyshevExceedProb(mean, stddev, threshold)
+}
+
+func (genericChebyshev) Name() string { return "chebyshev-generic" }
+
+// TestChebyshevFastPathBitIdentical pins the fast path's contract: for the
+// default estimator, devirtualizing MisdetectBound must not change a single
+// bit of the result — same operations in the same order, no reassociation.
+func TestChebyshevFastPathBitIdentical(t *testing.T) {
+	check := func(value, threshold, mean, stddev float64, interval int) {
+		t.Helper()
+		fast, err := MisdetectBound(ChebyshevEstimator{}, value, threshold, mean, stddev, interval)
+		if err != nil {
+			t.Fatalf("fast path error: %v", err)
+		}
+		slow, err := MisdetectBound(genericChebyshev{}, value, threshold, mean, stddev, interval)
+		if err != nil {
+			t.Fatalf("generic path error: %v", err)
+		}
+		if math.Float64bits(fast) != math.Float64bits(slow) {
+			t.Fatalf("v=%v T=%v μ=%v σ=%v I=%d: fast %x (%v) != generic %x (%v)",
+				value, threshold, mean, stddev, interval,
+				math.Float64bits(fast), fast, math.Float64bits(slow), slow)
+		}
+	}
+
+	// Edge shapes: deterministic δ (σ=0) both above and below the step
+	// threshold, value already past the threshold, zero headroom, large
+	// intervals, negative means.
+	check(50, 100, 0.2, 3, 1)
+	check(50, 100, 0.2, 3, 64)
+	check(120, 100, 0.2, 3, 10) // value > threshold: saturates at 1
+	check(100, 100, 0, 1, 5)    // zero headroom
+	check(50, 100, 5, 0, 8)     // σ=0, drifting up
+	check(50, 100, -5, 0, 8)    // σ=0, drifting down
+	check(50, 100, -0.3, 2, 16) // negative mean drift
+	check(99.9999, 100, 0.5, 0.001, 32)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		value := rng.Float64() * 200
+		threshold := rng.Float64() * 200
+		mean := (rng.Float64() - 0.5) * 10
+		stddev := 0.0
+		if rng.Intn(8) != 0 { // keep some σ=0 cases in the mix
+			stddev = rng.Float64() * 20
+		}
+		interval := 1 + rng.Intn(64)
+		check(value, threshold, mean, stddev, interval)
+	}
+}
+
+// TestMisdetectBoundFastPathZeroAlloc guards the Observe hot path: the
+// devirtualized bound must not allocate. (The generic path is exempt — the
+// interface call may box its arguments depending on the estimator.)
+func TestMisdetectBoundFastPathZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := MisdetectBound(ChebyshevEstimator{}, 50, 100, 0.2, 3, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fast-path MisdetectBound allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkMisdetectBoundFast measures the devirtualized Chebyshev path
+// (the default estimator, hit on every Observe of every monitor).
+func BenchmarkMisdetectBoundFast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MisdetectBound(ChebyshevEstimator{}, 50, 100, 0.2, 3, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMisdetectBoundGeneric measures the same computation through the
+// generic interface-dispatch loop, for the before/after in DESIGN.md §9.
+func BenchmarkMisdetectBoundGeneric(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MisdetectBound(genericChebyshev{}, 50, 100, 0.2, 3, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
