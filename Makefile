@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-coord examples
+.PHONY: build vet test race check bench bench-json bench-coord bench-cluster examples
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,16 @@ bench-json:
 bench-coord:
 	$(GO) run ./cmd/volleybench -coordjson BENCH_coord.json
 
+# Benchmark consistent-hash task placement at 4/16/64 shards and snapshot
+# ns/op, allocs/op (must be 0) and the one-shard-removal movement fraction
+# to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/volleybench -clusterjson BENCH_cluster.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/ddos
 	$(GO) run ./examples/webapp
 	$(GO) run ./examples/memfloor
 	$(GO) run ./examples/tcpcluster
+	$(GO) run ./examples/cluster

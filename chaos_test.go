@@ -249,3 +249,240 @@ func TestChaosSoak(t *testing.T) {
 
 	settleGoroutines(t, baseGoroutines)
 }
+
+// TestClusterChaosSoak soaks a three-shard cluster: two tasks admitted at
+// runtime, message loss and reordering injected, one monitor crashing and
+// resurrecting (allowance reclaimed, then restored), and the shard owning
+// the busy task killed mid-soak. The contract: every injected violation
+// episode is detected despite the handoff, the allowance pool stays
+// conserved through every transfer, and the quiet task never false-alerts.
+func TestClusterChaosSoak(t *testing.T) {
+	const (
+		n          = 4
+		steps      = 6000
+		errAllow   = 0.05
+		localTh    = 25.0
+		globalTh   = 100.0
+		quietLevel = 10.0
+		spikeLevel = 40.0
+		episodeLen = 30
+		deadAfter  = 60
+	)
+	net := volley.NewMemoryNetwork()
+	tracer := volley.NewTracer(8192)
+
+	alerts := map[string][]time.Duration{}
+	cl, err := volley.NewCluster(volley.ClusterConfig{
+		Name:    "soak",
+		Shards:  []string{"s1", "s2", "s3"},
+		Network: net,
+		Tracer:  tracer,
+		OnAlert: func(task string, now time.Duration, _ float64) {
+			alerts[task] = append(alerts[task], now)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	episodes := []int{300, 800, 1700, 2500, 3200, 4100, 5000, 5600}
+	step := 0
+	inEpisode := func() bool {
+		for _, e := range episodes {
+			if step >= e && step < e+episodeLen {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The busy task: four spiking monitors, admitted at runtime.
+	busyIDs := make([]string, n)
+	for i := range busyIDs {
+		busyIDs[i] = fmt.Sprintf("soak-busy-%d", i)
+	}
+	if _, err := cl.Admit(volley.ClusterTaskSpec{
+		Name: "busy", Threshold: globalTh, Err: errAllow,
+		Monitors: busyIDs, UpdatePeriod: 500, DeadAfter: deadAfter,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	monitors := make([]*volley.Monitor, n)
+	for i := range monitors {
+		monitors[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID: busyIDs[i], Task: "busy",
+			Agent: volley.AgentFunc(func() (float64, error) {
+				if inEpisode() {
+					return spikeLevel, nil
+				}
+				return quietLevel, nil
+			}),
+			Sampler: volley.SamplerConfig{
+				Threshold: localTh, Err: errAllow / n, MaxInterval: 10, Patience: 5,
+			},
+			Network: net, Coordinator: cl.CoordinatorAddr("busy"),
+			YieldEvery: 500, HeartbeatEvery: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The quiet task: two monitors far below threshold — its job is to not
+	// false-alert and to survive re-placement.
+	quietIDs := []string{"soak-quiet-0", "soak-quiet-1"}
+	if _, err := cl.Admit(volley.ClusterTaskSpec{
+		Name: "quiet", Threshold: globalTh, Err: errAllow,
+		Monitors: quietIDs, DeadAfter: deadAfter,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiet := make([]*volley.Monitor, len(quietIDs))
+	for i := range quiet {
+		quiet[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID: quietIDs[i], Task: "quiet",
+			Agent: volley.AgentFunc(func() (float64, error) { return quietLevel, nil }),
+			Sampler: volley.SamplerConfig{
+				Threshold: localTh, Err: errAllow / 2, MaxInterval: 10, Patience: 5,
+			},
+			Network: net, Coordinator: cl.CoordinatorAddr("quiet"),
+			YieldEvery: 500, HeartbeatEvery: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	busyOwner, ok := cl.Owner("busy")
+	if !ok {
+		t.Fatal("busy task unplaced")
+	}
+
+	// Fault schedule: loss, then reordering, a monitor crash/restart cycle
+	// before the shard kill and a second one after it, and the shard
+	// owning the busy task crashing at 3000.
+	ticking := [n]bool{true, true, true, true}
+	faults := map[int]func(){
+		500:  func() { net.SetLoss(0.05) },
+		1200: func() { net.SetLoss(0); net.SetReorder(0.15) },
+		1400: func() { net.Crash(busyIDs[3]); ticking[3] = false },
+		2000: func() { net.SetReorder(0) },
+		2200: func() { net.Restart(busyIDs[3]); ticking[3] = true },
+		3000: func() {
+			if err := cl.CrashShard(busyOwner); err != nil {
+				t.Fatalf("step 3000: crash shard %s: %v", busyOwner, err)
+			}
+		},
+		3800: func() { net.Crash(busyIDs[2]); ticking[2] = false },
+		4400: func() { net.Restart(busyIDs[2]); ticking[2] = true },
+	}
+
+	for ; step < steps; step++ {
+		if f, ok := faults[step]; ok {
+			f()
+		}
+		now := time.Duration(step) * time.Second
+		cl.Tick(now)
+		for i, m := range monitors {
+			if !ticking[i] {
+				continue
+			}
+			if _, _, err := m.Tick(now); err != nil {
+				t.Fatalf("step %d: busy monitor %d: %v", step, i, err)
+			}
+		}
+		for _, m := range quiet {
+			if _, _, err := m.Tick(now); err != nil {
+				t.Fatalf("step %d: quiet monitor: %v", step, err)
+			}
+		}
+		// Conservation through reclamations, restorations and handoffs.
+		if step%200 == 0 {
+			for _, task := range []string{"busy", "quiet"} {
+				st, err := cl.AllowanceState(task)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				var sum float64
+				for _, e := range st.Assignments {
+					sum += e
+				}
+				if sum > errAllow+1e-9 {
+					t.Fatalf("step %d: task %s allowance sum %v exceeds %v", step, task, sum, errAllow)
+				}
+			}
+		}
+	}
+
+	// Re-placement: the busy task left the crashed shard; both tasks still
+	// owned by surviving shards.
+	for _, task := range []string{"busy", "quiet"} {
+		owner, ok := cl.Owner(task)
+		if !ok || owner == busyOwner {
+			t.Errorf("task %s owner after crash = %q/%v, want a surviving shard", task, owner, ok)
+		}
+	}
+
+	// Detection contract across loss, monitor churn and the shard kill:
+	// with one monitor down three spiking survivors still sum over the
+	// global threshold, so every episode must land.
+	missed := 0
+	for _, e := range episodes {
+		start := time.Duration(e) * time.Second
+		end := time.Duration(e+episodeLen) * time.Second
+		detected := false
+		for _, a := range alerts["busy"] {
+			if a >= start && a <= end {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			missed++
+			t.Errorf("episode at step %d undetected", e)
+		}
+	}
+	if rate := float64(missed) / float64(len(episodes)); rate > errAllow {
+		t.Errorf("miss rate %.3f exceeds allowance %v", rate, errAllow)
+	}
+	if len(alerts["quiet"]) != 0 {
+		t.Errorf("quiet task false-alerted %d times", len(alerts["quiet"]))
+	}
+
+	st := cl.Stats()
+	if st.ShardCrashes != 1 {
+		t.Errorf("ShardCrashes = %d, want 1", st.ShardCrashes)
+	}
+	if st.Handoffs < 1 {
+		t.Errorf("Handoffs = %d, want >= 1 (busy task re-placed)", st.Handoffs)
+	}
+	// Two monitor crash cycles: allowance reclaimed and restored both
+	// before and after the shard handoff.
+	if st.Coord.Reclamations < 2 || st.Coord.Restorations < 2 {
+		t.Errorf("reclaim/restore = %d/%d, want >= 2 each (one cycle per side of the handoff)",
+			st.Coord.Reclamations, st.Coord.Restorations)
+	}
+	if st.Coord.GlobalAlerts != uint64(len(alerts["busy"])) {
+		t.Errorf("aggregated GlobalAlerts = %d, want %d across incarnations", st.Coord.GlobalAlerts, len(alerts["busy"]))
+	}
+
+	// The trace tells the story: a shard crash, a ring rebuild that moved
+	// at least the busy task, and its handoff off the crashed shard.
+	if got := tracer.TypeCount(volley.TraceShardCrash); got != 1 {
+		t.Errorf("shard-crash trace count = %d, want 1", got)
+	}
+	var sawHandoff bool
+	for _, e := range tracer.Events() {
+		if e.Type == volley.TraceTaskHandoff && e.Task == "busy" && e.Node == busyOwner {
+			sawHandoff = true
+		}
+	}
+	if !sawHandoff {
+		t.Error("no task-handoff trace event for the busy task off the crashed shard")
+	}
+	if got := tracer.TypeCount(volley.TraceRingRebuild); got < 1 {
+		t.Errorf("ring-rebuild trace count = %d, want >= 1", got)
+	}
+	t.Logf("cluster soak: busy alerts %d, %d/%d episodes, stats %+v",
+		len(alerts["busy"]), len(episodes)-missed, len(episodes), st)
+}

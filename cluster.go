@@ -1,0 +1,63 @@
+package volley
+
+import (
+	"volley/internal/cluster"
+	"volley/internal/coord"
+	"volley/internal/transport"
+)
+
+// Cluster shards monitoring tasks across coordinator instances with a
+// consistent-hash ring, merges per-shard statistics into cluster-wide
+// views, and admits, retunes and evicts tasks at runtime (the dynamic
+// control plane volleyd exposes over HTTP).
+type Cluster = cluster.Cluster
+
+// ClusterConfig parameterizes a Cluster.
+type ClusterConfig = cluster.Config
+
+// ClusterTaskSpec describes one monitoring task for runtime admission.
+type ClusterTaskSpec = cluster.TaskSpec
+
+// ClusterStats merges the control plane's lifecycle counters with every
+// task coordinator's counters.
+type ClusterStats = cluster.Stats
+
+// ClusterShardInfo is one shard's control-plane view: placed task count
+// and readiness.
+type ClusterShardInfo = cluster.ShardInfo
+
+// ClusterTaskInfo is one admitted task's control-plane view, including
+// its stable coordinator address.
+type ClusterTaskInfo = cluster.TaskInfo
+
+// ClusterAlertFunc receives cluster-wide confirmed global violations,
+// tagged with the task that raised them.
+type ClusterAlertFunc = cluster.AlertFunc
+
+// NewCluster builds a cluster with the configured shards on the placement
+// ring and no tasks; admit tasks at runtime with Cluster.Admit.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(cfg)
+}
+
+// Ring is the consistent-hash placement ring behind Cluster: replicated
+// virtual nodes, deterministic placement, minimal movement on membership
+// change.
+type Ring = cluster.Ring
+
+// NewRing builds an empty placement ring with the given virtual-node
+// count per shard (values < 1 fall back to DefaultRingReplicas).
+func NewRing(replicas int) *Ring { return cluster.NewRing(replicas) }
+
+// DefaultRingReplicas is the default virtual-node count per shard.
+const DefaultRingReplicas = cluster.DefaultReplicas
+
+// AllowanceState is a serializable snapshot of a coordinator's allowance
+// bookkeeping (Coordinator.ExportAllowance / ImportAllowance) — the
+// carrier of task handoff in the cluster layer.
+type AllowanceState = coord.AllowanceState
+
+// NetworkDeregisterer is the optional Network extension for releasing a
+// registered address; task handoff requires the cluster's Network to
+// implement it. MemoryNetwork does.
+type NetworkDeregisterer = transport.Deregisterer

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"volley/internal/cluster"
+)
+
+// clusterBenchShards are the ring scales BENCH_cluster.json tracks —
+// matching BenchmarkRingPlace's sub-benchmarks so CI numbers and local
+// `go test -bench RingPlace` runs are directly comparable.
+var clusterBenchShards = []int{4, 16, 64}
+
+// clusterBenchEntry is one scale point of the placement hot path: ns per
+// Place (one hash + binary search over shards×replicas points, must stay
+// allocation-free) plus the minimal-movement quality of the ring — the
+// fraction of keys that move when one shard is removed, ideally ≈ 1/shards.
+type clusterBenchEntry struct {
+	Shards        int     `json:"shards"`
+	Replicas      int     `json:"replicas"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	Iterations    int     `json:"iterations"`
+	MovedFraction float64 `json:"moved_fraction"`
+	IdealFraction float64 `json:"ideal_fraction"`
+}
+
+// clusterBenchReport is the schema of BENCH_cluster.json.
+type clusterBenchReport struct {
+	GoMaxProcs       int                 `json:"gomaxprocs"`
+	Entries          []clusterBenchEntry `json:"ring_place"`
+	TotalWallClockNS int64               `json:"total_wall_clock_ns"`
+}
+
+// writeClusterBenchJSON measures Place at each ring scale with
+// testing.Benchmark, computes the one-shard-removal movement fraction, and
+// writes the results to path.
+func writeClusterBenchJSON(path string, out *os.File) error {
+	report := clusterBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	start := time.Now()
+	const keys = 8192
+	for _, shards := range clusterBenchShards {
+		r := cluster.NewRing(cluster.DefaultReplicas)
+		for i := 0; i < shards; i++ {
+			r.Add(fmt.Sprintf("shard-%d", i))
+		}
+		keyset := make([]string, keys)
+		for i := range keyset {
+			keyset[i] = fmt.Sprintf("task-%d", i)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := r.Place(keyset[i&(keys-1)]); !ok {
+					b.Fatal("unplaced key")
+				}
+			}
+		})
+
+		// Movement on membership change: drop one shard, count the keys
+		// whose placement moved. Consistent hashing promises ≈ 1/shards.
+		before := make([]string, keys)
+		for i, k := range keyset {
+			before[i], _ = r.Place(k)
+		}
+		r.Remove("shard-0")
+		moved := 0
+		for i, k := range keyset {
+			if now, _ := r.Place(k); now != before[i] {
+				moved++
+			}
+		}
+
+		report.Entries = append(report.Entries, clusterBenchEntry{
+			Shards:        shards,
+			Replicas:      cluster.DefaultReplicas,
+			NsPerOp:       float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp:   res.AllocsPerOp(),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+			Iterations:    res.N,
+			MovedFraction: float64(moved) / keys,
+			IdealFraction: 1 / float64(shards),
+		})
+	}
+	report.TotalWallClockNS = time.Since(start).Nanoseconds()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Entries {
+		fmt.Fprintf(out, "ring place shards=%-3d %8.1f ns/op %4d B/op %3d allocs/op  moved %.4f (ideal %.4f)\n",
+			e.Shards, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.MovedFraction, e.IdealFraction)
+	}
+	fmt.Fprintf(out, "wrote %d scale points to %s (total %s)\n",
+		len(report.Entries), path, time.Duration(report.TotalWallClockNS).Round(time.Millisecond))
+	return nil
+}

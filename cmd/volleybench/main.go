@@ -43,6 +43,7 @@ func main() {
 	procs := flag.Int("procs", 0, "experiment-engine workers: 0 = all cores, 1 = serial")
 	jsonPath := flag.String("json", "", "write headline metrics (ratios, misdetect rates, wall clock) as JSON to this file instead of printing tables")
 	coordJSONPath := flag.String("coordjson", "", "benchmark the coordinator rebalance hot path at 100/1k/10k monitors and write ns/op and allocs/op as JSON to this file")
+	clusterJSONPath := flag.String("clusterjson", "", "benchmark consistent-hash task placement at 4/16/64 shards and write ns/op, allocs/op and movement fractions as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -55,6 +56,13 @@ func main() {
 	start := time.Now()
 	if *coordJSONPath != "" {
 		if err := writeCoordBenchJSON(*coordJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterJSONPath != "" {
+		if err := writeClusterBenchJSON(*clusterJSONPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "volleybench:", err)
 			os.Exit(1)
 		}

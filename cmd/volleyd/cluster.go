@@ -1,0 +1,418 @@
+// Cluster mode: with -shards N volleyd runs a sharded monitoring cluster
+// instead of a single sampling loop. Tasks are admitted, retuned and
+// evicted at runtime over HTTP (POST/PATCH/DELETE /tasks), shards join and
+// leave the placement ring (POST/DELETE /shards), and the observability
+// endpoints grow cluster-wide views: /healthz reports per-shard readiness
+// and the ring epoch, /metrics the volley_cluster_* instruments.
+//
+//	volleyd -shards 3 -interval 1s -listen :9464
+//
+//	curl -X POST :9464/tasks -d '{"name":"cpu","threshold":100,"err":0.05,
+//	  "monitors":[{"id":"m0","source":"http://host-a/load"},
+//	              {"id":"m1","source":"http://host-b/load"}]}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"volley"
+)
+
+// clusterTaskRequest is the POST /tasks body.
+type clusterTaskRequest struct {
+	Name      string  `json:"name"`
+	Threshold float64 `json:"threshold"`
+	Direction string  `json:"direction,omitempty"`
+	Err       float64 `json:"err"`
+	// MaxInterval bounds each monitor's adaptive interval (units of the
+	// daemon's -interval). Zero means the daemon's -max-interval.
+	MaxInterval int                     `json:"maxInterval,omitempty"`
+	Monitors    []clusterMonitorRequest `json:"monitors"`
+}
+
+// clusterMonitorRequest is one monitor of an admitted task: an ID unique
+// within the task and a signal source in -source syntax.
+type clusterMonitorRequest struct {
+	ID     string `json:"id"`
+	Source string `json:"source"`
+}
+
+// clusterUpdateRequest is the PATCH /tasks/{name} body.
+type clusterUpdateRequest struct {
+	Threshold float64 `json:"threshold"`
+	Err       float64 `json:"err"`
+}
+
+// clusterDaemon owns the cluster-mode runtime: the federation, the
+// monitors it hosts for admitted tasks, and the virtual clock the driver
+// loop advances.
+type clusterDaemon struct {
+	opts   options
+	net    *volley.MemoryNetwork
+	cl     *volley.Cluster
+	tracer *volley.Tracer
+	reg    *volley.Metrics
+	alerts *volley.Counter
+	start  time.Time
+
+	mu   sync.Mutex
+	mons map[string][]*volley.Monitor // task name → hosted monitors
+	step uint64                       // virtual ticks elapsed
+}
+
+// runCluster is cluster-mode main: it builds the federation, serves the
+// control plane and drives the tick loop until the context ends.
+func runCluster(ctx context.Context, opts options) error {
+	if opts.interval <= 0 {
+		return fmt.Errorf("interval must be positive, got %v", opts.interval)
+	}
+	if opts.maxInterval < 1 {
+		return fmt.Errorf("max-interval must be at least 1, got %d", opts.maxInterval)
+	}
+
+	d := &clusterDaemon{
+		opts:  opts,
+		net:   volley.NewMemoryNetwork(),
+		reg:   volley.NewMetrics(),
+		start: time.Now(),
+		mons:  make(map[string][]*volley.Monitor),
+	}
+	tracerOpts := []volley.TracerOption{
+		volley.WithTraceClock(func() time.Duration { return time.Since(d.start) }),
+	}
+	if opts.events {
+		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(opts.out))
+	}
+	d.tracer = volley.NewTracer(4096, tracerOpts...)
+	d.alerts = d.reg.Counter("volleyd_alerts_total", "State alerts raised across all cluster tasks.")
+	d.reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
+		return time.Since(d.start).Seconds()
+	})
+
+	shards := make([]string, opts.shards)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("shard-%d", i)
+	}
+	enc := json.NewEncoder(opts.out)
+	var encMu sync.Mutex
+	cl, err := volley.NewCluster(volley.ClusterConfig{
+		Name:    "volleyd",
+		Shards:  shards,
+		Network: d.net,
+		Metrics: d.reg,
+		Tracer:  d.tracer,
+		OnAlert: func(task string, now time.Duration, total float64) {
+			d.alerts.Inc()
+			encMu.Lock()
+			defer encMu.Unlock()
+			_ = enc.Encode(map[string]any{
+				"time": time.Now(), "kind": "alert", "task": task,
+				"value": total, "at": now.String(),
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	d.cl = cl
+	publishExpvar(d.status)
+
+	if opts.listen == "" {
+		return fmt.Errorf("cluster mode needs -listen (the control plane is HTTP)")
+	}
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+	if opts.onListen != nil {
+		opts.onListen(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: d.mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	loopErr := d.loop(ctx)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return errors.Join(loopErr, err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return errors.Join(loopErr, err)
+	}
+	return loopErr
+}
+
+// loop advances the cluster and every hosted monitor once per -interval on
+// a virtual clock (tick count × interval), the same time base the
+// simulation harness uses, so wall-clock jitter never skews liveness
+// horizons.
+func (d *clusterDaemon) loop(ctx context.Context) error {
+	if d.opts.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.opts.duration)
+		defer cancel()
+	}
+	ticker := time.NewTicker(d.opts.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		d.mu.Lock()
+		now := time.Duration(d.step) * d.opts.interval
+		d.step++
+		mons := make([]*volley.Monitor, 0, len(d.mons)*2)
+		for _, ms := range d.mons {
+			mons = append(mons, ms...)
+		}
+		d.mu.Unlock()
+		d.cl.Tick(now)
+		for _, m := range mons {
+			// Agent failures are retried at the next interval and already
+			// counted in the monitor's own stats.
+			_, _, _ = m.Tick(now)
+		}
+	}
+}
+
+// status is the /healthz (and expvar) payload: cluster-wide state plus
+// per-shard readiness and the ring epoch.
+func (d *clusterDaemon) status() map[string]any {
+	st := d.cl.Stats()
+	return map[string]any{
+		"status":         "ok",
+		"mode":           "cluster",
+		"uptime_seconds": time.Since(d.start).Seconds(),
+		"ring_epoch":     st.RingEpoch,
+		"shards":         d.cl.Shards(),
+		"tasks":          st.Tasks,
+		"alerts":         d.alerts.Value(),
+		"handoffs":       st.Handoffs,
+	}
+}
+
+// mux wires the cluster control plane and the observability endpoints.
+func (d *clusterDaemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.reg.WritePrometheus(w)
+		d.tracer.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.status())
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.tracer.Events())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+
+	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.cl.Tasks())
+	})
+	mux.HandleFunc("POST /tasks", d.handleAdmit)
+	mux.HandleFunc("PATCH /tasks/{name}", d.handleUpdate)
+	mux.HandleFunc("DELETE /tasks/{name}", d.handleEvict)
+	mux.HandleFunc("POST /shards", d.handleShardJoin)
+	mux.HandleFunc("DELETE /shards/{id}", d.handleShardDrop)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleAdmit admits a task: its monitors are built from the requested
+// sources and hosted by the daemon, its coordinator placed on the owning
+// shard.
+func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req clusterTaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Monitors) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("task %q has no monitors", req.Name))
+		return
+	}
+	dir, err := parseDirection(req.Direction)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxInterval := req.MaxInterval
+	if maxInterval == 0 {
+		maxInterval = d.opts.maxInterval
+	}
+	// Build every agent before touching cluster state, so a bad source
+	// rejects the whole admission.
+	agents := make([]func() (float64, error), len(req.Monitors))
+	addrs := make([]string, len(req.Monitors))
+	seen := make(map[string]bool, len(req.Monitors))
+	for i, m := range req.Monitors {
+		if m.ID == "" || seen[m.ID] {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("monitor ID %q empty or duplicate", m.ID))
+			return
+		}
+		seen[m.ID] = true
+		agents[i], err = buildAgent(m.Source)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		addrs[i] = req.Name + "/mon/" + m.ID
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	shard, err := d.cl.Admit(volley.ClusterTaskSpec{
+		Name:      req.Name,
+		Threshold: req.Threshold,
+		Direction: dir,
+		Err:       req.Err,
+		Monitors:  addrs,
+	})
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	n := float64(len(addrs))
+	mons := make([]*volley.Monitor, len(addrs))
+	for i, addr := range addrs {
+		mons[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID:    addr,
+			Task:  req.Name,
+			Agent: volley.AgentFunc(agents[i]),
+			Sampler: volley.SamplerConfig{
+				// The local task decomposition: an even split of the global
+				// threshold and allowance; the coordinator re-tunes the
+				// allowance shares from yield reports as the run learns.
+				Threshold:   req.Threshold / n,
+				Direction:   dir,
+				Err:         req.Err / n,
+				MaxInterval: maxInterval,
+			},
+			Network:        d.net,
+			Coordinator:    d.cl.CoordinatorAddr(req.Name),
+			YieldEvery:     100,
+			HeartbeatEvery: 10,
+			Metrics:        d.reg,
+			Tracer:         d.tracer,
+		})
+		if err != nil {
+			// Roll the half-admitted task back so the request is atomic.
+			for _, a := range addrs[:i] {
+				_ = d.net.Deregister(a)
+			}
+			_ = d.cl.Evict(req.Name)
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	d.mons[req.Name] = mons
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name": req.Name, "shard": shard,
+		"coordinator": d.cl.CoordinatorAddr(req.Name), "monitors": addrs,
+	})
+}
+
+// handleUpdate retunes a task's threshold and allowance: the cluster
+// rescales the coordinator's allowance state and the daemon re-splits the
+// hosted monitors' local thresholds.
+func (d *clusterDaemon) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req clusterUpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.cl.Update(name, req.Threshold, req.Err); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	mons := d.mons[name]
+	for _, m := range mons {
+		if err := m.SetLocalThreshold(req.Threshold / float64(len(mons))); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleEvict removes a task and the monitors hosted for it.
+func (d *clusterDaemon) handleEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var addrs []string
+	for _, ti := range d.cl.Tasks() {
+		if ti.Spec.Name == name {
+			addrs = ti.Spec.Monitors
+		}
+	}
+	if err := d.cl.Evict(name); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	for _, a := range addrs {
+		_ = d.net.Deregister(a)
+	}
+	delete(d.mons, name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShardJoin adds a shard to the ring.
+func (d *clusterDaemon) handleShardJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := d.cl.AddShard(req.ID); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShardDrop removes a shard; ?mode=crash records an ungraceful loss
+// instead of a drain (the stats and trace tell them apart).
+func (d *clusterDaemon) handleShardDrop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	drop := d.cl.RemoveShard
+	if r.URL.Query().Get("mode") == "crash" {
+		drop = d.cl.CrashShard
+	}
+	if err := drop(id); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -73,6 +73,7 @@ func main() {
 		events      = flag.Bool("events", false, "tail decision events as JSON lines on stdout")
 		duration    = flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
 		stateFile   = flag.String("state", "", "persist sampler state to this file and restore it on start")
+		shards      = flag.Int("shards", 0, "run a sharded monitoring cluster with this many coordinator shards; tasks are admitted over HTTP (see cluster.go)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		events:      *events,
 		duration:    *duration,
 		stateFile:   *stateFile,
+		shards:      *shards,
 		out:         os.Stdout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "volleyd:", err)
@@ -110,6 +112,7 @@ type options struct {
 	events      bool
 	duration    time.Duration
 	stateFile   string
+	shards      int // > 0 switches to cluster mode (cluster.go)
 	out         io.Writer
 	onListen    func(addr string) // test hook: reports the bound address
 }
@@ -125,6 +128,9 @@ type event struct {
 }
 
 func run(ctx context.Context, opts options) error {
+	if opts.shards > 0 {
+		return runCluster(ctx, opts)
+	}
 	agent, err := buildAgent(opts.source)
 	if err != nil {
 		return err

@@ -530,3 +530,196 @@ func TestEventsFlagTailsDecisions(t *testing.T) {
 		t.Errorf("sample log suppressed by -events:\n%s", buf.String())
 	}
 }
+
+// httpDo issues a request with a method and optional JSON body.
+func httpDo(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestClusterModeEndToEnd is the acceptance test for volleyd's cluster
+// mode: a 3-shard daemon admits a task over HTTP at runtime, the task's
+// signal spikes and raises alerts, the owning shard is crashed over HTTP,
+// and the task keeps alerting from its new owner; /healthz carries
+// per-shard readiness and the ring epoch, /metrics the volley_cluster_*
+// instruments.
+func TestClusterModeEndToEnd(t *testing.T) {
+	var calls atomic.Int64
+	src := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		v := "10"
+		if n := calls.Add(1); n%10 < 4 {
+			v = "100" // recurring global spikes
+		}
+		_, _ = w.Write([]byte(v))
+	}))
+	defer src.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startDaemon(t, ctx, options{
+		interval:    time.Millisecond,
+		maxInterval: 5,
+		shards:      3,
+		out:         io.Discard,
+	})
+	base := "http://" + addr
+
+	// Before any admission: three ready shards, no tasks, epoch 3 (one ring
+	// change per initial shard).
+	health := func() map[string]any {
+		_, body := httpGet(t, base+"/healthz")
+		var h map[string]any
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+		}
+		return h
+	}
+	h := health()
+	if h["mode"] != "cluster" || h["ring_epoch"].(float64) != 3 {
+		t.Fatalf("initial healthz = %v, want cluster mode at ring epoch 3", h)
+	}
+	shardsJSON, _ := json.Marshal(h["shards"])
+	var shardInfos []volley.ClusterShardInfo
+	if err := json.Unmarshal(shardsJSON, &shardInfos); err != nil {
+		t.Fatalf("healthz shards not parseable: %v", err)
+	}
+	if len(shardInfos) != 3 {
+		t.Fatalf("healthz shards = %v, want 3", shardInfos)
+	}
+	for _, si := range shardInfos {
+		if !si.Ready {
+			t.Errorf("shard %s not ready", si.ID)
+		}
+	}
+
+	// Admit a task at runtime: two monitors on the spiking source.
+	spec := `{"name":"cpu","threshold":50,"err":0.05,"monitors":[` +
+		`{"id":"m0","source":"` + src.URL + `"},{"id":"m1","source":"` + src.URL + `"}]}`
+	code, body := httpDo(t, http.MethodPost, base+"/tasks", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /tasks = %d %s", code, body)
+	}
+	var admitted struct {
+		Shard       string `json:"shard"`
+		Coordinator string `json:"coordinator"`
+	}
+	if err := json.Unmarshal([]byte(body), &admitted); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := httpDo(t, http.MethodPost, base+"/tasks", spec); code != http.StatusConflict {
+		t.Errorf("duplicate POST /tasks = %d, want conflict", code)
+	}
+	if code, body := httpDo(t, http.MethodPost, base+"/tasks",
+		`{"name":"bad","threshold":1,"err":0.05,"monitors":[{"id":"m","source":"ftp://x"}]}`); code != http.StatusBadRequest {
+		t.Errorf("bad-source POST /tasks = %d %s, want bad request", code, body)
+	}
+
+	// The cluster must produce alerts: the spikes push both monitors over
+	// their local split and the global poll over the task threshold.
+	deadline := time.Now().Add(10 * time.Second)
+	for health()["alerts"].(float64) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no alerts before the crash")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The exposition carries the cluster instruments with live values.
+	_, metrics := httpGet(t, base+"/metrics")
+	for _, want := range []string{
+		"volley_cluster_ring_epoch 3", "volley_cluster_shards 3",
+		"volley_cluster_tasks 1", "volley_cluster_admissions_total 1",
+		`volley_cluster_shard_tasks{shard="` + admitted.Shard + `"} 1`,
+		"volley_cluster_global_alerts", "volleyd_alerts_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Crash the owning shard: the task must re-place and keep alerting.
+	if code, body := httpDo(t, http.MethodDelete, base+"/shards/"+admitted.Shard+"?mode=crash", ""); code != http.StatusNoContent {
+		t.Fatalf("DELETE /shards/%s = %d %s", admitted.Shard, code, body)
+	}
+	_, body = httpGet(t, base+"/tasks")
+	var tasks []volley.ClusterTaskInfo
+	if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Shard == admitted.Shard {
+		t.Fatalf("tasks after crash = %+v, want cpu off %s", tasks, admitted.Shard)
+	}
+	h = health()
+	if h["ring_epoch"].(float64) != 4 {
+		t.Errorf("ring_epoch after crash = %v, want 4", h["ring_epoch"])
+	}
+	if h["handoffs"].(float64) < 1 {
+		t.Errorf("handoffs after crash = %v, want >= 1", h["handoffs"])
+	}
+	alertsAtCrash := h["alerts"].(float64)
+	deadline = time.Now().Add(10 * time.Second)
+	for health()["alerts"].(float64) <= alertsAtCrash {
+		if time.Now().After(deadline) {
+			t.Fatal("no alerts after the crash: the handoff lost the task")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, metrics = httpGet(t, base+"/metrics")
+	if !strings.Contains(metrics, "volley_cluster_handoffs_total 1") ||
+		!strings.Contains(metrics, "volley_cluster_shard_crashes_total 1") {
+		t.Errorf("/metrics missing handoff/crash counters:\n%s", metrics)
+	}
+
+	// Retune, then evict; the control plane answers and the task list
+	// empties.
+	if code, body := httpDo(t, http.MethodPatch, base+"/tasks/cpu", `{"threshold":80,"err":0.1}`); code != http.StatusNoContent {
+		t.Errorf("PATCH /tasks/cpu = %d %s", code, body)
+	}
+	if code, body := httpDo(t, http.MethodDelete, base+"/tasks/cpu", ""); code != http.StatusNoContent {
+		t.Errorf("DELETE /tasks/cpu = %d %s", code, body)
+	}
+	if code, _ := httpDo(t, http.MethodDelete, base+"/tasks/cpu", ""); code != http.StatusNotFound {
+		t.Errorf("second DELETE /tasks/cpu = %d, want not found", code)
+	}
+	_, body = httpGet(t, base+"/tasks")
+	if err := json.Unmarshal([]byte(body), &tasks); err != nil || len(tasks) != 0 {
+		t.Errorf("tasks after eviction = %s, want empty", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cluster daemon did not shut down")
+	}
+}
+
+// TestClusterModeValidation covers cluster-mode startup failures.
+func TestClusterModeValidation(t *testing.T) {
+	if err := run(context.Background(), options{shards: 2, interval: time.Millisecond, maxInterval: 5, out: io.Discard}); err == nil {
+		t.Error("cluster mode without -listen accepted, want error")
+	}
+	if err := run(context.Background(), options{shards: 2, interval: 0, maxInterval: 5, listen: "127.0.0.1:0", out: io.Discard}); err == nil {
+		t.Error("cluster mode with zero interval accepted, want error")
+	}
+}

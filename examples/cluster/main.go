@@ -1,0 +1,188 @@
+// Sharded cluster: many monitoring tasks federated across coordinator
+// shards, with runtime admission and crash handoff — the control plane
+// volleyd exposes over HTTP (DESIGN.md §11), driven here against the
+// in-process API so the run is deterministic and finishes instantly.
+//
+// The run scripts the full cycle: a three-shard cluster starts empty, a
+// quiet task ("mem") and then a spiky task ("cpu") are admitted at
+// runtime and placed by consistent hashing, the shard owning "cpu" is
+// crashed between two violation episodes, and the task resumes on a
+// surviving shard with its error-allowance state carried over — the
+// monitors never re-point, and the episodes after the crash are detected
+// exactly like the ones before it.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"volley"
+)
+
+const (
+	steps      = 1000
+	interval   = time.Second // virtual; the loop doesn't sleep
+	globalTh   = 120.0       // cpu alert: Σ load > 120
+	errAllow   = 0.06        // miss at most 6% of cpu alerts
+	quietLevel = 10.0
+	spikeLevel = 60.0 // three monitors spiking: 180 > globalTh
+	episodeLen = 30
+	admitCPUAt = 100
+	crashAt    = 550
+)
+
+// episodes are the ticks where the cpu monitors spike; two fall before
+// the shard crash and two after it.
+var episodes = []int{200, 400, 700, 900}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := volley.NewMemoryNetwork()
+	alerts := map[string]int{}
+	cl, err := volley.NewCluster(volley.ClusterConfig{
+		Name:    "demo",
+		Shards:  []string{"shard-0", "shard-1", "shard-2"},
+		Network: net,
+		OnAlert: func(task string, now time.Duration, total float64) {
+			if alerts[task] == 0 {
+				fmt.Printf("[%4.0fs] first confirmed alert for %q: Σ = %.0f\n",
+					now.Seconds(), task, total)
+			}
+			alerts[task]++
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// A quiet task admitted up front: its monitors never violate, so it
+	// rides along to show the control plane juggling more than one task —
+	// and, when it shares the doomed shard, a silent handoff.
+	memShard, mons, err := admit(cl, net, "mem", 2, func(int) float64 { return quietLevel })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[   0s] admitted \"mem\" (2 monitors) -> %s\n", memShard)
+
+	step := 0
+	inEpisode := func() bool {
+		for _, e := range episodes {
+			if step >= e && step < e+episodeLen {
+				return true
+			}
+		}
+		return false
+	}
+
+	var cpuShard string
+	for ; step < steps; step++ {
+		switch step {
+		case admitCPUAt:
+			// Runtime admission: the cluster is already ticking.
+			var cpuMons []*volley.Monitor
+			cpuShard, cpuMons, err = admit(cl, net, "cpu", 3, func(int) float64 {
+				if inEpisode() {
+					return spikeLevel
+				}
+				return quietLevel
+			})
+			if err != nil {
+				return err
+			}
+			mons = append(mons, cpuMons...)
+			fmt.Printf("[%4ds] admitted \"cpu\" (3 monitors) -> %s\n", step, cpuShard)
+		case crashAt:
+			before, err := cl.AllowanceState("cpu")
+			if err != nil {
+				return err
+			}
+			if err := cl.CrashShard(cpuShard); err != nil {
+				return err
+			}
+			newOwner, _ := cl.Owner("cpu")
+			after, _ := cl.AllowanceState("cpu")
+			fmt.Printf("[%4ds] crashed %s: \"cpu\" handed off to %s\n", step, cpuShard, newOwner)
+			fmt.Printf("        allowance carried: %s -> %s\n",
+				assignments(before.Assignments), assignments(after.Assignments))
+			if s, _ := cl.Owner("mem"); s != memShard {
+				fmt.Printf("        \"mem\" moved %s -> %s\n", memShard, s)
+				memShard = s
+			}
+		}
+		now := time.Duration(step) * interval
+		cl.Tick(now)
+		for _, m := range mons {
+			if _, _, err := m.Tick(now); err != nil {
+				return err
+			}
+		}
+	}
+
+	st := cl.Stats()
+	fmt.Printf("\nafter %d ticks: %d episodes scheduled on \"cpu\", %d alerts confirmed; \"mem\" quiet (%d alerts)\n",
+		steps, len(episodes), alerts["cpu"], alerts["mem"])
+	fmt.Printf("cluster: shards=%d tasks=%d ring-epoch=%d handoffs=%d shard-crashes=%d global-polls=%d\n",
+		st.Shards, st.Tasks, st.RingEpoch, st.Handoffs, st.ShardCrashes, st.Coord.Polls)
+	return nil
+}
+
+// admit places a task on the cluster and builds its hosted monitors — the
+// same even threshold/allowance split volleyd's POST /tasks applies.
+func admit(cl *volley.Cluster, net *volley.MemoryNetwork, name string, n int, value func(i int) float64) (string, []*volley.Monitor, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("%s/m%d", name, i)
+	}
+	shard, err := cl.Admit(volley.ClusterTaskSpec{
+		Name: name, Threshold: globalTh, Err: errAllow,
+		Monitors: addrs, UpdatePeriod: 200, DeadAfter: 60,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	mons := make([]*volley.Monitor, n)
+	for i, addr := range addrs {
+		i := i
+		mons[i], err = volley.NewMonitor(volley.MonitorConfig{
+			ID: addr, Task: name, Agent: volley.AgentFunc(func() (float64, error) { return value(i), nil }),
+			Sampler: volley.SamplerConfig{
+				Threshold: globalTh / float64(n), Err: errAllow / float64(n),
+				MaxInterval: 10, Patience: 5,
+			},
+			Network: net, Coordinator: cl.CoordinatorAddr(name),
+			YieldEvery: 200, HeartbeatEvery: 20,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	return shard, mons, nil
+}
+
+// assignments renders an allowance map compactly, in address order.
+func assignments(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%.3f", k, m[k])
+	}
+	return s + "}"
+}

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"volley/internal/coord"
+	"volley/internal/core"
+	"volley/internal/monitor"
+	"volley/internal/obs"
+	"volley/internal/transport"
+)
+
+// sinkNet registers no-op handlers for monitor addresses so coordinator
+// sends have somewhere to land.
+func sinkNet(t *testing.T, net *transport.Memory, addrs ...string) {
+	t.Helper()
+	for _, a := range addrs {
+		if err := net.Register(a, func(transport.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testSpec(name string, monitors ...string) TaskSpec {
+	return TaskSpec{
+		Name:      name,
+		Threshold: 100,
+		Err:       0.05,
+		Monitors:  monitors,
+		DeadAfter: 60,
+	}
+}
+
+// registerlessNet implements transport.Network but not Deregisterer.
+type registerlessNet struct{}
+
+func (registerlessNet) Register(string, transport.Handler) error     { return nil }
+func (registerlessNet) Send(string, string, transport.Message) error { return nil }
+
+func TestClusterValidation(t *testing.T) {
+	net := transport.NewMemory()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no shards", Config{Network: net}, "no shards"},
+		{"nil network", Config{Shards: []string{"s1"}}, "nil network"},
+		{"no deregister", Config{Shards: []string{"s1"}, Network: registerlessNet{}}, "Deregisterer"},
+		{"empty shard", Config{Shards: []string{"s1", ""}, Network: net}, "empty shard"},
+		{"dup shard", Config{Shards: []string{"s1", "s1"}, Network: net}, "duplicate shard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestClusterControlPlane(t *testing.T) {
+	net := transport.NewMemory()
+	tracer := obs.NewTracer(1024)
+	cl, err := New(Config{
+		Name:    "vc",
+		Shards:  []string{"s1", "s2", "s3"},
+		Network: net,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admit ten tasks; placement must match the ring's verdict.
+	const tasks = 10
+	for i := 0; i < tasks; i++ {
+		name := fmt.Sprintf("task-%d", i)
+		m1, m2 := name+"/m1", name+"/m2"
+		sinkNet(t, net, m1, m2)
+		shard, err := cl.Admit(testSpec(name, m1, m2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, ok := cl.Owner(name); !ok || owner != shard {
+			t.Errorf("Owner(%s) = %q/%v, want %q", name, owner, ok, shard)
+		}
+	}
+	if _, err := cl.Admit(testSpec("task-0", "task-0/m1")); err == nil {
+		t.Error("duplicate admission succeeded")
+	}
+	if _, err := cl.Admit(TaskSpec{}); err == nil {
+		t.Error("admission of empty task name succeeded")
+	}
+
+	infos := cl.Tasks()
+	if len(infos) != tasks {
+		t.Fatalf("Tasks lists %d entries, want %d", len(infos), tasks)
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Spec.Name >= infos[i].Spec.Name {
+			t.Fatalf("Tasks not in name order: %q before %q", infos[i-1].Spec.Name, infos[i].Spec.Name)
+		}
+	}
+	var placed int
+	for _, si := range cl.Shards() {
+		placed += si.Tasks
+		if !si.Ready {
+			t.Errorf("shard %s not ready", si.ID)
+		}
+	}
+	if placed != tasks {
+		t.Errorf("shard task counts sum to %d, want %d", placed, tasks)
+	}
+
+	// A shard joins: only tasks whose ring placement moved may change
+	// owner, and they land on the newcomer.
+	before := make(map[string]string, tasks)
+	for _, ti := range cl.Tasks() {
+		before[ti.Spec.Name] = ti.Shard
+	}
+	epoch := cl.RingEpoch()
+	if err := cl.AddShard("s4"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.RingEpoch() != epoch+1 {
+		t.Errorf("RingEpoch = %d after join, want %d", cl.RingEpoch(), epoch+1)
+	}
+	var movedIn int
+	for _, ti := range cl.Tasks() {
+		if ti.Shard != before[ti.Spec.Name] {
+			if ti.Shard != "s4" {
+				t.Errorf("task %s moved %q→%q on join of s4", ti.Spec.Name, before[ti.Spec.Name], ti.Shard)
+			}
+			movedIn++
+		}
+	}
+	st := cl.Stats()
+	if st.ShardJoins != 1 || st.Handoffs != uint64(movedIn) || st.Rebuilds != 1 {
+		t.Errorf("stats after join = %+v, want 1 join, %d handoffs, 1 rebuild", st, movedIn)
+	}
+
+	// The shard leaves again: its tasks return to their previous owners
+	// (same ring as before the join), nothing else moves.
+	if err := cl.RemoveShard("s4"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ti := range cl.Tasks() {
+		if ti.Shard != before[ti.Spec.Name] {
+			t.Errorf("task %s on %q after leave, want back on %q", ti.Spec.Name, ti.Shard, before[ti.Spec.Name])
+		}
+	}
+	if st := cl.Stats(); st.ShardLeaves != 1 {
+		t.Errorf("ShardLeaves = %d, want 1", st.ShardLeaves)
+	}
+
+	// Update rescales the allowance pool, preserving shares.
+	if err := cl.Update("task-0", 120, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.AllowanceState("task-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Err != 0.10 {
+		t.Errorf("allowance after update = %v, want 0.10", snap.Err)
+	}
+	var sum float64
+	for _, e := range snap.Assignments {
+		sum += e
+	}
+	if math.Abs(sum-0.10) > 1e-12 {
+		t.Errorf("assignments sum %v after update, want rescaled to 0.10", sum)
+	}
+	if err := cl.Update("task-0", math.NaN(), 0.1); err == nil {
+		t.Error("update with NaN threshold succeeded")
+	}
+	if err := cl.Update("task-0", 100, 1.5); err == nil {
+		t.Error("update with allowance > 1 succeeded")
+	}
+	if err := cl.Update("no-such", 100, 0.05); err == nil {
+		t.Error("update of unknown task succeeded")
+	}
+
+	// Evict releases the coordinator address for re-admission.
+	if err := cl.Evict("task-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Evict("task-0"); err == nil {
+		t.Error("double eviction succeeded")
+	}
+	if _, err := cl.Admit(testSpec("task-0", "task-0/m1", "task-0/m2")); err != nil {
+		t.Errorf("re-admission after eviction failed: %v", err)
+	}
+
+	// The last shard cannot drop while tasks remain.
+	if err := cl.RemoveShard("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveShard("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveShard("s3"); err == nil {
+		t.Error("dropped the last shard with tasks admitted")
+	}
+	if err := cl.CrashShard("s3"); err == nil {
+		t.Error("crashed the last shard with tasks admitted")
+	}
+	if err := cl.RemoveShard("sX"); err == nil {
+		t.Error("removed unknown shard")
+	}
+
+	// Lifecycle trace: every control-plane transition left its event.
+	for _, tc := range []struct {
+		typ  obs.EventType
+		min  uint64
+		name string
+	}{
+		{obs.EventTaskAdmit, tasks + 1, "task-admit"},
+		{obs.EventTaskEvict, 1, "task-evict"},
+		{obs.EventTaskUpdate, 1, "task-update"},
+		{obs.EventShardJoin, 1, "shard-join"},
+		{obs.EventShardLeave, 3, "shard-leave"},
+		{obs.EventRingRebuild, 4, "ring-rebuild"},
+	} {
+		if got := tracer.TypeCount(tc.typ); got < tc.min {
+			t.Errorf("trace %s count = %d, want >= %d", tc.name, got, tc.min)
+		}
+	}
+}
+
+// TestClusterCrashHandoff is the acceptance scenario: a three-shard
+// cluster admits a task at runtime, a monitor dies so the carried
+// allowance state is non-trivial (a reclamation on the books), the owning
+// shard is killed mid-run, and the task resumes on its new owner with the
+// allowance state intact — the dead monitor's debt survives the handoff,
+// is repaid on resurrection by the successor, and violation episodes
+// before and after the crash are all detected.
+func TestClusterCrashHandoff(t *testing.T) {
+	const (
+		steps      = 1400
+		errAllow   = 0.05
+		localTh    = 25.0
+		globalTh   = 100.0
+		quietLevel = 10.0
+		spikeLevel = 60.0 // both monitors spiking: 120 > globalTh
+		episodeLen = 30
+		crashStep  = 750
+	)
+	net := transport.NewMemory()
+	tracer := obs.NewTracer(4096)
+
+	type alert struct {
+		task string
+		at   time.Duration
+	}
+	var alerts []alert
+	cl, err := New(Config{
+		Name:    "vc",
+		Shards:  []string{"s1", "s2", "s3"},
+		Network: net,
+		Tracer:  tracer,
+		OnAlert: func(task string, now time.Duration, _ float64) {
+			alerts = append(alerts, alert{task, now})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Violation episodes; none scheduled while m1 is down ([500, 900)),
+	// since a global poll then cannot see past the hidden monitor.
+	episodes := []int{100, 250, 400, 1000, 1150, 1300}
+	step := 0
+	inEpisode := func() bool {
+		for _, e := range episodes {
+			if step >= e && step < e+episodeLen {
+				return true
+			}
+		}
+		return false
+	}
+	agent := monitor.AgentFunc(func() (float64, error) {
+		if inEpisode() {
+			return spikeLevel, nil
+		}
+		return quietLevel, nil
+	})
+
+	// The task is admitted at runtime — the cluster started empty.
+	mons := []string{"cpu/m0", "cpu/m1"}
+	owner, err := cl.Admit(TaskSpec{
+		Name: "cpu", Threshold: globalTh, Err: errAllow,
+		Monitors: mons, UpdatePeriod: 500, DeadAfter: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitors := make([]*monitor.Monitor, len(mons))
+	for i, id := range mons {
+		monitors[i], err = monitor.New(monitor.Config{
+			ID: id, Task: "cpu", Agent: agent,
+			Sampler: core.Config{
+				Threshold: localTh, Err: errAllow / 2, MaxInterval: 10, Patience: 5,
+			},
+			Network: net, Coordinator: cl.CoordinatorAddr("cpu"),
+			YieldEvery: 500, HeartbeatEvery: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// m1 is down from 500 until 900: declared dead around 560, so the
+	// crash at 750 hands over a state with a live reclamation.
+	ticking := []bool{true, true}
+	preCrash := coord.AllowanceState{}
+	for ; step < steps; step++ {
+		switch step {
+		case 500:
+			net.Crash("cpu/m1")
+			ticking[1] = false
+		case crashStep:
+			snap, err := cl.AllowanceState("cpu")
+			if err != nil {
+				t.Fatal(err)
+			}
+			preCrash = snap
+			if err := cl.CrashShard(owner); err != nil {
+				t.Fatal(err)
+			}
+		case 900:
+			net.Restart("cpu/m1")
+			ticking[1] = true
+		}
+		now := time.Duration(step) * time.Second
+		cl.Tick(now)
+		for i, m := range monitors {
+			if !ticking[i] {
+				continue
+			}
+			if _, _, err := m.Tick(now); err != nil {
+				t.Fatalf("step %d: monitor %d: %v", step, i, err)
+			}
+		}
+	}
+
+	// Re-placement: the task left the crashed shard.
+	newOwner, ok := cl.Owner("cpu")
+	if !ok || newOwner == owner {
+		t.Fatalf("owner after crash = %q/%v, want a different shard than %q", newOwner, ok, owner)
+	}
+	if got := cl.Shards(); len(got) != 2 {
+		t.Fatalf("Shards after crash = %v, want 2", got)
+	}
+
+	// The carried state was non-trivial and survived the handoff: m3's
+	// death and reclaimed slice were on the books at the crash.
+	if len(preCrash.Dead) != 1 || preCrash.Dead[0] != "cpu/m1" {
+		t.Fatalf("pre-crash Dead = %v, want [cpu/m1] (the scenario needs a reclamation in flight)", preCrash.Dead)
+	}
+	if math.Abs(preCrash.Reclaimed["cpu/m1"]-errAllow/2) > 1e-12 {
+		t.Fatalf("pre-crash Reclaimed[m1] = %v, want %v", preCrash.Reclaimed["cpu/m1"], errAllow/2)
+	}
+
+	// After m1's resurrection the successor repaid the carried debt.
+	fin, err := cl.AllowanceState("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mons {
+		if math.Abs(fin.Assignments[m]-errAllow/2) > 1e-12 {
+			t.Errorf("final assignment %s = %v, want restored %v", m, fin.Assignments[m], errAllow/2)
+		}
+	}
+	if len(fin.Dead) != 0 || len(fin.Reclaimed) != 0 {
+		t.Errorf("final snapshot Dead=%v Reclaimed=%v, want debt repaid", fin.Dead, fin.Reclaimed)
+	}
+
+	// Detection contract across the crash: every episode alerted.
+	for _, e := range episodes {
+		start, end := time.Duration(e)*time.Second, time.Duration(e+episodeLen)*time.Second
+		detected := false
+		for _, a := range alerts {
+			if a.task == "cpu" && a.at >= start && a.at <= end {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			t.Errorf("episode at step %d undetected (crash at %d)", e, crashStep)
+		}
+	}
+
+	st := cl.Stats()
+	if st.ShardCrashes != 1 || st.Handoffs < 1 {
+		t.Errorf("stats = %+v, want 1 crash and >= 1 handoff", st)
+	}
+	if st.Coord.GlobalAlerts != uint64(len(alerts)) {
+		t.Errorf("aggregated GlobalAlerts = %d, want %d", st.Coord.GlobalAlerts, len(alerts))
+	}
+	if st.Coord.Reclamations < 1 || st.Coord.Restorations < 1 {
+		t.Errorf("aggregated reclaim/restore = %d/%d, want >= 1 each", st.Coord.Reclamations, st.Coord.Restorations)
+	}
+
+	// The trace tells the handoff story: a shard-crash, a rebuild, and the
+	// task's handoff to the new owner.
+	if got := tracer.TypeCount(obs.EventShardCrash); got != 1 {
+		t.Errorf("shard-crash trace count = %d, want 1", got)
+	}
+	var handoff *obs.Event
+	for _, e := range tracer.Events() {
+		if e.Type == obs.EventTaskHandoff && e.Task == "cpu" {
+			e := e
+			handoff = &e
+		}
+	}
+	if handoff == nil {
+		t.Fatal("no task-handoff trace event")
+	}
+	if handoff.Node != owner || handoff.Peer != newOwner {
+		t.Errorf("handoff recorded %q→%q, want %q→%q", handoff.Node, handoff.Peer, owner, newOwner)
+	}
+}

@@ -1,0 +1,184 @@
+// Package cluster is Volley's sharded cluster layer: a consistent-hash
+// placement ring that shards monitoring tasks across coordinator
+// instances, a federation that hosts those coordinators per shard and
+// merges their statistics into cluster-wide views, and a dynamic
+// task-admission control plane (Admit / Evict / Update) so tasks are
+// added, retuned and removed at runtime instead of being frozen at
+// construction.
+//
+// The paper's task-level scheme (Section V) assumes one coordinator owns
+// one task's monitors for the lifetime of the deployment; this package
+// supplies what the paper leaves unspecified for production — who owns
+// which task, what happens when an owner dies, and how tasks enter and
+// leave a running system (DESIGN.md §11).
+package cluster
+
+import (
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per shard. 128 points per
+// shard keeps the per-shard load imbalance of random task keys within a
+// few percent while a full ring rebuild at 64 shards stays under ~10k
+// points — cheap enough to resort on every membership change.
+const DefaultReplicas = 128
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash placement ring with replicated virtual nodes.
+// Placement is deterministic: it depends only on the member set and the
+// key, never on insertion order or map iteration order, and membership
+// changes move only the tasks whose successor point belonged to the shard
+// that changed (the minimal-movement property, proved by FuzzRing).
+//
+// Ring is not safe for concurrent use; Cluster serializes access under its
+// own lock, and read-only callers can copy the membership via Shards.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, shard)
+	members  map[string]bool
+	epoch    uint64
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// shard (values < 1 fall back to DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+// fnv1a hashes s with 64-bit FNV-1a. Hand-rolled so Place allocates
+// nothing (hash/fnv forces a []byte conversion through its Write). Raw
+// FNV has poor avalanche for near-identical keys ("node-0" vs "node-1"
+// differ only in low bits), so every ring position runs it through mix64.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is the murmur3 64-bit finalizer: full-avalanche diffusion so the
+// sequential shard names and replica indices real deployments use spread
+// uniformly over the circle instead of clustering in one band.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// keyHash positions a task key on the circle.
+func keyHash(key string) uint64 { return mix64(fnv1a(key)) }
+
+// vnodeHash derives the position of shard's i-th virtual node by folding
+// the replica index into the shard's own hash — no intermediate string is
+// built.
+func vnodeHash(shard string, i int) uint64 {
+	const golden = 0x9e3779b97f4a7c15 // 2^64/φ, decorrelates replica indices
+	return mix64(fnv1a(shard) ^ (uint64(i)+1)*golden)
+}
+
+// Add inserts a shard, reporting whether membership changed. The epoch
+// advances on every change.
+func (r *Ring) Add(shard string) bool {
+	if shard == "" || r.members[shard] {
+		return false
+	}
+	r.members[shard] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(shard, i), shard: shard})
+	}
+	r.sortPoints()
+	r.epoch++
+	return true
+}
+
+// Remove deletes a shard, reporting whether membership changed.
+func (r *Ring) Remove(shard string) bool {
+	if !r.members[shard] {
+		return false
+	}
+	delete(r.members, shard)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+	r.epoch++
+	return true
+}
+
+// sortPoints orders the circle by (hash, shard); the shard tiebreak makes
+// placement deterministic even across vnode hash collisions between
+// shards.
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Place maps a task key to its owning shard — the shard of the first
+// virtual node at or clockwise of the key's hash, wrapping at the top of
+// the circle. ok is false on an empty ring. Place is allocation-free.
+func (r *Ring) Place(key string) (shard string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	// Binary search for the successor point, open-coded: sort.Search takes
+	// a closure and defeats inlining on this hot path.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap
+	}
+	return r.points[lo].shard, true
+}
+
+// Contains reports whether shard is a ring member.
+func (r *Ring) Contains(shard string) bool { return r.members[shard] }
+
+// Shards lists the member shards in sorted order.
+func (r *Ring) Shards() []string {
+	out := make([]string, 0, len(r.members))
+	for s := range r.members {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member-shard count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Epoch reports the membership version: it starts at 0 and advances by one
+// on every Add or Remove that changed the member set.
+func (r *Ring) Epoch() uint64 { return r.epoch }

@@ -184,11 +184,11 @@ type Coordinator struct {
 	// dead tracks which monitors have been declared dead (and had their
 	// allowance reclaimed); reclaimed remembers how much was taken so a
 	// resurrected monitor gets its slice back.
-	dead      []bool
-	reclaimed []float64
-	poll      pollState
-	now       time.Duration
-	ticks     uint64
+	dead        []bool
+	reclaimed   []float64
+	poll        pollState
+	now         time.Duration
+	ticks       uint64
 	ticksToNext int
 	initialSent bool
 

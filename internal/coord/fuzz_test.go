@@ -33,7 +33,7 @@ func FuzzDistributeWithFloors(f *testing.F) {
 		floors := make(map[string]float64, n)
 		var floorSum float64
 		for i := 0; i < n; i++ {
-			id := string(rune('A' + i%26)) + string(rune('a'+i/26))
+			id := string(rune('A'+i%26)) + string(rune('a'+i/26))
 			switch {
 			case hostile && rng.Intn(4) == 0:
 				yields[id] = [3]float64{math.NaN(), math.Inf(1), -1}[rng.Intn(3)]

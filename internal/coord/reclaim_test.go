@@ -21,10 +21,11 @@ func reclaimConfig(net transport.Network, id string) Config {
 	}
 }
 
-// sumAssignments totals a coordinator's current per-monitor allowances.
+// sumAssignments totals a coordinator's current per-monitor allowances,
+// read through the exported allowance snapshot.
 func sumAssignments(c *Coordinator) float64 {
 	var sum float64
-	for _, e := range c.Assignments() {
+	for _, e := range c.ExportAllowance().Assignments {
 		sum += e
 	}
 	return sum
@@ -55,7 +56,8 @@ func TestDeadMonitorAllowanceReclaimed(t *testing.T) {
 		c.Tick(time.Duration(i) * time.Second)
 	}
 
-	a := c.Assignments()
+	snap := c.ExportAllowance()
+	a := snap.Assignments
 	if a["m3"] != 0 {
 		t.Errorf("dead monitor keeps allowance %v, want 0", a["m3"])
 	}
@@ -65,6 +67,10 @@ func TestDeadMonitorAllowanceReclaimed(t *testing.T) {
 	if sum := sumAssignments(c); math.Abs(sum-0.03) > 1e-12 {
 		t.Errorf("allowance pool %v, want conserved at 0.03", sum)
 	}
+	// The snapshot records the debt owed back on resurrection.
+	if math.Abs(snap.Reclaimed["m3"]-0.01) > 1e-12 {
+		t.Errorf("Reclaimed[m3] = %v, want the reclaimed 0.01", snap.Reclaimed["m3"])
+	}
 	st := c.Stats()
 	if st.Reclamations != 1 {
 		t.Errorf("Reclamations = %d, want 1", st.Reclamations)
@@ -72,8 +78,8 @@ func TestDeadMonitorAllowanceReclaimed(t *testing.T) {
 	if st.Heartbeats == 0 {
 		t.Error("Heartbeats = 0, want > 0")
 	}
-	if dead := c.DeadMonitors(); len(dead) != 1 || dead[0] != "m3" {
-		t.Errorf("DeadMonitors = %v, want [m3]", dead)
+	if dead := snap.Dead; len(dead) != 1 || dead[0] != "m3" {
+		t.Errorf("snapshot Dead = %v, want [m3]", dead)
 	}
 
 	// The reclamation must have been announced: the last assignment m1
@@ -116,10 +122,10 @@ func TestResurrectedMonitorAllowanceRestored(t *testing.T) {
 	}
 	tick(10, "m1", "m2", "m3") // m3 resurrects, slice restored
 
-	a := c.Assignments()
+	snap := c.ExportAllowance()
 	for _, m := range []string{"m1", "m2", "m3"} {
-		if math.Abs(a[m]-0.01) > 1e-12 {
-			t.Errorf("assignment %s = %v, want 0.01 restored", m, a[m])
+		if math.Abs(snap.Assignments[m]-0.01) > 1e-12 {
+			t.Errorf("assignment %s = %v, want 0.01 restored", m, snap.Assignments[m])
 		}
 	}
 	if sum := sumAssignments(c); math.Abs(sum-0.03) > 1e-12 {
@@ -129,8 +135,11 @@ func TestResurrectedMonitorAllowanceRestored(t *testing.T) {
 	if st.Restorations != 1 {
 		t.Errorf("Restorations = %d, want 1", st.Restorations)
 	}
-	if dead := c.DeadMonitors(); len(dead) != 0 {
-		t.Errorf("DeadMonitors = %v, want none", dead)
+	if dead := snap.Dead; len(dead) != 0 {
+		t.Errorf("snapshot Dead = %v, want none", dead)
+	}
+	if len(snap.Reclaimed) != 0 {
+		t.Errorf("snapshot Reclaimed = %v, want the debt cleared", snap.Reclaimed)
 	}
 
 	// The restoration must have been announced to the resurrected monitor.
@@ -156,8 +165,8 @@ func TestReclaimSkippedWithoutSurvivors(t *testing.T) {
 
 	// Conservation over starvation: with nobody to receive it, the
 	// allowance stays where it was.
-	a := c.Assignments()
-	for m, e := range a {
+	snap := c.ExportAllowance()
+	for m, e := range snap.Assignments {
 		if math.Abs(e-0.01) > 1e-12 {
 			t.Errorf("assignment %s = %v, want untouched 0.01", m, e)
 		}
@@ -165,8 +174,11 @@ func TestReclaimSkippedWithoutSurvivors(t *testing.T) {
 	if st := c.Stats(); st.Reclamations != 0 {
 		t.Errorf("Reclamations = %d, want 0 with no live recipients", st.Reclamations)
 	}
-	if dead := c.DeadMonitors(); len(dead) != 3 {
-		t.Errorf("DeadMonitors = %v, want all three", dead)
+	if dead := snap.Dead; len(dead) != 3 {
+		t.Errorf("snapshot Dead = %v, want all three", dead)
+	}
+	if len(snap.Reclaimed) != 0 {
+		t.Errorf("snapshot Reclaimed = %v, want none without recipients", snap.Reclaimed)
 	}
 }
 
@@ -193,7 +205,7 @@ func TestHeartbeatAloneKeepsMonitorAlive(t *testing.T) {
 	if len(alive) != 1 || alive[0] != "m1" {
 		t.Fatalf("AliveMonitors = %v, want [m1]", alive)
 	}
-	a := c.Assignments()
+	a := c.ExportAllowance().Assignments
 	if math.Abs(a["m1"]-0.01) > 1e-12 || a["m2"] != 0 {
 		t.Errorf("assignments = %v, want all 0.01 on m1", a)
 	}
@@ -232,7 +244,7 @@ func TestRebalanceIgnoresDeadMonitorYields(t *testing.T) {
 		c.Tick(time.Duration(i) * time.Second)
 	}
 
-	if a := c.Assignments(); a["m3"] != 0 {
+	if a := c.ExportAllowance().Assignments; a["m3"] != 0 {
 		t.Errorf("dead monitor's stale yield attracted allowance %v", a["m3"])
 	}
 	if sum := sumAssignments(c); sum > 0.03+1e-12 {

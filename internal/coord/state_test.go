@@ -1,0 +1,145 @@
+package coord
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"volley/internal/transport"
+)
+
+// TestAllowanceExportImportRoundTrip hands a coordinator's allowance state
+// to a successor (same task, same monitor set, different address) and
+// verifies the successor resumes exactly: assignments, reclaimed slices,
+// liveness verdicts and the clock position all carry over, and the imported
+// assignments are re-announced on the successor's first tick.
+func TestAllowanceExportImportRoundTrip(t *testing.T) {
+	net := transport.NewMemory()
+	sinks := registerSink(t, net, "m1", "m2", "m3")
+	src, err := New(reclaimConfig(net, "coord-src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// m1/m2 heartbeat, m3 dies: the source ends with a reclamation on the
+	// books and a skewed assignment table.
+	for i := 0; i < 50; i++ {
+		if i%5 == 0 {
+			heartbeat(t, net, "m1", "coord-src")
+			heartbeat(t, net, "m2", "coord-src")
+		}
+		src.Tick(time.Duration(i) * time.Second)
+	}
+	st := src.ExportAllowance()
+	if st.Task != "t" || st.Err != 0.03 {
+		t.Fatalf("snapshot header = %q/%v, want t/0.03", st.Task, st.Err)
+	}
+	if len(st.Dead) != 1 || st.Dead[0] != "m3" {
+		t.Fatalf("snapshot Dead = %v, want [m3]", st.Dead)
+	}
+	if math.Abs(st.Reclaimed["m3"]-0.01) > 1e-12 {
+		t.Fatalf("snapshot Reclaimed[m3] = %v, want 0.01", st.Reclaimed["m3"])
+	}
+	if st.Ticks != 50 {
+		t.Fatalf("snapshot Ticks = %d, want 50", st.Ticks)
+	}
+
+	dst, err := New(reclaimConfig(net, "coord-dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportAllowance(st); err != nil {
+		t.Fatal(err)
+	}
+
+	got := dst.ExportAllowance()
+	for m, e := range st.Assignments {
+		if math.Abs(got.Assignments[m]-e) > 1e-12 {
+			t.Errorf("assignment %s = %v after import, want %v", m, got.Assignments[m], e)
+		}
+	}
+	if len(got.Dead) != 1 || got.Dead[0] != "m3" {
+		t.Errorf("Dead after import = %v, want [m3]", got.Dead)
+	}
+	if math.Abs(got.Reclaimed["m3"]-0.01) > 1e-12 {
+		t.Errorf("Reclaimed[m3] after import = %v, want 0.01", got.Reclaimed["m3"])
+	}
+
+	// The successor ticks on from the source's clock: the survivors stay
+	// alive (their lastSeen carried over), and the announced assignments
+	// reach them again.
+	for i := 50; i < 60; i++ {
+		if i%5 == 0 {
+			heartbeat(t, net, "m1", "coord-dst")
+			heartbeat(t, net, "m2", "coord-dst")
+		}
+		dst.Tick(time.Duration(i) * time.Second)
+	}
+	if alive := dst.AliveMonitors(); len(alive) != 2 {
+		t.Errorf("AliveMonitors after import = %v, want m1 m2", alive)
+	}
+	var last float64
+	for _, m := range *sinks["m1"] {
+		if m.Kind == transport.KindErrAssignment && m.From == "coord-dst" {
+			last = m.Err
+		}
+	}
+	if math.Abs(last-0.015) > 1e-12 {
+		t.Errorf("successor re-announced %v to m1, want 0.015", last)
+	}
+
+	// Resurrection against imported state: the reclaimed slice flows back.
+	for i := 60; i < 70; i++ {
+		heartbeat(t, net, "m1", "coord-dst")
+		heartbeat(t, net, "m2", "coord-dst")
+		heartbeat(t, net, "m3", "coord-dst")
+		dst.Tick(time.Duration(i) * time.Second)
+	}
+	fin := dst.ExportAllowance()
+	if math.Abs(fin.Assignments["m3"]-0.01) > 1e-12 {
+		t.Errorf("m3 after resurrection = %v, want restored 0.01", fin.Assignments["m3"])
+	}
+}
+
+func TestImportAllowanceValidation(t *testing.T) {
+	net := transport.NewMemory()
+	registerSink(t, net, "m1", "m2", "m3")
+	c, err := New(reclaimConfig(net, "coord-iv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		st   AllowanceState
+		want string
+	}{
+		{"wrong task", AllowanceState{Task: "other"}, "task"},
+		{"negative clock", AllowanceState{Now: -time.Second}, "clock"},
+		{"unknown monitor", AllowanceState{Assignments: map[string]float64{"mx": 0.01}}, "unknown monitor"},
+		{"NaN assignment", AllowanceState{Assignments: map[string]float64{"m1": math.NaN()}}, "outside"},
+		{"negative assignment", AllowanceState{Assignments: map[string]float64{"m1": -0.01}}, "outside"},
+		{"oversubscribed", AllowanceState{Assignments: map[string]float64{"m1": 0.02, "m2": 0.02}}, "exceeds"},
+		{"unknown reclaim", AllowanceState{Reclaimed: map[string]float64{"mx": 0.01}}, "unknown monitor"},
+		{"negative reclaim", AllowanceState{Reclaimed: map[string]float64{"m1": -1}}, "invalid"},
+		{"unknown dead", AllowanceState{Dead: []string{"mx"}}, "unknown monitor"},
+		{"unknown lastSeen", AllowanceState{LastSeen: map[string]time.Duration{"mx": 0}}, "unknown monitor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := c.ImportAllowance(tc.st)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ImportAllowance = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	// A rejected import must not disturb the current assignments.
+	st := c.ExportAllowance()
+	var sum float64
+	for _, e := range st.Assignments {
+		sum += e
+	}
+	if math.Abs(sum-0.03) > 1e-12 {
+		t.Errorf("assignments disturbed by rejected imports: sum %v, want 0.03", sum)
+	}
+}

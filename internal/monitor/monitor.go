@@ -327,6 +327,19 @@ func (m *Monitor) Interval() int {
 	return m.sampler.Interval()
 }
 
+// SetLocalThreshold retunes the sampler's local threshold at runtime — the
+// monitor-side half of a task update (the coordinator pushes the new error
+// allowance over the wire; local thresholds have no wire message, so the
+// control plane that owns both sides sets them directly).
+func (m *Monitor) SetLocalThreshold(t float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.sampler.SetThreshold(t); err != nil {
+		return fmt.Errorf("monitor %s: %w", m.cfg.ID, err)
+	}
+	return nil
+}
+
 // ErrAllowance reports the sampler's current local error allowance.
 func (m *Monitor) ErrAllowance() float64 {
 	m.mu.Lock()

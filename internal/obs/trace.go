@@ -15,8 +15,9 @@ type EventType uint8
 
 // The event taxonomy, one constant per decision point (DESIGN.md §10):
 // interval adaptation (core.Sampler), violation detection (monitor and
-// coordinator), allowance coordination and liveness (coord), and transport
-// resilience (transport.TCPNode).
+// coordinator), allowance coordination and liveness (coord), transport
+// resilience (transport.TCPNode), and cluster lifecycle — shard membership,
+// ring rebuilds, task admission and handoff (cluster, DESIGN.md §11).
 const (
 	// EventIntervalGrow: a sampler grew its interval after a patience
 	// streak of comfortable misdetection bounds. Bound, Err, Interval set.
@@ -54,10 +55,34 @@ const (
 	// EventDropped: a transport dropped a queued message after exhausting
 	// its delivery attempts.
 	EventDropped
+	// EventShardJoin: a coordinator shard joined the cluster ring. Peer is
+	// the shard.
+	EventShardJoin
+	// EventShardLeave: a shard left the ring gracefully, its tasks handed
+	// off. Peer is the shard.
+	EventShardLeave
+	// EventShardCrash: a shard was lost without a graceful drain; its tasks
+	// were re-placed from the control plane's state. Peer is the shard.
+	EventShardCrash
+	// EventRingRebuild: the placement ring changed membership. Value is the
+	// number of tasks that moved, Interval the new ring epoch.
+	EventRingRebuild
+	// EventTaskAdmit: a task was admitted at runtime. Task is the task,
+	// Peer the owning shard, Err the task-level allowance.
+	EventTaskAdmit
+	// EventTaskEvict: a task was removed at runtime. Task is the task,
+	// Peer the shard that owned it.
+	EventTaskEvict
+	// EventTaskUpdate: a task was retuned (threshold and/or allowance).
+	// Task is the task, Value the new threshold, Err the new allowance.
+	EventTaskUpdate
+	// EventTaskHandoff: a task migrated between shards with its allowance
+	// state. Task is the task, Node the source shard, Peer the destination.
+	EventTaskHandoff
 )
 
 // eventTypeCount sizes per-type counter arrays (index 0 is unused).
-const eventTypeCount = int(EventDropped) + 1
+const eventTypeCount = int(EventTaskHandoff) + 1
 
 var eventTypeNames = [eventTypeCount]string{
 	EventIntervalGrow:     "interval-grow",
@@ -72,6 +97,14 @@ var eventTypeNames = [eventTypeCount]string{
 	EventReconnect:        "reconnect",
 	EventQueueFull:        "queue-full",
 	EventDropped:          "dropped",
+	EventShardJoin:        "shard-join",
+	EventShardLeave:       "shard-leave",
+	EventShardCrash:       "shard-crash",
+	EventRingRebuild:      "ring-rebuild",
+	EventTaskAdmit:        "task-admit",
+	EventTaskEvict:        "task-evict",
+	EventTaskUpdate:       "task-update",
+	EventTaskHandoff:      "task-handoff",
 }
 
 // String implements fmt.Stringer.

@@ -104,6 +104,16 @@ type Network interface {
 	Send(from, to string, msg Message) error
 }
 
+// Deregisterer is the optional Network extension for removing an address so
+// it can be registered again — the primitive behind task handoff in the
+// sharded cluster layer (internal/cluster), where a coordinator address
+// migrates from one shard to another while monitors keep sending to it.
+type Deregisterer interface {
+	// Deregister removes the handler for an address; deregistering an
+	// unknown address is an error.
+	Deregister(addr string) error
+}
+
 // Stats is a snapshot of a network's traffic counters.
 type Stats struct {
 	Sent      uint64
@@ -255,6 +265,19 @@ func (m *Memory) Register(addr string, h Handler) error {
 		return fmt.Errorf("transport: address %q already registered", addr)
 	}
 	m.handlers[addr] = h
+	return nil
+}
+
+// Deregister implements Deregisterer. Messages already accepted for the
+// address may still be delivered (scheduled or held deliveries captured the
+// handler), mirroring how in-flight packets outlive a real endpoint.
+func (m *Memory) Deregister(addr string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handlers[addr]; !ok {
+		return fmt.Errorf("transport: deregister unknown address %q", addr)
+	}
+	delete(m.handlers, addr)
 	return nil
 }
 

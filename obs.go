@@ -76,6 +76,20 @@ const (
 	TraceDropped          = obs.EventDropped
 )
 
+// Cluster-level trace event types: shard lifecycle on the placement ring
+// and the dynamic task control plane (admission, eviction, retuning,
+// handoff between shards).
+const (
+	TraceShardJoin   = obs.EventShardJoin
+	TraceShardLeave  = obs.EventShardLeave
+	TraceShardCrash  = obs.EventShardCrash
+	TraceRingRebuild = obs.EventRingRebuild
+	TraceTaskAdmit   = obs.EventTaskAdmit
+	TraceTaskEvict   = obs.EventTaskEvict
+	TraceTaskUpdate  = obs.EventTaskUpdate
+	TraceTaskHandoff = obs.EventTaskHandoff
+)
+
 // SamplerObs wires metrics instruments and a tracer into a Sampler; pass
 // it to Sampler.Instrument. Unset fields are simply not updated.
 type SamplerObs = core.SamplerObs
