@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-coord bench-cluster examples
+.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster examples
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# The process-level crash/recovery soak: three real volleyd shard
+# processes over TCP, kill -9 the task owner, and require a warm takeover
+# seeded from the replicated allowance snapshot. Writes a recovery-time
+# summary to SOAK_recovery.json.
+soak:
+	VOLLEY_SOAK=1 VOLLEY_SOAK_OUT=$(CURDIR)/SOAK_recovery.json \
+		$(GO) test -race -run TestShardSoakKill9 -v -timeout 90s ./cmd/volleyd
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

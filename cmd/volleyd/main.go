@@ -74,6 +74,14 @@ func main() {
 		duration    = flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
 		stateFile   = flag.String("state", "", "persist sampler state to this file and restore it on start")
 		shards      = flag.Int("shards", 0, "run a sharded monitoring cluster with this many coordinator shards; tasks are admitted over HTTP (see cluster.go)")
+
+		shardID       = flag.String("shard-id", "", "run as one networked cluster shard with this identity; requires -peer-listen (see shard.go)")
+		peerListen    = flag.String("peer-listen", "", "TCP address for inter-shard traffic (beacons + snapshots)")
+		peers         = flag.String("peers", "", `seed peers as "id=host:port,id=host:port"`)
+		beaconEvery   = flag.Int("beacon-every", 2, "gossip beacon period in ticks (shard mode)")
+		suspectAfter  = flag.Int("suspect-after", 8, "ticks of silence before a peer is suspected (shard mode)")
+		deadAfter     = flag.Int("dead-after", 16, "ticks of silence before a peer is declared dead (shard mode)")
+		snapshotEvery = flag.Int("snapshot-every", 5, "allowance snapshot replication period in ticks (shard mode)")
 	)
 	flag.Parse()
 
@@ -93,7 +101,16 @@ func main() {
 		duration:    *duration,
 		stateFile:   *stateFile,
 		shards:      *shards,
-		out:         os.Stdout,
+
+		shardID:       *shardID,
+		peerListen:    *peerListen,
+		peers:         *peers,
+		beaconEvery:   *beaconEvery,
+		suspectAfter:  *suspectAfter,
+		deadAfter:     *deadAfter,
+		snapshotEvery: *snapshotEvery,
+
+		out: os.Stdout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "volleyd:", err)
 		os.Exit(1)
@@ -113,8 +130,19 @@ type options struct {
 	duration    time.Duration
 	stateFile   string
 	shards      int // > 0 switches to cluster mode (cluster.go)
-	out         io.Writer
-	onListen    func(addr string) // test hook: reports the bound address
+
+	// Networked shard mode (shard.go): non-empty shardID switches the
+	// daemon to one cluster shard speaking TCP to its peers.
+	shardID       string
+	peerListen    string
+	peers         string
+	beaconEvery   int
+	suspectAfter  int
+	deadAfter     int
+	snapshotEvery int
+
+	out      io.Writer
+	onListen func(addr string) // test hook: reports the bound address
 }
 
 // event is one JSON log line.
@@ -128,6 +156,9 @@ type event struct {
 }
 
 func run(ctx context.Context, opts options) error {
+	if opts.shardID != "" {
+		return runShard(ctx, opts)
+	}
 	if opts.shards > 0 {
 		return runCluster(ctx, opts)
 	}

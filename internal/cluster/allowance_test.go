@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"volley/internal/coord"
+)
+
+func scaleInput() coord.AllowanceState {
+	return coord.AllowanceState{
+		Task: "t1",
+		Err:  0.1,
+		Assignments: map[string]float64{
+			"m1": 0.06,
+			"m2": 0.04,
+		},
+		Reclaimed: map[string]float64{"m1": 0.01},
+		LastSeen:  map[string]time.Duration{"m1": time.Second, "m2": 2 * time.Second},
+		Dead:      []string{"m2"},
+	}
+}
+
+func TestScaleAllowanceProportional(t *testing.T) {
+	got := scaleAllowance(scaleInput(), 0.1, 0.2, []string{"m1", "m2"})
+	if got.Err != 0.2 {
+		t.Errorf("Err = %v, want 0.2", got.Err)
+	}
+	if math.Abs(got.Assignments["m1"]-0.12) > 1e-12 || math.Abs(got.Assignments["m2"]-0.08) > 1e-12 {
+		t.Errorf("Assignments = %v, want shares preserved at double scale", got.Assignments)
+	}
+	if math.Abs(got.Reclaimed["m1"]-0.02) > 1e-12 {
+		t.Errorf("Reclaimed = %v, want scaled", got.Reclaimed)
+	}
+}
+
+func TestScaleAllowanceZeroAndNegativeTargets(t *testing.T) {
+	for name, to := range map[string]float64{
+		"zero":     0,
+		"negative": -0.5,
+		"nan":      math.NaN(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			got := scaleAllowance(scaleInput(), 0.1, to, []string{"m1", "m2"})
+			if got.Err != 0 {
+				t.Errorf("Err = %v, want clamp to 0", got.Err)
+			}
+			for m, e := range got.Assignments {
+				if e != 0 {
+					t.Errorf("Assignments[%s] = %v, want 0", m, e)
+				}
+			}
+		})
+	}
+}
+
+func TestScaleAllowanceScrubsUnknownMonitors(t *testing.T) {
+	// The spec dropped m2: every trace of it must go, or ImportAllowance
+	// rejects the snapshot (and a stale row would sink allowance into a
+	// monitor that no longer exists).
+	got := scaleAllowance(scaleInput(), 0.1, 0.1, []string{"m1"})
+	if _, ok := got.Assignments["m2"]; ok {
+		t.Error("Assignments kept a monitor the spec no longer names")
+	}
+	if _, ok := got.LastSeen["m2"]; ok {
+		t.Error("LastSeen kept a monitor the spec no longer names")
+	}
+	for _, d := range got.Dead {
+		if d == "m2" {
+			t.Error("Dead kept a monitor the spec no longer names")
+		}
+	}
+	if math.Abs(got.Assignments["m1"]-0.06) > 1e-12 {
+		t.Errorf("Assignments[m1] = %v, want untouched at equal scale", got.Assignments["m1"])
+	}
+}
+
+func TestScaleAllowanceFromZero(t *testing.T) {
+	// From a zero pool there are no shares to preserve: even split.
+	st := coord.AllowanceState{Task: "t1"}
+	got := scaleAllowance(st, 0, 0.1, []string{"m1", "m2"})
+	if math.Abs(got.Assignments["m1"]-0.05) > 1e-12 || math.Abs(got.Assignments["m2"]-0.05) > 1e-12 {
+		t.Errorf("Assignments = %v, want even split of 0.1", got.Assignments)
+	}
+
+	// Degenerate: no monitors at all. Nothing to assign, no division by
+	// zero, no panic.
+	got = scaleAllowance(coord.AllowanceState{Task: "t1"}, 0, 0.1, nil)
+	if len(got.Assignments) != 0 {
+		t.Errorf("Assignments with no monitors = %v, want empty", got.Assignments)
+	}
+}

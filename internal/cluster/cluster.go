@@ -38,6 +38,17 @@ type Config struct {
 	// OnAlert receives every confirmed global violation, tagged with the
 	// task. Optional.
 	OnAlert AlertFunc
+	// Snapshots, when set, switches CrashShard to the federated failure
+	// model: a crashed shard's coordinator state is treated as lost with
+	// the process, and each re-placed task resumes from the freshest
+	// replicated snapshot held in the store — or cold-starts with default
+	// allowance when none is held, traced as cluster.cold_start and
+	// counted in volley_cluster_cold_starts_total, so silent allowance
+	// loss is always visible. Graceful moves (AddShard, RemoveShard) still
+	// carry live state. Nil keeps the co-hosted behavior where even crash
+	// handoffs carry live allowance (every shard's coordinator state lives
+	// in this process).
+	Snapshots *SnapshotStore
 	// Metrics registers the cluster's live views (ring epoch, shard and
 	// task counts, per-shard task gauges, lifecycle counters, aggregated
 	// coordinator activity). Optional.
@@ -149,6 +160,8 @@ type Cluster struct {
 	shardJoins   *obs.Counter
 	shardLeaves  *obs.Counter
 	shardCrashes *obs.Counter
+	coldStarts   *obs.Counter
+	recoveries   *obs.Counter
 }
 
 // New validates cfg and builds a cluster with the initial shards on the
@@ -191,6 +204,10 @@ func New(cfg Config) (*Cluster, error) {
 	cl.shardJoins = m.Counter("volley_cluster_shard_joins_total", "Shards that joined the ring.")
 	cl.shardLeaves = m.Counter("volley_cluster_shard_leaves_total", "Shards that left the ring gracefully.")
 	cl.shardCrashes = m.Counter("volley_cluster_shard_crashes_total", "Shards lost without a graceful drain.")
+	cl.coldStarts = m.Counter("volley_cluster_cold_starts_total",
+		"Tasks re-placed after a crash with no replicated snapshot: learned allowance state was lost.")
+	cl.recoveries = m.Counter("volley_cluster_recoveries_total",
+		"Tasks re-placed after a crash warm from a replicated snapshot.")
 	if m != nil {
 		m.GaugeFunc("volley_cluster_ring_epoch", "Placement-ring membership version.",
 			func() float64 { return float64(cl.RingEpoch()) })
@@ -361,8 +378,45 @@ func (cl *Cluster) Update(name string, threshold, errAllow float64) error {
 
 // scaleAllowance rescales a snapshot from one task-level allowance to
 // another, preserving each monitor's share of the pool; from zero
-// allowance it falls back to an even split.
+// allowance it falls back to an even split. The snapshot is also scrubbed
+// against the spec's monitor list: rows for monitors the spec no longer
+// names are dropped (ImportAllowance rejects unknown monitors, and a
+// stale row must not sink allowance into a monitor that no longer
+// exists). A non-positive (or NaN) target clamps to zero — every monitor
+// gets nothing, rather than negative allowance that would break the
+// coordinator's invariants.
 func scaleAllowance(st coord.AllowanceState, from, to float64, monitors []string) coord.AllowanceState {
+	if math.IsNaN(to) || to < 0 {
+		to = 0
+	}
+	known := make(map[string]bool, len(monitors))
+	for _, m := range monitors {
+		known[m] = true
+	}
+	for m := range st.Assignments {
+		if !known[m] {
+			delete(st.Assignments, m)
+		}
+	}
+	for m := range st.Reclaimed {
+		if !known[m] {
+			delete(st.Reclaimed, m)
+		}
+	}
+	for m := range st.LastSeen {
+		if !known[m] {
+			delete(st.LastSeen, m)
+		}
+	}
+	if len(st.Dead) > 0 {
+		dead := st.Dead[:0]
+		for _, m := range st.Dead {
+			if known[m] {
+				dead = append(dead, m)
+			}
+		}
+		st.Dead = dead
+	}
 	if from > 0 {
 		f := to / from
 		for m, e := range st.Assignments {
@@ -372,7 +426,13 @@ func scaleAllowance(st coord.AllowanceState, from, to float64, monitors []string
 			st.Reclaimed[m] = r * f
 		}
 	} else {
-		even := to / float64(len(monitors))
+		if st.Assignments == nil {
+			st.Assignments = make(map[string]float64, len(monitors))
+		}
+		even := 0.0
+		if len(monitors) > 0 {
+			even = to / float64(len(monitors))
+		}
 		for _, m := range monitors {
 			st.Assignments[m] = even
 		}
@@ -388,6 +448,19 @@ func scaleAllowance(st coord.AllowanceState, from, to float64, monitors []string
 // messages, which the protocol already tolerates (polls expire, yield
 // reports repeat). Caller holds cl.mu.
 func (cl *Cluster) replaceCoordinatorLocked(t *task, spec TaskSpec, st coord.AllowanceState) error {
+	if err := cl.rebuildCoordinatorLocked(t, spec); err != nil {
+		return err
+	}
+	if err := t.c.ImportAllowance(st); err != nil {
+		return fmt.Errorf("import allowance: %w", err)
+	}
+	return nil
+}
+
+// rebuildCoordinatorLocked swaps a task's coordinator for a fresh one
+// built from spec without importing any state — the cold-start path, and
+// the shared first half of replaceCoordinatorLocked. Caller holds cl.mu.
+func (cl *Cluster) rebuildCoordinatorLocked(t *task, spec TaskSpec) error {
 	if err := cl.dereg.Deregister(cl.CoordinatorAddr(spec.Name)); err != nil {
 		return err
 	}
@@ -400,9 +473,6 @@ func (cl *Cluster) replaceCoordinatorLocked(t *task, spec TaskSpec, st coord.All
 		delete(cl.tasks, spec.Name)
 		cl.rebuildOrderLocked()
 		return fmt.Errorf("rebuild coordinator: %w", err)
-	}
-	if err := c.ImportAllowance(st); err != nil {
-		return fmt.Errorf("import allowance: %w", err)
 	}
 	t.spec = spec
 	t.c = c
@@ -425,7 +495,7 @@ func (cl *Cluster) AddShard(id string) error {
 	cl.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventShardJoin, Node: cl.cfg.Name, Time: cl.now, Peer: id,
 	})
-	return cl.rebalanceTasksLocked()
+	return cl.rebalanceTasksLocked("")
 }
 
 // RemoveShard drains a shard gracefully: it leaves the ring and its tasks
@@ -441,7 +511,7 @@ func (cl *Cluster) RemoveShard(id string) error {
 	cl.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventShardLeave, Node: cl.cfg.Name, Time: cl.now, Peer: id,
 	})
-	return cl.rebalanceTasksLocked()
+	return cl.rebalanceTasksLocked("")
 }
 
 // CrashShard records a shard lost without a graceful drain and re-places
@@ -459,7 +529,7 @@ func (cl *Cluster) CrashShard(id string) error {
 	cl.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventShardCrash, Node: cl.cfg.Name, Time: cl.now, Peer: id,
 	})
-	return cl.rebalanceTasksLocked()
+	return cl.rebalanceTasksLocked(id)
 }
 
 // dropShardLocked removes a shard from the ring after the safety checks
@@ -477,8 +547,13 @@ func (cl *Cluster) dropShardLocked(id string) error {
 
 // rebalanceTasksLocked re-places every task after a ring change, handing
 // off the ones whose owner moved. Tasks are visited in name order so the
-// handoff sequence is deterministic. Caller holds cl.mu.
-func (cl *Cluster) rebalanceTasksLocked() error {
+// handoff sequence is deterministic. crashed names the shard whose state
+// died with it (CrashShard passes its ID; graceful moves pass ""): with a
+// snapshot store configured, tasks leaving a crashed shard resume from
+// the store instead of live state — warm from the freshest replicated
+// snapshot, or cold (traced, counted) when the store holds none. Caller
+// holds cl.mu.
+func (cl *Cluster) rebalanceTasksLocked(crashed string) error {
 	var moved float64
 	var firstErr error
 	for _, t := range cl.order {
@@ -486,8 +561,13 @@ func (cl *Cluster) rebalanceTasksLocked() error {
 		if !ok || newShard == t.shard {
 			continue
 		}
-		st := t.c.ExportAllowance()
-		if err := cl.replaceCoordinatorLocked(t, t.spec, st); err != nil {
+		var err error
+		if crashed != "" && t.shard == crashed && cl.cfg.Snapshots != nil {
+			err = cl.recoverTaskLocked(t, crashed)
+		} else {
+			err = cl.replaceCoordinatorLocked(t, t.spec, t.c.ExportAllowance())
+		}
+		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster %s: handoff %q: %w", cl.cfg.Name, t.spec.Name, err)
 			}
@@ -508,6 +588,70 @@ func (cl *Cluster) rebalanceTasksLocked() error {
 		Value: moved, Interval: int(cl.ring.Epoch()),
 	})
 	return firstErr
+}
+
+// recoverTaskLocked rebuilds a task's coordinator after its shard
+// crashed, seeding it from the snapshot store: warm from the freshest
+// replicated snapshot when one is held and importable, cold otherwise —
+// the cold path rebuilds with default (even) allowance and makes the loss
+// loud with a cluster.cold_start trace naming the task plus the
+// volley_cluster_cold_starts_total counter. Caller holds cl.mu.
+func (cl *Cluster) recoverTaskLocked(t *task, crashed string) error {
+	name := t.spec.Name
+	if entry, ok := cl.cfg.Snapshots.Get(name); ok {
+		if err := cl.replaceCoordinatorLocked(t, t.spec, entry.State); err == nil {
+			cl.recoveries.Inc()
+			cl.cfg.Tracer.Record(obs.Event{
+				Type: obs.EventRecovery, Node: cl.cfg.Name, Task: name,
+				Time: cl.now, Peer: crashed, Value: float64(entry.Epoch),
+			})
+			return nil
+		}
+		// The held snapshot did not import (e.g. a monitor-set change since
+		// it was taken); fall through to a cold start rather than fail the
+		// rebalance. replaceCoordinatorLocked only leaves the task dropped
+		// when the rebuild itself failed, which the cold path would repeat.
+		if _, still := cl.tasks[name]; !still {
+			return fmt.Errorf("rebuild coordinator for %q", name)
+		}
+	}
+	if err := cl.rebuildCoordinatorLocked(t, t.spec); err != nil {
+		return err
+	}
+	cl.coldStarts.Inc()
+	cl.cfg.Tracer.Record(obs.Event{
+		Type: obs.EventColdStart, Node: cl.cfg.Name, Task: name,
+		Time: cl.now, Peer: crashed,
+	})
+	return nil
+}
+
+// ReplicateTask exports a task's allowance snapshot through the frame
+// codec into the configured snapshot store — the in-process stand-in for
+// the networked replicator's periodic ship, used by tests and by
+// deployments that checkpoint on a timer.
+func (cl *Cluster) ReplicateTask(name string) error {
+	cl.mu.Lock()
+	t, ok := cl.tasks[name]
+	store := cl.cfg.Snapshots
+	now := cl.now
+	shard := ""
+	if ok {
+		shard = t.shard
+	}
+	cl.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster %s: unknown task %q", cl.cfg.Name, name)
+	}
+	if store == nil {
+		return fmt.Errorf("cluster %s: no snapshot store configured", cl.cfg.Name)
+	}
+	frame, err := EncodeSnapshot(t.c.ExportAllowance())
+	if err != nil {
+		return err
+	}
+	_, err = store.Put(shard, now, frame)
+	return err
 }
 
 // Tick advances every task coordinator one default interval, in

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// tickTo drives m once per second up to the given tick, returning whether
+// any tick reported a change.
+func tickTo(m *Membership, from, to int) bool {
+	changed := false
+	for i := from; i <= to; i++ {
+		if _, c := m.Tick(time.Duration(i) * time.Second); c {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func stateOf(m *Membership, id string) (MemberState, bool) {
+	for _, r := range m.Members() {
+		if r.ID == id {
+			return r.State, true
+		}
+	}
+	return 0, false
+}
+
+func TestMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(MembershipConfig{}); err == nil {
+		t.Error("NewMembership with no self ID succeeded")
+	}
+	if _, err := NewMembership(MembershipConfig{
+		Self: Member{ID: "a"}, SuspectAfter: 5, DeadAfter: 5,
+	}); err == nil {
+		t.Error("NewMembership with DeadAfter == SuspectAfter succeeded")
+	}
+}
+
+func TestMembershipSuspectThenDead(t *testing.T) {
+	m, err := NewMembership(MembershipConfig{
+		Self:         Member{ID: "a", Addr: "a"},
+		Seeds:        []Member{{ID: "b", Addr: "b"}},
+		SuspectAfter: 3,
+		DeadAfter:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the suspicion horizon: still alive, still on the ring.
+	tickTo(m, 1, 3)
+	if st, _ := stateOf(m, "b"); st != MemberAlive {
+		t.Fatalf("b at 3 ticks of silence = %v, want alive", st)
+	}
+
+	// Past the suspicion horizon: suspect, but it keeps its ring segment.
+	tickTo(m, 4, 4)
+	if st, _ := stateOf(m, "b"); st != MemberSuspect {
+		t.Fatalf("b at 4 ticks of silence = %v, want suspect", st)
+	}
+	if got := m.RingMembers(); len(got) != 2 {
+		t.Errorf("RingMembers with a suspect = %v, want both members", got)
+	}
+
+	// Past the liveness horizon: dead and off the ring.
+	tickTo(m, 5, 7)
+	if st, _ := stateOf(m, "b"); st != MemberDead {
+		t.Fatalf("b at 7 ticks of silence = %v, want dead", st)
+	}
+	if got := m.RingMembers(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("RingMembers with b dead = %v, want [a]", got)
+	}
+
+	// The tombstone persists: a stale alive claim at the old incarnation
+	// cannot resurrect it.
+	m.Observe("c", []Member{{ID: "b", Addr: "b", Incarnation: 0, State: MemberAlive}})
+	if st, _ := stateOf(m, "b"); st != MemberDead {
+		t.Error("stale alive claim resurrected a dead tombstone")
+	}
+}
+
+func TestMembershipRefutation(t *testing.T) {
+	m, err := NewMembership(MembershipConfig{Self: Member{ID: "a", Addr: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := m.Self().Incarnation; inc != 0 {
+		t.Fatalf("initial incarnation = %d, want 0", inc)
+	}
+
+	// A suspect claim about self at the current incarnation is refuted by
+	// advancing past it.
+	m.Observe("b", []Member{{ID: "a", Incarnation: 0, State: MemberSuspect}})
+	if inc := m.Self().Incarnation; inc != 1 {
+		t.Fatalf("incarnation after refuting suspect@0 = %d, want 1", inc)
+	}
+
+	// Any claim at a higher incarnation — the artifact of a previous run of
+	// this identity — is overtaken, even an alive one.
+	m.Observe("b", []Member{{ID: "a", Incarnation: 5, State: MemberAlive}})
+	if inc := m.Self().Incarnation; inc != 6 {
+		t.Fatalf("incarnation after seeing alive@5 = %d, want 6", inc)
+	}
+
+	// An alive claim at a lower incarnation is stale gossip; no bump.
+	m.Observe("b", []Member{{ID: "a", Incarnation: 2, State: MemberAlive}})
+	if inc := m.Self().Incarnation; inc != 6 {
+		t.Fatalf("incarnation after stale alive@2 = %d, want 6", inc)
+	}
+}
+
+func TestMembershipRejoin(t *testing.T) {
+	m, err := NewMembership(MembershipConfig{
+		Self:         Member{ID: "a", Addr: "a"},
+		Seeds:        []Member{{ID: "b", Addr: "b"}},
+		SuspectAfter: 2,
+		DeadAfter:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickTo(m, 1, 5)
+	if st, _ := stateOf(m, "b"); st != MemberDead {
+		t.Fatalf("b not dead after silence, state %v", st)
+	}
+
+	// A beacon from b itself is direct evidence, strong enough to
+	// resurrect the dead record (a false positive that kept running).
+	if changed := m.Observe("b", nil); !changed {
+		t.Error("Observe(direct beacon from dead peer) reported no change")
+	}
+	if st, _ := stateOf(m, "b"); st != MemberAlive {
+		t.Fatalf("b after direct beacon = %v, want alive", st)
+	}
+	if got := m.RingMembers(); len(got) != 2 {
+		t.Errorf("RingMembers after rejoin = %v, want both members", got)
+	}
+
+	// The silence clock restarted: b stays alive for a fresh horizon.
+	tickTo(m, 6, 7)
+	if st, _ := stateOf(m, "b"); st != MemberAlive {
+		t.Errorf("b re-suspected immediately after rejoin, state %v", st)
+	}
+}
+
+func TestMembershipDigestConvergence(t *testing.T) {
+	newM := func(self string, peer string) *Membership {
+		m, err := NewMembership(MembershipConfig{
+			Self:  Member{ID: self, Addr: self},
+			Seeds: []Member{{ID: peer, Addr: peer}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ma := newM("a", "b")
+	mb := newM("b", "a")
+
+	// Desynchronize: a refutes a suspect claim, bumping its incarnation.
+	// b still believes a@0, so the digests disagree.
+	ma.Observe("b", []Member{{ID: "a", Incarnation: 0, State: MemberSuspect}})
+	if ma.Digest() == mb.Digest() {
+		t.Fatal("digests agree while incarnation views diverge")
+	}
+
+	// One full exchange converges the views with no coordination.
+	mb.Observe("a", ma.Members())
+	ma.Observe("b", mb.Members())
+	if ma.Digest() != mb.Digest() {
+		t.Errorf("digests diverge after exchange: a=%016x b=%016x", ma.Digest(), mb.Digest())
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"volley/internal/obs"
+)
+
+// Replication cadence defaults, in ticks of the driving loop.
+const (
+	// DefaultSnapshotEvery is the base period between fresh snapshot ships
+	// per owned task.
+	DefaultSnapshotEvery = 10
+	// DefaultRetryAfter is how many ticks an unacked frame waits before
+	// its first resend; the wait doubles per attempt.
+	DefaultRetryAfter = 2
+	// DefaultMaxAttempts is the total delivery attempts per frame before
+	// the replicator gives up on it.
+	DefaultMaxAttempts = 4
+)
+
+// ReplicatorConfig parameterizes a Replicator.
+type ReplicatorConfig struct {
+	// Node labels traces with the owning shard's identity.
+	Node string
+	// SnapshotEvery is the base tick period between fresh ships per task;
+	// each task's schedule is staggered by its name hash so a shard owning
+	// many tasks spreads frames over the period instead of bursting. Zero
+	// means DefaultSnapshotEvery.
+	SnapshotEvery int
+	// RetryAfter is the tick delay before an unacked frame's first resend,
+	// doubling on each further attempt. Zero means DefaultRetryAfter.
+	RetryAfter int
+	// MaxAttempts is the total delivery attempts per frame. Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// Metrics registers replication counters. Optional.
+	Metrics *obs.Registry
+	// Tracer records ship/abandon events. Optional.
+	Tracer *obs.Tracer
+}
+
+// Pending is one shipped-but-unacknowledged snapshot frame.
+type Pending struct {
+	// Task names the task the frame belongs to.
+	Task string
+	// To is the ring-successor shard the frame was shipped to.
+	To string
+	// Addr is the successor's transport address at ship time. Resends go
+	// to the same address; if the successor died meanwhile the frame is
+	// eventually abandoned and the next fresh ship re-routes.
+	Addr string
+	// Epoch is the frame's snapshot epoch.
+	Epoch uint64
+	// Frame is the encoded snapshot.
+	Frame []byte
+
+	attempts int
+	nextSend uint64
+}
+
+// replSchedule is the per-task cadence state.
+type replSchedule struct {
+	nextShip uint64
+}
+
+// Replicator schedules allowance-snapshot replication for a shard's owned
+// tasks: per-task staggered cadence, one in-flight frame per task with
+// bounded exponential-backoff retries, and abandonment (traced and
+// counted) when a frame exhausts its attempts. It holds no transport —
+// Node asks it what is due and performs the sends.
+//
+// Replicator is NOT safe for concurrent use; Node serializes access under
+// its own lock.
+type Replicator struct {
+	cfg ReplicatorConfig
+
+	shipped   *obs.Counter
+	retries   *obs.Counter
+	acks      *obs.Counter
+	abandoned *obs.Counter
+
+	tasks   map[string]*replSchedule
+	pending map[string]*Pending
+}
+
+// NewReplicator builds an idle replicator.
+func NewReplicator(cfg ReplicatorConfig) *Replicator {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	r := &Replicator{
+		cfg:     cfg,
+		tasks:   make(map[string]*replSchedule),
+		pending: make(map[string]*Pending),
+	}
+	m := cfg.Metrics
+	r.shipped = m.Counter("volley_cluster_snapshots_shipped_total",
+		"Fresh allowance snapshots shipped to ring successors.")
+	r.retries = m.Counter("volley_cluster_snapshot_retries_total",
+		"Unacked snapshot frames resent.")
+	r.acks = m.Counter("volley_cluster_snapshot_acks_total",
+		"Snapshot frames acknowledged by their successor.")
+	r.abandoned = m.Counter("volley_cluster_snapshots_abandoned_total",
+		"Snapshot frames given up on after exhausting delivery attempts.")
+	return r
+}
+
+// Track starts scheduling a task, with its first ship staggered inside the
+// snapshot period by the task's name hash. Tracking an already-tracked
+// task is a no-op.
+func (r *Replicator) Track(task string, tick uint64) {
+	if _, ok := r.tasks[task]; ok {
+		return
+	}
+	stagger := keyHash(task) % uint64(r.cfg.SnapshotEvery)
+	r.tasks[task] = &replSchedule{nextShip: tick + 1 + stagger}
+}
+
+// Untrack stops scheduling a task and drops any in-flight frame for it.
+func (r *Replicator) Untrack(task string) {
+	delete(r.tasks, task)
+	delete(r.pending, task)
+}
+
+// Due returns the tasks due a fresh snapshot ship at the given tick,
+// sorted for determinism. A task with a frame still in flight is held
+// back — one in-flight frame per task — but its schedule keeps its slot,
+// so it is due again as soon as the frame is acked or abandoned.
+func (r *Replicator) Due(tick uint64) []string {
+	var due []string
+	for task, s := range r.tasks {
+		if s.nextShip > tick {
+			continue
+		}
+		if _, inflight := r.pending[task]; inflight {
+			continue
+		}
+		due = append(due, task)
+	}
+	sort.Strings(due)
+	return due
+}
+
+// Shipped records that a fresh frame for a task went out, arming the retry
+// timer and advancing the task's cadence.
+func (r *Replicator) Shipped(task, to, addr string, epoch uint64, frame []byte, tick uint64, now time.Duration) {
+	if s, ok := r.tasks[task]; ok {
+		s.nextShip = tick + uint64(r.cfg.SnapshotEvery)
+	}
+	r.pending[task] = &Pending{
+		Task: task, To: to, Addr: addr, Epoch: epoch, Frame: frame,
+		attempts: 1,
+		nextSend: tick + uint64(r.cfg.RetryAfter),
+	}
+	r.shipped.Inc()
+	r.cfg.Tracer.Record(obs.Event{
+		Time: now, Type: obs.EventSnapshotShip,
+		Node: r.cfg.Node, Task: task, Peer: to, Value: float64(epoch),
+	})
+}
+
+// Ack clears the in-flight frame for a task if the acked epoch covers it
+// (acks for older epochs are ignored). It reports whether a frame was
+// cleared.
+func (r *Replicator) Ack(task string, epoch uint64) bool {
+	p, ok := r.pending[task]
+	if !ok || epoch < p.Epoch {
+		return false
+	}
+	delete(r.pending, task)
+	r.acks.Inc()
+	return true
+}
+
+// Resend returns the in-flight frames whose retry timer expired at the
+// given tick, bumping their attempt counts and doubling their backoff.
+// Frames that exhausted MaxAttempts are dropped, traced and counted as
+// abandoned instead of returned.
+func (r *Replicator) Resend(tick uint64, now time.Duration) []*Pending {
+	var out []*Pending
+	var tasks []string
+	for task := range r.pending {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks)
+	for _, task := range tasks {
+		p := r.pending[task]
+		if p.nextSend > tick {
+			continue
+		}
+		if p.attempts >= r.cfg.MaxAttempts {
+			delete(r.pending, task)
+			r.abandoned.Inc()
+			r.cfg.Tracer.Record(obs.Event{
+				Time: now, Type: obs.EventSnapshotAbandon,
+				Node: r.cfg.Node, Task: task, Peer: p.To, Value: float64(p.Epoch),
+			})
+			continue
+		}
+		p.attempts++
+		p.nextSend = tick + uint64(r.cfg.RetryAfter)<<(p.attempts-1)
+		r.retries.Inc()
+		out = append(out, p)
+	}
+	return out
+}
+
+// InFlight reports how many frames await acknowledgement.
+func (r *Replicator) InFlight() int { return len(r.pending) }

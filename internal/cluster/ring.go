@@ -163,6 +163,39 @@ func (r *Ring) Place(key string) (shard string, ok bool) {
 	return r.points[lo].shard, true
 }
 
+// Successor maps a task key to the first shard clockwise of the key's
+// hash that is not skip — the shard that would own the key if skip left
+// the ring. By the minimal-movement property this equals Place after
+// Remove(skip), without mutating the ring; the replication layer uses it
+// to pick where a task's owner ships its allowance snapshots, so the
+// shard that inherits the task after a crash is the shard holding its
+// freshest state. ok is false when the ring holds no shard other than
+// skip.
+func (r *Ring) Successor(key, skip string) (shard string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Walk clockwise past skip's virtual nodes; one full lap means every
+	// point belongs to skip.
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(lo+i)%len(r.points)]
+		if p.shard != skip {
+			return p.shard, true
+		}
+	}
+	return "", false
+}
+
 // Contains reports whether shard is a ring member.
 func (r *Ring) Contains(shard string) bool { return r.members[shard] }
 

@@ -240,3 +240,51 @@ func BenchmarkRingPlace(b *testing.B) {
 		})
 	}
 }
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing(16)
+	shards := []string{"a", "b", "c", "d"}
+	for _, s := range shards {
+		r.Add(s)
+	}
+
+	// Successor(key, skip) must equal Place after Remove(skip) — the shard
+	// that would inherit the key if skip crashed — without mutating r.
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("task-%d", i)
+		owner, ok := r.Place(key)
+		if !ok {
+			t.Fatal("unplaced key")
+		}
+		succ, ok := r.Successor(key, owner)
+		if !ok {
+			t.Fatalf("no successor for %q skipping %q", key, owner)
+		}
+		if succ == owner {
+			t.Fatalf("successor of %q is its owner %q", key, owner)
+		}
+		shrunk := NewRing(16)
+		for _, s := range shards {
+			if s != owner {
+				shrunk.Add(s)
+			}
+		}
+		want, _ := shrunk.Place(key)
+		if succ != want {
+			t.Errorf("Successor(%q, %q) = %q, want Place-after-Remove %q", key, owner, succ, want)
+		}
+	}
+	if r.Len() != len(shards) {
+		t.Errorf("Successor mutated the ring: %d members", r.Len())
+	}
+
+	// A ring with no shard other than skip has no successor.
+	solo := NewRing(16)
+	solo.Add("only")
+	if _, ok := solo.Successor("k", "only"); ok {
+		t.Error("successor exists on a single-shard ring")
+	}
+	if _, ok := (&Ring{}).Successor("k", "x"); ok {
+		t.Error("successor exists on an empty ring")
+	}
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+
+	"volley/internal/coord"
+	"volley/internal/obs"
+)
+
+// Snapshot frames are the wire format for replicated allowance state: a
+// fixed header, a JSON body, and a trailing checksum.
+//
+//	offset  size  field
+//	0       4     magic "VSNP"
+//	4       1     frame version (snapshotFrameVersion)
+//	5       8     snapshot epoch, big-endian (mirrors body .epoch)
+//	13      4     body length, big-endian
+//	17      n     JSON(coord.AllowanceState)
+//	17+n    4     CRC32 (IEEE) over bytes [0, 17+n)
+//
+// The epoch rides in the header so a receiver can reject a stale frame
+// before paying for the JSON decode, and the checksum covers the header
+// too, so a corrupted epoch cannot masquerade as fresh.
+const (
+	snapshotMagic        = "VSNP"
+	snapshotFrameVersion = 1
+	snapshotHeaderLen    = 4 + 1 + 8 + 4
+	snapshotTrailerLen   = 4
+	// maxSnapshotBody bounds the declared body length so a corrupted
+	// length field cannot drive a huge allocation.
+	maxSnapshotBody = 16 << 20
+)
+
+// Frame decode failures, distinguishable so the store can count stale
+// rejections apart from corruption.
+var (
+	// ErrFrameTruncated: the frame is shorter than its header and trailer,
+	// or shorter than the body length the header declares.
+	ErrFrameTruncated = errors.New("cluster: snapshot frame truncated")
+	// ErrFrameChecksum: the trailing CRC32 does not match the frame bytes.
+	ErrFrameChecksum = errors.New("cluster: snapshot frame checksum mismatch")
+	// ErrFrameMalformed: bad magic, unknown frame version, undecodable
+	// body, or a header epoch disagreeing with the body.
+	ErrFrameMalformed = errors.New("cluster: snapshot frame malformed")
+	// ErrSnapshotStale: the frame decoded fine but its epoch is not newer
+	// than the epoch already held for the task.
+	ErrSnapshotStale = errors.New("cluster: snapshot epoch stale")
+)
+
+// EncodeSnapshot serializes st into a framed, checksummed snapshot. The
+// frame epoch is st.Epoch.
+func EncodeSnapshot(st coord.AllowanceState) ([]byte, error) {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode snapshot for %q: %w", st.Task, err)
+	}
+	frame := make([]byte, snapshotHeaderLen+len(body)+snapshotTrailerLen)
+	copy(frame, snapshotMagic)
+	frame[4] = snapshotFrameVersion
+	binary.BigEndian.PutUint64(frame[5:], st.Epoch)
+	binary.BigEndian.PutUint32(frame[13:], uint32(len(body)))
+	copy(frame[snapshotHeaderLen:], body)
+	sum := crc32.ChecksumIEEE(frame[:snapshotHeaderLen+len(body)])
+	binary.BigEndian.PutUint32(frame[snapshotHeaderLen+len(body):], sum)
+	return frame, nil
+}
+
+// DecodeSnapshot validates and decodes a snapshot frame. Errors wrap one
+// of ErrFrameTruncated, ErrFrameChecksum or ErrFrameMalformed.
+func DecodeSnapshot(frame []byte) (coord.AllowanceState, error) {
+	var st coord.AllowanceState
+	if len(frame) < snapshotHeaderLen+snapshotTrailerLen {
+		return st, fmt.Errorf("%w: %d bytes", ErrFrameTruncated, len(frame))
+	}
+	if string(frame[:4]) != snapshotMagic {
+		return st, fmt.Errorf("%w: bad magic %q", ErrFrameMalformed, frame[:4])
+	}
+	if frame[4] != snapshotFrameVersion {
+		return st, fmt.Errorf("%w: frame version %d", ErrFrameMalformed, frame[4])
+	}
+	epoch := binary.BigEndian.Uint64(frame[5:])
+	bodyLen := int(binary.BigEndian.Uint32(frame[13:]))
+	if bodyLen > maxSnapshotBody {
+		return st, fmt.Errorf("%w: declared body %d bytes", ErrFrameMalformed, bodyLen)
+	}
+	if len(frame) < snapshotHeaderLen+bodyLen+snapshotTrailerLen {
+		return st, fmt.Errorf("%w: declared body %d bytes, frame %d", ErrFrameTruncated, bodyLen, len(frame))
+	}
+	end := snapshotHeaderLen + bodyLen
+	want := binary.BigEndian.Uint32(frame[end:])
+	if got := crc32.ChecksumIEEE(frame[:end]); got != want {
+		return st, fmt.Errorf("%w: got %08x want %08x", ErrFrameChecksum, got, want)
+	}
+	if err := json.Unmarshal(frame[snapshotHeaderLen:end], &st); err != nil {
+		return st, fmt.Errorf("%w: body: %v", ErrFrameMalformed, err)
+	}
+	if st.Epoch != epoch {
+		return st, fmt.Errorf("%w: header epoch %d, body epoch %d", ErrFrameMalformed, epoch, st.Epoch)
+	}
+	return st, nil
+}
+
+// SnapshotEntry is one replicated snapshot held for a task.
+type SnapshotEntry struct {
+	// Task names the task.
+	Task string `json:"task"`
+	// Epoch is the snapshot's version.
+	Epoch uint64 `json:"epoch"`
+	// From is the sender that shipped the frame.
+	From string `json:"from"`
+	// Received is the holder's clock when the frame was applied.
+	Received time.Duration `json:"received"`
+	// State is the decoded allowance snapshot.
+	State coord.AllowanceState `json:"state"`
+}
+
+// SnapshotStore holds the freshest replicated allowance snapshot per task,
+// rejecting stale epochs and corrupt frames. It is the warm-recovery seed:
+// when a shard inherits a task after its owner dies, it asks its store for
+// the last state the dead owner shipped.
+//
+// SnapshotStore is safe for concurrent use.
+type SnapshotStore struct {
+	tracer *obs.Tracer
+	node   string
+
+	applied         *obs.Counter
+	rejectedStale   *obs.Counter
+	rejectedCorrupt *obs.Counter
+
+	mu      sync.Mutex
+	entries map[string]SnapshotEntry
+}
+
+// NewSnapshotStore builds an empty store. metrics and tracer are optional;
+// node labels traced events with the holder's identity.
+func NewSnapshotStore(node string, metrics *obs.Registry, tracer *obs.Tracer) *SnapshotStore {
+	s := &SnapshotStore{
+		tracer:  tracer,
+		node:    node,
+		entries: make(map[string]SnapshotEntry),
+	}
+	s.applied = metrics.Counter("volley_cluster_snapshots_applied_total",
+		"Replicated allowance snapshots accepted into the store.")
+	s.rejectedStale = metrics.Counter("volley_cluster_snapshots_rejected_total",
+		"Replicated allowance snapshots rejected.", "reason", "stale")
+	s.rejectedCorrupt = metrics.Counter("volley_cluster_snapshots_rejected_total",
+		"Replicated allowance snapshots rejected.", "reason", "corrupt")
+	metrics.GaugeFunc("volley_cluster_snapshots_held",
+		"Replicated allowance snapshots currently held.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.entries))
+		})
+	return s
+}
+
+// Put decodes and applies a frame received from a peer at the given clock
+// position. A frame whose epoch is not strictly newer than the held entry
+// for the task is rejected with ErrSnapshotStale; undecodable frames are
+// rejected with the decode error. Both paths count and trace the
+// rejection.
+func (s *SnapshotStore) Put(from string, now time.Duration, frame []byte) (SnapshotEntry, error) {
+	st, err := DecodeSnapshot(frame)
+	if err != nil {
+		s.rejectedCorrupt.Inc()
+		s.tracer.Record(obs.Event{
+			Time: now, Type: obs.EventSnapshotReject,
+			Node: s.node, Task: st.Task, Peer: from,
+		})
+		return SnapshotEntry{}, err
+	}
+	return s.PutState(from, now, st)
+}
+
+// PutState applies an already-decoded snapshot, enforcing the same
+// monotonic-epoch rule as Put. The in-process cluster uses it directly;
+// the networked path arrives via Put.
+func (s *SnapshotStore) PutState(from string, now time.Duration, st coord.AllowanceState) (SnapshotEntry, error) {
+	s.mu.Lock()
+	if held, ok := s.entries[st.Task]; ok && st.Epoch <= held.Epoch {
+		heldEpoch := held.Epoch
+		s.mu.Unlock()
+		s.rejectedStale.Inc()
+		s.tracer.Record(obs.Event{
+			Time: now, Type: obs.EventSnapshotReject,
+			Node: s.node, Task: st.Task, Peer: from, Value: float64(st.Epoch),
+		})
+		return SnapshotEntry{}, fmt.Errorf("%w: task %q epoch %d, held %d",
+			ErrSnapshotStale, st.Task, st.Epoch, heldEpoch)
+	}
+	e := SnapshotEntry{Task: st.Task, Epoch: st.Epoch, From: from, Received: now, State: st}
+	s.entries[st.Task] = e
+	s.mu.Unlock()
+	s.applied.Inc()
+	s.tracer.Record(obs.Event{
+		Time: now, Type: obs.EventSnapshotApply,
+		Node: s.node, Task: st.Task, Peer: from, Value: float64(st.Epoch),
+	})
+	return e, nil
+}
+
+// Get returns the held snapshot for a task, if any.
+func (s *SnapshotStore) Get(task string) (SnapshotEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[task]
+	return e, ok
+}
+
+// Drop forgets the held snapshot for a task (after the task is evicted).
+func (s *SnapshotStore) Drop(task string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, task)
+}
+
+// Entries lists the held snapshots sorted by task name.
+func (s *SnapshotStore) Entries() []SnapshotEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SnapshotEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// Len reports how many snapshots are held.
+func (s *SnapshotStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"volley/internal/coord"
+)
+
+func testState(epoch uint64) coord.AllowanceState {
+	return coord.AllowanceState{
+		Task:  "t1",
+		Epoch: epoch,
+		Err:   0.05,
+		Assignments: map[string]float64{
+			"m1": 0.04,
+			"m2": 0.01,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testState(7)
+	frame, err := EncodeSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestSnapshotDecodeRejections(t *testing.T) {
+	frame, err := EncodeSnapshot(testState(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated short", func(t *testing.T) {
+		if _, err := DecodeSnapshot(frame[:snapshotHeaderLen-1]); !errors.Is(err, ErrFrameTruncated) {
+			t.Errorf("err = %v, want ErrFrameTruncated", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		if _, err := DecodeSnapshot(frame[:len(frame)-5]); !errors.Is(err, ErrFrameTruncated) {
+			t.Errorf("err = %v, want ErrFrameTruncated", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[0] = 'X'
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrFrameMalformed) {
+			t.Errorf("err = %v, want ErrFrameMalformed", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[4] = 99
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrFrameMalformed) {
+			t.Errorf("err = %v, want ErrFrameMalformed", err)
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[snapshotHeaderLen] ^= 0x01 // flip a body bit, leave the trailer
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrFrameChecksum) {
+			t.Errorf("err = %v, want ErrFrameChecksum", err)
+		}
+	})
+	t.Run("huge declared body", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		binary.BigEndian.PutUint32(bad[13:], maxSnapshotBody+1)
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrFrameMalformed) {
+			t.Errorf("err = %v, want ErrFrameMalformed", err)
+		}
+	})
+	t.Run("header body epoch mismatch", func(t *testing.T) {
+		// Forge a frame whose header epoch disagrees with the body — with a
+		// recomputed checksum, so only the cross-check can catch it.
+		bad := append([]byte(nil), frame...)
+		binary.BigEndian.PutUint64(bad[5:], 4)
+		end := len(bad) - snapshotTrailerLen
+		binary.BigEndian.PutUint32(bad[end:], crc32.ChecksumIEEE(bad[:end]))
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrFrameMalformed) {
+			t.Errorf("err = %v, want ErrFrameMalformed", err)
+		}
+	})
+}
+
+func TestSnapshotStoreEpochs(t *testing.T) {
+	s := NewSnapshotStore("n1", nil, nil)
+
+	frame2, _ := EncodeSnapshot(testState(2))
+	if _, err := s.Put("a", 0, frame2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same epoch again: stale.
+	if _, err := s.Put("a", 1, frame2); !errors.Is(err, ErrSnapshotStale) {
+		t.Errorf("re-put of epoch 2 = %v, want ErrSnapshotStale", err)
+	}
+	// Older epoch: stale, held entry untouched.
+	frame1, _ := EncodeSnapshot(testState(1))
+	if _, err := s.Put("b", 2, frame1); !errors.Is(err, ErrSnapshotStale) {
+		t.Errorf("put of epoch 1 over 2 = %v, want ErrSnapshotStale", err)
+	}
+	if e, ok := s.Get("t1"); !ok || e.Epoch != 2 || e.From != "a" {
+		t.Errorf("held entry = %+v, want epoch 2 from a", e)
+	}
+
+	// Newer epoch: applied.
+	frame3, _ := EncodeSnapshot(testState(3))
+	if _, err := s.Put("b", 3, frame3); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := s.Get("t1"); e.Epoch != 3 || e.From != "b" {
+		t.Errorf("held entry after epoch 3 = %+v", e)
+	}
+
+	// Corrupt frames never displace the held entry.
+	bad := append([]byte(nil), frame3...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := s.Put("c", 4, bad); err == nil || errors.Is(err, ErrSnapshotStale) {
+		t.Errorf("corrupt put = %v, want a decode error", err)
+	}
+	if e, _ := s.Get("t1"); e.Epoch != 3 {
+		t.Errorf("corrupt frame displaced held entry: %+v", e)
+	}
+
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	s.Drop("t1")
+	if _, ok := s.Get("t1"); ok {
+		t.Error("entry survived Drop")
+	}
+}

@@ -191,6 +191,9 @@ type Coordinator struct {
 	ticks       uint64
 	ticksToNext int
 	initialSent bool
+	// epoch versions allowance snapshots: bumped by every ExportAllowance,
+	// seeded forward by ImportAllowance (state.go).
+	epoch uint64
 
 	// Reusable scratch, sized to len(Monitors) at construction so the
 	// steady-state rebalance and assignment fan-out allocate nothing.

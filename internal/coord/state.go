@@ -18,6 +18,12 @@ import (
 type AllowanceState struct {
 	// Task names the task the snapshot belongs to.
 	Task string `json:"task"`
+	// Epoch is the snapshot's version: it increases monotonically across
+	// exports of the same logical coordinator, surviving handoffs and
+	// crash recovery (ImportAllowance seeds the successor's counter from
+	// it), so a replica store can reject a stale frame that arrives after
+	// a fresher one.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Err is the task-level error allowance in force at the snapshot.
 	Err float64 `json:"err"`
 	// Now and Ticks are the coordinator's clock position; restoring them
@@ -44,8 +50,10 @@ type AllowanceState struct {
 func (c *Coordinator) ExportAllowance() AllowanceState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epoch++
 	st := AllowanceState{
 		Task:        c.cfg.Task,
+		Epoch:       c.epoch,
 		Err:         c.cfg.Err,
 		Now:         c.now,
 		Ticks:       c.ticks,
@@ -139,6 +147,12 @@ func (c *Coordinator) ImportAllowance(st AllowanceState) error {
 	}
 	c.now = st.Now
 	c.ticks = st.Ticks
+	// Continue the snapshot's epoch sequence: the successor's next export
+	// is versioned strictly after everything the predecessor ever shipped,
+	// so replicas can tell its frames from stale ones still in flight.
+	if st.Epoch > c.epoch {
+		c.epoch = st.Epoch
+	}
 	c.resetPollLocked()
 	// Re-announce the imported assignments on the next Tick.
 	c.initialSent = false

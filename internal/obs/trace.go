@@ -79,10 +79,44 @@ const (
 	// EventTaskHandoff: a task migrated between shards with its allowance
 	// state. Task is the task, Node the source shard, Peer the destination.
 	EventTaskHandoff
+	// EventMemberJoin: a shard peer entered the membership table (initial
+	// seed, dynamic join, or rejoin after a death). Peer is the member,
+	// Value its incarnation.
+	EventMemberJoin
+	// EventMemberSuspect: a shard peer crossed the suspicion horizon
+	// without being heard from. Peer is the member.
+	EventMemberSuspect
+	// EventMemberDead: a shard peer crossed the liveness horizon and was
+	// declared dead; its tasks are re-placed. Peer is the member.
+	EventMemberDead
+	// EventSnapshotShip: a replicated allowance snapshot was sent to a
+	// task's ring successor. Task is the task, Peer the successor, Value
+	// the snapshot epoch.
+	EventSnapshotShip
+	// EventSnapshotApply: a received snapshot frame was accepted into the
+	// replica store. Task is the task, Peer the sender, Value the epoch.
+	EventSnapshotApply
+	// EventSnapshotReject: a received snapshot frame was rejected (stale
+	// epoch, checksum mismatch, truncated or undecodable). Task is the
+	// task when known, Peer the sender.
+	EventSnapshotReject
+	// EventSnapshotAbandon: the replicator gave up on a snapshot after
+	// exhausting its delivery attempts. Task is the task, Peer the
+	// successor, Value the epoch.
+	EventSnapshotAbandon
+	// EventColdStart: a task was re-admitted after a crash with no
+	// replicated snapshot available — learned allowance state was lost and
+	// the coordinator seeded defaults. Task is the task, Peer the shard
+	// the task was recovered from.
+	EventColdStart
+	// EventRecovery: a task was re-admitted after a crash seeded from a
+	// replicated snapshot (warm recovery). Task is the task, Peer the
+	// crashed shard, Value the snapshot epoch.
+	EventRecovery
 )
 
 // eventTypeCount sizes per-type counter arrays (index 0 is unused).
-const eventTypeCount = int(EventTaskHandoff) + 1
+const eventTypeCount = int(EventRecovery) + 1
 
 var eventTypeNames = [eventTypeCount]string{
 	EventIntervalGrow:     "interval-grow",
@@ -105,6 +139,15 @@ var eventTypeNames = [eventTypeCount]string{
 	EventTaskEvict:        "task-evict",
 	EventTaskUpdate:       "task-update",
 	EventTaskHandoff:      "task-handoff",
+	EventMemberJoin:       "member-join",
+	EventMemberSuspect:    "member-suspect",
+	EventMemberDead:       "member-dead",
+	EventSnapshotShip:     "snapshot-ship",
+	EventSnapshotApply:    "snapshot-apply",
+	EventSnapshotReject:   "snapshot-reject",
+	EventSnapshotAbandon:  "snapshot-abandon",
+	EventColdStart:        "cluster.cold_start",
+	EventRecovery:         "cluster.recovery",
 }
 
 // String implements fmt.Stringer.

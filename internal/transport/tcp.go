@@ -122,6 +122,10 @@ type TCPNode struct {
 type tcpPeer struct {
 	addr  string
 	queue chan Message
+	// done is closed by Deregister; the peer's writer goroutine exits and
+	// any messages still queued are discarded, ending the reconnect loop a
+	// dead peer would otherwise keep alive forever.
+	done chan struct{}
 }
 
 // seqWindow tracks the most recent sequence numbers seen from one sender; a
@@ -216,6 +220,22 @@ func (n *TCPNode) sleep(d time.Duration) bool {
 	defer t.Stop()
 	select {
 	case <-n.closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// sleepPeer is sleep for a peer's writer: it additionally wakes (and
+// reports false) when the peer is deregistered, so a writer mid-backoff
+// against a dead address exits promptly instead of on its next dial.
+func (n *TCPNode) sleepPeer(p *tcpPeer, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-n.closed:
+		return false
+	case <-p.done:
 		return false
 	case <-t.C:
 		return true
@@ -320,7 +340,7 @@ func (n *TCPNode) Send(from, to string, msg Message) error {
 	n.mu.Lock()
 	p, ok := n.peers[to]
 	if !ok {
-		p = &tcpPeer{addr: to, queue: make(chan Message, n.queueDepth)}
+		p = &tcpPeer{addr: to, queue: make(chan Message, n.queueDepth), done: make(chan struct{})}
 		n.peers[to] = p
 		n.wg.Add(1)
 		go n.writeLoop(p)
@@ -337,6 +357,27 @@ func (n *TCPNode) Send(from, to string, msg Message) error {
 		n.tracer.Record(obs.Event{Type: obs.EventQueueFull, Node: n.name, Peer: to})
 		return fmt.Errorf("transport: send to %s: outbound queue full", to)
 	}
+}
+
+// Deregister implements Deregisterer for the TCP node: it forgets an
+// outbound peer, stopping its writer goroutine (including one mid-backoff
+// against a dead address), discarding whatever is still queued for it, and
+// dropping the receive-side dedup window kept for the address. Without
+// this, a peer whose process was killed leaks a reconnect loop that
+// redials the gone address forever. A later Send to the same address
+// starts fresh, so a restarted peer is reachable again.
+func (n *TCPNode) Deregister(addr string) error {
+	n.mu.Lock()
+	p, ok := n.peers[addr]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("transport: deregister unknown peer %q", addr)
+	}
+	delete(n.peers, addr)
+	delete(n.dedup, addr)
+	n.mu.Unlock()
+	close(p.done)
+	return nil
 }
 
 // writeLoop drains one peer's outbound queue: dial (with deadline) when
@@ -366,6 +407,8 @@ func (n *TCPNode) writeLoop(p *tcpPeer) {
 		select {
 		case <-n.closed:
 			return
+		case <-p.done:
+			return
 		case msg := <-p.queue:
 			delivered := false
 			for attempt := 0; attempt < n.retries; attempt++ {
@@ -375,7 +418,7 @@ func (n *TCPNode) writeLoop(p *tcpPeer) {
 						// Jittered bounded-exponential backoff: sleep in
 						// [backoff/2, backoff), then double.
 						d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
-						if !n.sleep(d) {
+						if !n.sleepPeer(p, d) {
 							return
 						}
 						backoff *= 2
@@ -410,6 +453,8 @@ func (n *TCPNode) writeLoop(p *tcpPeer) {
 		}
 	}
 }
+
+var _ Deregisterer = (*TCPNode)(nil)
 
 // Stats returns a consistent snapshot of the node's traffic counters,
 // assembled from one atomic struct rather than field-by-field reads of

@@ -235,3 +235,61 @@ func TestListenTCPRejectsBadOptions(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPDeregisterStopsReconnectLoop verifies the Deregisterer side of the
+// TCP node: deregistering a dead peer stops its writer goroutine (ending
+// the reconnect loop), later sends to the same address start a fresh peer,
+// and deregistering an unknown address is a visible error.
+func TestTCPDeregisterStopsReconnectLoop(t *testing.T) {
+	n, err := ListenTCP("127.0.0.1:0", func(Message) {}, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// A port that refuses connections: the writer goroutine for it sits in
+	// its reconnect backoff forever unless deregistered.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	if err := n.Deregister(dead); err == nil {
+		t.Error("deregister of a never-dialed peer succeeded, want error")
+	}
+
+	_ = n.Send(n.Addr(), dead, Message{Seq: 1})
+	if err := n.Deregister(dead); err != nil {
+		t.Fatalf("deregister known peer: %v", err)
+	}
+	if err := n.Deregister(dead); err == nil {
+		t.Error("second deregister succeeded, want error (peer already forgotten)")
+	}
+
+	// A restarted peer on the same address is reachable again: Send builds
+	// a fresh writer rather than reusing torn-down state.
+	recv := make(chan Message, 1)
+	peer, err := ListenTCP(dead, func(m Message) { recv <- m }, fastOpts()...)
+	if err != nil {
+		// The OS may have reassigned the port; that invalidates only this
+		// half of the test.
+		t.Skipf("rebind %s: %v", dead, err)
+	}
+	defer peer.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		_ = n.Send(n.Addr(), dead, Message{Kind: KindHeartbeat, Seq: 2})
+		select {
+		case m := <-recv:
+			if m.Kind != KindHeartbeat {
+				t.Fatalf("received %+v, want the heartbeat", m)
+			}
+			return
+		case <-deadline:
+			t.Fatal("peer never received a message after deregister + restart")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -44,6 +44,18 @@ const (
 	// networks silence between violations is the normal case, so liveness
 	// needs explicit traffic.
 	KindHeartbeat
+	// KindShardBeacon is a shard→shard membership beacon: the gossiped
+	// member table (and task catalog) rides in Payload. The shard tier's
+	// analogue of KindHeartbeat.
+	KindShardBeacon
+	// KindSnapshot is a shard→shard replicated allowance snapshot: a
+	// versioned, checksummed frame (cluster.EncodeSnapshot) in Payload,
+	// with the snapshot epoch duplicated in Epoch for cheap staleness
+	// checks.
+	KindSnapshot
+	// KindSnapshotAck acknowledges a received snapshot frame so the sender
+	// stops retrying it. Task and Epoch identify the frame.
+	KindSnapshotAck
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -61,6 +73,12 @@ func (k Kind) String() string {
 		return "err-assignment"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindShardBeacon:
+		return "shard-beacon"
+	case KindSnapshot:
+		return "snapshot"
+	case KindSnapshotAck:
+		return "snapshot-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -89,6 +107,13 @@ type Message struct {
 	Err float64
 	// Seq is a sender-local sequence number for deduplication/diagnostics.
 	Seq uint64
+	// Epoch is a shard-tier version number: the snapshot epoch in
+	// KindSnapshot/KindSnapshotAck frames.
+	Epoch uint64
+	// Payload carries an opaque encoded body for the shard-tier messages
+	// (membership tables, snapshot frames). Nil for the monitor-tier kinds,
+	// whose fixed fields suffice.
+	Payload []byte
 }
 
 // Handler consumes a delivered message.
@@ -105,12 +130,17 @@ type Network interface {
 }
 
 // Deregisterer is the optional Network extension for removing an address so
-// it can be registered again — the primitive behind task handoff in the
-// sharded cluster layer (internal/cluster), where a coordinator address
-// migrates from one shard to another while monitors keep sending to it.
+// it becomes unknown to the node again — the primitive behind task handoff
+// in the sharded cluster layer (internal/cluster), where a coordinator
+// address migrates from one shard to another, and behind dead-peer removal
+// in the multi-process cluster, where a killed shard's address must not be
+// redialed forever. Memory removes the inbound handler registered for the
+// address; TCPNode (which has no per-address handlers) tears down the
+// outbound peer state — the writer goroutine, its queue and the sender's
+// dedup window.
 type Deregisterer interface {
-	// Deregister removes the handler for an address; deregistering an
-	// unknown address is an error.
+	// Deregister removes the address; deregistering an unknown address is
+	// an error.
 	Deregister(addr string) error
 }
 
@@ -186,6 +216,7 @@ type Memory struct {
 	partition   map[string]int
 	crashed     map[string]bool
 	held        []heldDelivery
+	filter      func(from, to string, msg Message) bool
 }
 
 // heldDelivery is a message deferred by reorder injection, flushed after
@@ -307,6 +338,18 @@ func (m *Memory) SetReorder(p float64) {
 	m.rngLocked()
 }
 
+// SetFilter installs (or, with nil, removes) a message-level fault
+// predicate: a message for which it returns true is dropped (and counted).
+// Unlike the probabilistic switches it sees the full message, so chaos
+// harnesses can cut one traffic class on one link — e.g. drop only the
+// snapshot frames between a shard and its ring successor while beacons
+// keep flowing, the partial-partition failure mode of real fabrics.
+func (m *Memory) SetFilter(f func(from, to string, msg Message) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.filter = f
+}
+
 // Partition splits the network: a message whose sender and receiver fall in
 // different groups is dropped. Addresses not listed in any group remain
 // reachable from everywhere. Partition replaces any previous partition;
@@ -375,6 +418,11 @@ func (m *Memory) Send(from, to string, msg Message) error {
 	msg.From = from
 	msg.Seq = m.seq
 	if m.unreachableLocked(from, to) {
+		m.stats.dropped.Add(1)
+		m.mu.Unlock()
+		return nil
+	}
+	if m.filter != nil && m.filter(from, to, msg) {
 		m.stats.dropped.Add(1)
 		m.mu.Unlock()
 		return nil

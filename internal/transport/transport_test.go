@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -333,7 +334,7 @@ func TestTCPMessageFieldsRoundTrip(t *testing.T) {
 			t.Error("Send did not stamp a sequence number")
 		}
 		want.Seq = msg.Seq // Send overwrites Seq with its own counter
-		if msg != want {
+		if !reflect.DeepEqual(msg, want) {
 			t.Errorf("round trip mutated message:\n got %+v\nwant %+v", msg, want)
 		}
 	case <-time.After(5 * time.Second):
