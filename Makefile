@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster examples
+.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport examples
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench-coord:
 # to BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/volleybench -clusterjson BENCH_cluster.json
+
+# Benchmark the wire codec (gob vs hand-rolled binary, encode ns/msg and
+# allocs/op — must be 0) and end-to-end loopback TCP throughput in three
+# modes (gob, binary unbatched, binary batched) to BENCH_transport.json.
+# The headline gates: batched binary >= 10x gob msgs/sec, 0 encode allocs.
+bench-transport:
+	$(GO) run ./cmd/volleybench -transportjson BENCH_transport.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -29,7 +29,16 @@ func settleGoroutines(t *testing.T, base int) {
 	t.Errorf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
 }
 
-func TestChaosSoak(t *testing.T) {
+func TestChaosSoak(t *testing.T) { runChaosSoak(t, false) }
+
+// TestChaosSoakBatched is the same soak with per-link batching on: Sends
+// coalesce per (from, to) link and deliver as whole frames at each step's
+// flush, so loss, reordering, partition and crash all act at batch
+// granularity — the Memory analogue of the TCP writer's frame coalescing.
+// Every assertion of the unbatched soak must hold unchanged.
+func TestChaosSoakBatched(t *testing.T) { runChaosSoak(t, true) }
+
+func runChaosSoak(t *testing.T, batched bool) {
 	const (
 		n          = 4
 		steps      = 6000
@@ -44,6 +53,9 @@ func TestChaosSoak(t *testing.T) {
 	baseGoroutines := runtime.NumGoroutine()
 
 	net := volley.NewMemoryNetwork()
+	if batched {
+		net.SetBatching(8)
+	}
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("chaos-mon-%d", i)
@@ -138,6 +150,11 @@ func TestChaosSoak(t *testing.T) {
 				t.Fatalf("step %d: monitor %d: %v", step, i, err)
 			}
 		}
+		if batched {
+			// One flush per step: everything the tick enqueued ships as
+			// per-link frames, handler cascades included.
+			net.Flush()
+		}
 		// Allowance conservation must hold through reclamations and
 		// restorations, not just at the end.
 		if step%200 == 0 {
@@ -192,6 +209,9 @@ func TestChaosSoak(t *testing.T) {
 	ns := net.Stats()
 	if ns.Dropped == 0 || ns.Reordered == 0 {
 		t.Errorf("fault injection inert: %+v", ns)
+	}
+	if batched && ns.FramesBatched == 0 {
+		t.Error("batched soak shipped no multi-message frames")
 	}
 
 	// The decision trace must tell the crash story end to end: monitor 3

@@ -44,6 +44,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write headline metrics (ratios, misdetect rates, wall clock) as JSON to this file instead of printing tables")
 	coordJSONPath := flag.String("coordjson", "", "benchmark the coordinator rebalance hot path at 100/1k/10k monitors and write ns/op and allocs/op as JSON to this file")
 	clusterJSONPath := flag.String("clusterjson", "", "benchmark consistent-hash task placement at 4/16/64 shards and write ns/op, allocs/op and movement fractions as JSON to this file")
+	transportJSONPath := flag.String("transportjson", "", "benchmark the wire codec (gob vs binary, batched vs not) end-to-end over loopback TCP and write throughput and bytes/msg as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -63,6 +64,13 @@ func main() {
 	}
 	if *clusterJSONPath != "" {
 		if err := writeClusterBenchJSON(*clusterJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *transportJSONPath != "" {
+		if err := writeTransportBenchJSON(*transportJSONPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "volleybench:", err)
 			os.Exit(1)
 		}

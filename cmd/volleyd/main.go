@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"volley"
+	"volley/internal/transport"
 )
 
 func main() {
@@ -82,6 +83,9 @@ func main() {
 		suspectAfter  = flag.Int("suspect-after", 8, "ticks of silence before a peer is suspected (shard mode)")
 		deadAfter     = flag.Int("dead-after", 16, "ticks of silence before a peer is declared dead (shard mode)")
 		snapshotEvery = flag.Int("snapshot-every", 5, "allowance snapshot replication period in ticks (shard mode)")
+		batchWindow   = flag.Duration("batch-window", 0, "how long the peer writer waits to coalesce more messages into one frame (shard mode; 0 = ship whatever is already queued)")
+		maxBatch      = flag.Int("max-batch", transport.DefaultMaxBatch, "max messages per coalesced frame on the inter-shard fabric (shard mode; 1 disables batching)")
+		gobWire       = flag.Bool("gob-wire", false, "send legacy gob frames on the inter-shard fabric instead of the binary codec (shard mode; for mixed-version fleets)")
 	)
 	flag.Parse()
 
@@ -109,6 +113,9 @@ func main() {
 		suspectAfter:  *suspectAfter,
 		deadAfter:     *deadAfter,
 		snapshotEvery: *snapshotEvery,
+		batchWindow:   *batchWindow,
+		maxBatch:      *maxBatch,
+		gobWire:       *gobWire,
 
 		out: os.Stdout,
 	}); err != nil {
@@ -140,6 +147,9 @@ type options struct {
 	suspectAfter  int
 	deadAfter     int
 	snapshotEvery int
+	batchWindow   time.Duration
+	maxBatch      int
+	gobWire       bool
 
 	out      io.Writer
 	onListen func(addr string) // test hook: reports the bound address

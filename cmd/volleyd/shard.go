@@ -57,13 +57,14 @@ type tcpFabric struct {
 	handler atomic.Pointer[transport.Handler]
 }
 
-func newTCPFabric(listen string, tr *obs.Tracer, name string) (*tcpFabric, error) {
+func newTCPFabric(listen string, tr *obs.Tracer, name string, opts ...transport.TCPOption) (*tcpFabric, error) {
 	f := &tcpFabric{}
+	opts = append([]transport.TCPOption{transport.WithObserver(tr, name)}, opts...)
 	node, err := transport.ListenTCP(listen, func(msg transport.Message) {
 		if h := f.handler.Load(); h != nil {
 			(*h)(msg)
 		}
-	}, transport.WithObserver(tr, name))
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -168,11 +169,24 @@ func runShard(ctx context.Context, opts options) error {
 		return time.Since(d.start).Seconds()
 	})
 
-	d.fabric, err = newTCPFabric(opts.peerListen, d.tracer, opts.shardID)
+	fabricOpts := []transport.TCPOption{}
+	if opts.batchWindow != 0 {
+		fabricOpts = append(fabricOpts, transport.WithBatchWindow(opts.batchWindow))
+	}
+	if opts.maxBatch != 0 {
+		fabricOpts = append(fabricOpts, transport.WithMaxBatch(opts.maxBatch))
+	}
+	if opts.gobWire {
+		fabricOpts = append(fabricOpts, transport.WithCodec(transport.CodecGob))
+	}
+	d.fabric, err = newTCPFabric(opts.peerListen, d.tracer, opts.shardID, fabricOpts...)
 	if err != nil {
 		return err
 	}
 	defer d.fabric.node.Close()
+	// Wire traffic next to the task metrics: bytes on the fabric, frames
+	// coalesced, queue depths per peer.
+	d.fabric.node.RegisterMetrics(d.reg)
 
 	d.node, err = cluster.NewNode(cluster.NodeConfig{
 		ID:            opts.shardID,

@@ -70,6 +70,24 @@ type Network = transport.Network
 // Message is the wire format shared by all Network implementations.
 type Message = transport.Message
 
+// MessageKind discriminates Message payloads. The TCP transport's binary
+// codec has a fixed vocabulary — Send rejects any other kind — so custom
+// traffic must reuse one of these.
+type MessageKind = transport.Kind
+
+// The wire vocabulary; see the transport package for field semantics.
+const (
+	KindLocalViolation = transport.KindLocalViolation
+	KindPollRequest    = transport.KindPollRequest
+	KindPollResponse   = transport.KindPollResponse
+	KindYieldReport    = transport.KindYieldReport
+	KindErrAssignment  = transport.KindErrAssignment
+	KindHeartbeat      = transport.KindHeartbeat
+	KindShardBeacon    = transport.KindShardBeacon
+	KindSnapshot       = transport.KindSnapshot
+	KindSnapshotAck    = transport.KindSnapshotAck
+)
+
 // MessageHandler consumes a delivered Message; custom Network
 // implementations receive one at Register time.
 type MessageHandler = transport.Handler
@@ -103,16 +121,30 @@ func WithNetworkReorder(p float64, seed int64) transport.MemoryOption {
 	return transport.WithReorder(p, seed)
 }
 
-// TCPNode is one endpoint of a gob-over-TCP network for real deployments.
-// Sending is asynchronous — per-peer outbound queues, dial/write deadlines
-// and bounded-exponential reconnect backoff — so a dead peer never blocks a
+// TCPNode is one endpoint of a TCP network for real deployments. Messages
+// travel on a hand-rolled zero-allocation binary wire codec by default
+// (gob remains available as a negotiated fallback), and the per-peer
+// writer coalesces queued messages into batch frames. Sending is
+// asynchronous — per-peer outbound queues, dial/write deadlines and
+// bounded-exponential reconnect backoff — so a dead peer never blocks a
 // caller, and receivers deduplicate reconnect retransmissions by sequence
 // number.
 type TCPNode = transport.TCPNode
 
-// TCPOption configures a TCPNode (deadlines, queue depth, reconnect
-// backoff, dedup window).
+// TCPOption configures a TCPNode (codec, batching, deadlines, queue
+// depth, reconnect backoff, dedup window).
 type TCPOption = transport.TCPOption
+
+// Codec selects the wire encoding a TCPNode offers when connecting.
+type Codec = transport.Codec
+
+// Wire codecs: CodecBinary is the default zero-allocation binary format;
+// CodecGob is the legacy stdlib-gob stream kept as a compatibility
+// fallback (a binary node talking to a gob-only node degrades to gob).
+const (
+	CodecBinary = transport.CodecBinary
+	CodecGob    = transport.CodecGob
+)
 
 // TCP node options; see the transport package for semantics and defaults.
 func WithTCPDialTimeout(d time.Duration) TCPOption { return transport.WithDialTimeout(d) }
@@ -123,6 +155,18 @@ func WithTCPDedupWindow(window int) TCPOption      { return transport.WithDedupW
 func WithTCPReconnectBackoff(min, max time.Duration) TCPOption {
 	return transport.WithReconnectBackoff(min, max)
 }
+
+// WithTCPCodec selects the wire encoding offered at connect time
+// (default CodecBinary).
+func WithTCPCodec(c Codec) TCPOption { return transport.WithCodec(c) }
+
+// WithTCPBatchWindow bounds how long the per-peer writer waits for more
+// queued messages before shipping a partially filled batch frame.
+func WithTCPBatchWindow(d time.Duration) TCPOption { return transport.WithBatchWindow(d) }
+
+// WithTCPMaxBatch caps how many messages one batch frame may carry;
+// 1 disables coalescing.
+func WithTCPMaxBatch(n int) TCPOption { return transport.WithMaxBatch(n) }
 
 // ListenTCP starts a TCP endpoint; see examples/tcpcluster.
 func ListenTCP(addr string, h func(Message), opts ...TCPOption) (*TCPNode, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"volley/internal/coord"
+	"volley/internal/transport"
 )
 
 func testState(epoch uint64) coord.AllowanceState {
@@ -140,5 +141,53 @@ func TestSnapshotStoreEpochs(t *testing.T) {
 	s.Drop("t1")
 	if _, ok := s.Get("t1"); ok {
 		t.Error("entry survived Drop")
+	}
+}
+
+// TestSnapshotThroughBinaryWireCodec proves the layering holds end to
+// end: a VSNP snapshot frame rides opaquely inside a KindSnapshot
+// message through the transport's binary wire codec, and the payload
+// that comes out still passes its own CRC and decodes to the same
+// state. The snapshot CRC is the only content check in the stack (the
+// wire codec deliberately has none — TCP checksums the stream), so the
+// two layers together must not disturb a single byte.
+func TestSnapshotThroughBinaryWireCodec(t *testing.T) {
+	want := testState(7)
+	payload, err := EncodeSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := transport.AppendFrame(nil, &transport.Message{
+		Kind: transport.KindSnapshot, Task: want.Task, From: "shard-a",
+		Epoch: want.Epoch, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []transport.Message
+	if err := transport.DecodeFrame(frame, func(m transport.Message) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d messages, want 1", len(got))
+	}
+	st, err := DecodeSnapshot(got[0].Payload)
+	if err != nil {
+		t.Fatalf("snapshot CRC/decode after wire round trip: %v", err)
+	}
+	if !reflect.DeepEqual(st, want) {
+		t.Errorf("state changed across the wire:\n want %+v\n  got %+v", want, st)
+	}
+
+	// Flip one payload byte inside the wire frame: the wire codec
+	// delivers it (no frame CRC, by design), the snapshot CRC catches it.
+	corrupt := append([]byte(nil), frame...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	got = got[:0]
+	if err := transport.DecodeFrame(corrupt, func(m transport.Message) { got = append(got, m) }); err != nil {
+		t.Fatalf("wire decode of payload-corrupted frame: %v", err)
+	}
+	if _, err := DecodeSnapshot(got[0].Payload); !errors.Is(err, ErrFrameChecksum) {
+		t.Errorf("snapshot decode error = %v, want ErrFrameChecksum", err)
 	}
 }

@@ -208,6 +208,7 @@ const (
 	kindCounter = iota
 	kindGauge
 	kindGaugeFunc
+	kindCounterFunc
 	kindGaugeVecFunc
 	kindHistogram
 )
@@ -342,6 +343,28 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ..
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.familyFor(name, help, kindGaugeFunc)
+	if f == nil {
+		return
+	}
+	ls := renderLabels(labelPairs)
+	if f.findSeries(ls) != nil {
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, fn: fn})
+}
+
+// CounterFunc registers a counter evaluated at scrape time — for
+// components that already keep their own atomic totals (a transport
+// node's Stats snapshot) and should not maintain a second copy. fn must
+// be monotonic to honor counter semantics, and must not call back into
+// the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounterFunc)
 	if f == nil {
 		return
 	}

@@ -211,3 +211,37 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		t.Errorf("metrics hot path allocates %.1f/op, want 0", allocs)
 	}
 }
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	var n uint64
+	r.CounterFunc("volley_bytes_total", "Bytes.", func() float64 { return float64(n) })
+	r.CounterFunc("volley_frames_total", "Frames.", func() float64 { return 9 }, "peer", "a:1")
+	n = 42
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE volley_bytes_total counter",
+		"volley_bytes_total 42",
+		"# TYPE volley_frames_total counter",
+		`volley_frames_total{peer="a:1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil-safety and kind-conflict conventions match GaugeFunc: neither
+	// may panic, and a conflicting registration stays out of exposition.
+	var nilReg *Registry
+	nilReg.CounterFunc("x", "h", func() float64 { return 1 })
+	r.CounterFunc("volley_bytes_total", "Bytes.", nil)
+	r.Gauge("volley_bytes_total", "Bytes.").Set(7)
+	b.Reset()
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), " 7\n") {
+		t.Errorf("conflicting gauge leaked into exposition:\n%s", b.String())
+	}
+}

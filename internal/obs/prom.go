@@ -49,7 +49,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	defer r.mu.Unlock()
 	for _, f := range r.order {
 		kind := "gauge"
-		if f.kind == kindCounter {
+		if f.kind == kindCounter || f.kind == kindCounterFunc {
 			kind = "counter"
 		}
 		if f.kind == kindHistogram {
@@ -65,7 +65,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			for _, s := range f.series {
 				writeSample(w, f.name, s.labels, "", formatFloat(s.g.Value()))
 			}
-		case kindGaugeFunc:
+		case kindGaugeFunc, kindCounterFunc:
 			for _, s := range f.series {
 				writeSample(w, f.name, s.labels, "", formatFloat(s.fn()))
 			}

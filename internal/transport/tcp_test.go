@@ -38,7 +38,7 @@ func TestTCPSendNeverBlocksOnUnreachablePeer(t *testing.T) {
 
 	start := time.Now()
 	for i := 0; i < 200; i++ {
-		_ = n.Send(n.Addr(), dead, Message{Seq: uint64(i)})
+		_ = n.Send(n.Addr(), dead, Message{Kind: KindHeartbeat, Seq: uint64(i)})
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("200 sends to unreachable peer took %v, want well under 1s", elapsed)
@@ -66,7 +66,7 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 	defer client.Close()
 
-	if err := client.Send(client.Addr(), addr, Message{Value: 1}); err != nil {
+	if err := client.Send(client.Addr(), addr, Message{Kind: KindPollResponse, Value: 1}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -88,7 +88,7 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	// writer's redial lands a message on the restarted peer.
 	deadline := time.After(10 * time.Second)
 	for i := 0; ; i++ {
-		_ = client.Send(client.Addr(), addr, Message{Value: 2})
+		_ = client.Send(client.Addr(), addr, Message{Kind: KindPollResponse, Value: 2})
 		select {
 		case m := <-recv:
 			if m.Value != 2 {
@@ -260,7 +260,7 @@ func TestTCPDeregisterStopsReconnectLoop(t *testing.T) {
 		t.Error("deregister of a never-dialed peer succeeded, want error")
 	}
 
-	_ = n.Send(n.Addr(), dead, Message{Seq: 1})
+	_ = n.Send(n.Addr(), dead, Message{Kind: KindHeartbeat, Seq: 1})
 	if err := n.Deregister(dead); err != nil {
 		t.Fatalf("deregister known peer: %v", err)
 	}

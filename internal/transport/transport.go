@@ -160,6 +160,15 @@ type Stats struct {
 	QueueFull uint64
 	// Reordered counts deliveries deferred by reorder injection (Memory).
 	Reordered uint64
+	// BytesSent counts bytes written to the wire, framing included
+	// (TCP only; Memory has no wire).
+	BytesSent uint64
+	// BytesRecv counts bytes read off the wire (TCP only).
+	BytesRecv uint64
+	// FramesBatched counts multi-message frames shipped by per-peer
+	// coalescing (TCP binary codec, and Memory with batching enabled);
+	// the wire saving is (messages sent − frames written).
+	FramesBatched uint64
 }
 
 // counters is the live form of Stats: one atomic per field, so hot paths
@@ -167,25 +176,31 @@ type Stats struct {
 // the node mutex, and Stats() assembles a snapshot from a single struct
 // instead of field-by-field reads of mutex-guarded state.
 type counters struct {
-	sent       atomic.Uint64
-	delivered  atomic.Uint64
-	dropped    atomic.Uint64
-	duplicates atomic.Uint64
-	reconnects atomic.Uint64
-	queueFull  atomic.Uint64
-	reordered  atomic.Uint64
+	sent          atomic.Uint64
+	delivered     atomic.Uint64
+	dropped       atomic.Uint64
+	duplicates    atomic.Uint64
+	reconnects    atomic.Uint64
+	queueFull     atomic.Uint64
+	reordered     atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	framesBatched atomic.Uint64
 }
 
 // snapshot copies the counters into the exported Stats form.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Sent:       c.sent.Load(),
-		Delivered:  c.delivered.Load(),
-		Dropped:    c.dropped.Load(),
-		Duplicates: c.duplicates.Load(),
-		Reconnects: c.reconnects.Load(),
-		QueueFull:  c.queueFull.Load(),
-		Reordered:  c.reordered.Load(),
+		Sent:          c.sent.Load(),
+		Delivered:     c.delivered.Load(),
+		Dropped:       c.dropped.Load(),
+		Duplicates:    c.duplicates.Load(),
+		Reconnects:    c.reconnects.Load(),
+		QueueFull:     c.queueFull.Load(),
+		Reordered:     c.reordered.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesRecv:     c.bytesRecv.Load(),
+		FramesBatched: c.framesBatched.Load(),
 	}
 }
 
@@ -217,6 +232,13 @@ type Memory struct {
 	crashed     map[string]bool
 	held        []heldDelivery
 	filter      func(from, to string, msg Message) bool
+
+	// Batching state (batch.go): when batchMax >= 1, Sends accumulate
+	// per (from, to) link and deliver as whole batches at Flush or when
+	// a link fills, so the fault switches act at frame granularity.
+	batchMax       int
+	pendingBatches []*memBatch
+	heldBatch      *memBatch
 }
 
 // heldDelivery is a message deferred by reorder injection, flushed after
@@ -408,6 +430,10 @@ func (m *Memory) unreachableLocked(from, to string) bool {
 // Send implements Network.
 func (m *Memory) Send(from, to string, msg Message) error {
 	m.mu.Lock()
+	if m.batchMax >= 1 {
+		// enqueueBatched unlocks.
+		return m.enqueueBatched(link{from: from, to: to}, msg)
+	}
 	h, ok := m.handlers[to]
 	if !ok {
 		m.mu.Unlock()

@@ -189,12 +189,12 @@ func TestTCPBidirectional(t *testing.T) {
 	}
 	defer b.Close()
 
-	if err := a.Send(a.Addr(), b.Addr(), Message{Value: 1}); err != nil {
+	if err := a.Send(a.Addr(), b.Addr(), Message{Kind: KindPollRequest, Value: 1}); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case m := <-bDone:
-		if err := b.Send(b.Addr(), m.From, Message{Value: 2}); err != nil {
+		if err := b.Send(b.Addr(), m.From, Message{Kind: KindPollResponse, Value: 2}); err != nil {
 			t.Fatal(err)
 		}
 	case <-time.After(5 * time.Second):
@@ -235,7 +235,7 @@ func TestTCPManyMessages(t *testing.T) {
 	}
 	defer client.Close()
 	for i := 0; i < n; i++ {
-		if err := client.Send(client.Addr(), server.Addr(), Message{Seq: uint64(i)}); err != nil {
+		if err := client.Send(client.Addr(), server.Addr(), Message{Kind: KindHeartbeat, Seq: uint64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,7 +278,7 @@ func TestTCPDialFailure(t *testing.T) {
 	// Port 1 is almost certainly closed. Sending is asynchronous, so the
 	// enqueue succeeds; the writer exhausts its dial retries in the
 	// background and drops the message.
-	if err := n.Send(n.Addr(), "127.0.0.1:1", Message{}); err != nil {
+	if err := n.Send(n.Addr(), "127.0.0.1:1", Message{Kind: KindHeartbeat}); err != nil {
 		t.Fatalf("async send errored synchronously: %v", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -289,6 +289,35 @@ func TestTCPDialFailure(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Errorf("message to closed port never dropped: %+v", n.Stats())
+}
+
+// TestTCPSendRejectsUnknownKind: the binary wire has a fixed vocabulary,
+// so Send fails fast on an out-of-vocabulary kind instead of letting the
+// writer drop it silently. The gob codec has no such restriction.
+func TestTCPSendRejectsUnknownKind(t *testing.T) {
+	bin, err := ListenTCP("127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	if err := bin.Send(bin.Addr(), bin.Addr(), Message{}); err == nil {
+		t.Error("binary codec: zero-Kind send succeeded, want vocabulary error")
+	}
+	if err := bin.Send(bin.Addr(), bin.Addr(), Message{Kind: KindSnapshotAck + 1}); err == nil {
+		t.Error("binary codec: out-of-range kind send succeeded, want vocabulary error")
+	}
+	if st := bin.Stats(); st.Sent != 0 {
+		t.Errorf("rejected sends burned sequence numbers: Sent = %d, want 0", st.Sent)
+	}
+
+	gob, err := ListenTCP("127.0.0.1:0", func(Message) {}, WithCodec(CodecGob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gob.Close()
+	if err := gob.Send(gob.Addr(), gob.Addr(), Message{}); err != nil {
+		t.Errorf("gob codec: zero-Kind send errored: %v", err)
+	}
 }
 
 func TestListenTCPValidation(t *testing.T) {
