@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport examples
+.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport bench-alerts examples
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,12 @@ bench-cluster:
 # The headline gates: batched binary >= 10x gob msgs/sec, 0 encode allocs.
 bench-transport:
 	$(GO) run ./cmd/volleybench -transportjson BENCH_transport.json
+
+# Benchmark the alert registry hot paths (dedup raise and local observe —
+# allocs/op must be 0 — plus the full open/resolve lifecycle and snapshot
+# export) to BENCH_alerts.json.
+bench-alerts:
+	$(GO) run ./cmd/volleybench -alertsjson BENCH_alerts.json
 
 examples:
 	$(GO) run ./examples/quickstart

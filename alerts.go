@@ -1,0 +1,43 @@
+package volley
+
+import (
+	"volley/internal/alerts"
+)
+
+// AlertRegistry is the stateful alert lifecycle registry: one deduped
+// alert per violation episode with an OPEN → ACKED → RESOLVED lifecycle
+// (plus TTL expiry), bounded status history, an append-only JSONL history
+// sink, and export/import hooks that let open alerts ride allowance
+// snapshots across drain and crash handoff. Share one registry across a
+// Cluster (ClusterConfig.Alerts) or a Node and its monitors.
+type AlertRegistry = alerts.Registry
+
+// AlertConfig parameterizes an AlertRegistry.
+type AlertConfig = alerts.Config
+
+// NewAlertRegistry builds a registry and registers the volley_alerts_*
+// metric families on cfg.Metrics.
+func NewAlertRegistry(cfg AlertConfig) *AlertRegistry { return alerts.New(cfg) }
+
+// Alert is one stateful violation episode.
+type Alert = alerts.Alert
+
+// AlertTransition is one row of an alert's bounded status history.
+type AlertTransition = alerts.Transition
+
+// AlertStatus is an alert's lifecycle state.
+type AlertStatus = alerts.Status
+
+// Alert lifecycle states.
+const (
+	AlertOpen     = alerts.StatusOpen
+	AlertAcked    = alerts.StatusAcked
+	AlertResolved = alerts.StatusResolved
+	AlertExpired  = alerts.StatusExpired
+)
+
+// Operator-API failure modes of AlertRegistry.Ack / Resolve.
+var (
+	ErrAlertNotFound = alerts.ErrNotFound
+	ErrAlertBadState = alerts.ErrBadState
+)

@@ -5,8 +5,11 @@
 package volley_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -291,12 +294,23 @@ func TestClusterChaosSoak(t *testing.T) {
 	net := volley.NewMemoryNetwork()
 	tracer := volley.NewTracer(8192)
 
+	// The stateful alert registry rides the whole soak: sustained episodes
+	// must dedup into one live alert at a time, clearing polls must
+	// auto-resolve them, and the history sink must replay every lifecycle.
+	reg := volley.NewMetrics()
+	var alertHist bytes.Buffer
+	areg := volley.NewAlertRegistry(volley.AlertConfig{
+		Node: "soak", Metrics: reg, Tracer: tracer, History: &alertHist,
+	})
+
 	alerts := map[string][]time.Duration{}
 	cl, err := volley.NewCluster(volley.ClusterConfig{
 		Name:    "soak",
 		Shards:  []string{"s1", "s2", "s3"},
 		Network: net,
 		Tracer:  tracer,
+		Metrics: reg,
+		Alerts:  areg,
 		OnAlert: func(task string, now time.Duration, _ float64) {
 			alerts[task] = append(alerts[task], now)
 		},
@@ -310,6 +324,20 @@ func TestClusterChaosSoak(t *testing.T) {
 	inEpisode := func() bool {
 		for _, e := range episodes {
 			if step >= e && step < e+episodeLen {
+				return true
+			}
+		}
+		return false
+	}
+	// Each episode decays through a tail where only monitor 0 still
+	// spikes: its local violations keep polls coming, but the global total
+	// (40 + 3×10) sits below the threshold, so the poll completes
+	// non-violating and auto-resolves the episode's alert. Without the
+	// tail every completed poll confirms and no clearing poll ever runs.
+	const tailLen = 10
+	inTail := func() bool {
+		for _, e := range episodes {
+			if step >= e+episodeLen && step < e+episodeLen+tailLen {
 				return true
 			}
 		}
@@ -329,10 +357,11 @@ func TestClusterChaosSoak(t *testing.T) {
 	}
 	monitors := make([]*volley.Monitor, n)
 	for i := range monitors {
+		lingers := i == 0 // monitor 0 spikes through the decay tail
 		monitors[i], err = volley.NewMonitor(volley.MonitorConfig{
 			ID: busyIDs[i], Task: "busy",
 			Agent: volley.AgentFunc(func() (float64, error) {
-				if inEpisode() {
+				if inEpisode() || (lingers && inTail()) {
 					return spikeLevel, nil
 				}
 				return quietLevel, nil
@@ -416,6 +445,24 @@ func TestClusterChaosSoak(t *testing.T) {
 				t.Fatalf("step %d: quiet monitor: %v", step, err)
 			}
 		}
+		// Dedup invariant at every step: a sustained violation holds at
+		// most ONE live alert for the busy task, and the quiet task never
+		// carries one at all.
+		liveBusy := 0
+		for _, a := range areg.List() {
+			if a.Status != volley.AlertOpen && a.Status != volley.AlertAcked {
+				continue
+			}
+			switch a.Task {
+			case "busy":
+				liveBusy++
+			default:
+				t.Fatalf("step %d: live alert for task %q, want busy only: %+v", step, a.Task, a)
+			}
+		}
+		if liveBusy > 1 {
+			t.Fatalf("step %d: %d live alerts for busy, want confirmed polls deduped into 1", step, liveBusy)
+		}
 		// Conservation through reclamations, restorations and handoffs.
 		if step%200 == 0 {
 			for _, task := range []string{"busy", "quiet"} {
@@ -484,6 +531,71 @@ func TestClusterChaosSoak(t *testing.T) {
 	}
 	if st.Coord.GlobalAlerts != uint64(len(alerts["busy"])) {
 		t.Errorf("aggregated GlobalAlerts = %d, want %d across incarnations", st.Coord.GlobalAlerts, len(alerts["busy"]))
+	}
+
+	// Alert lifecycle across the whole soak, including the shard kill:
+	// every episode's alert auto-resolved once a clearing poll completed,
+	// with history intact, and every confirming poll accounted for either
+	// as an open or a dedup (occurrences conservation).
+	busyAlerts := 0
+	var occurrences uint64
+	for _, a := range areg.List() {
+		if a.Task != "busy" {
+			t.Errorf("alert for task %q, want busy only: %+v", a.Task, a)
+			continue
+		}
+		busyAlerts++
+		occurrences += a.Occurrences
+		if a.Status != volley.AlertResolved {
+			t.Errorf("alert %d (raised %v) not auto-resolved by soak end: status %v", a.ID, a.RaisedAt, a.Status)
+			continue
+		}
+		if len(a.History) < 2 || a.History[0].Status != volley.AlertOpen ||
+			a.History[len(a.History)-1].Status != volley.AlertResolved {
+			t.Errorf("alert %d history %+v, want open → resolved", a.ID, a.History)
+		} else if actor := a.History[len(a.History)-1].Actor; actor != "auto" {
+			t.Errorf("alert %d resolved by %q, want auto (clearing poll)", a.ID, actor)
+		}
+	}
+	if busyAlerts < len(episodes)-missed {
+		t.Errorf("alerts for busy = %d, want >= %d detected episodes", busyAlerts, len(episodes)-missed)
+	}
+	if occurrences != st.Coord.GlobalAlerts {
+		t.Errorf("alert occurrences sum = %d, want %d (one Raise per confirming poll)",
+			occurrences, st.Coord.GlobalAlerts)
+	}
+	// The history sink replays every episode as open → resolved.
+	histSeq := map[uint64][]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(alertHist.String(), "\n"), "\n") {
+		var rec struct {
+			ID     uint64 `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad alert history row %q: %v", line, err)
+		}
+		histSeq[rec.ID] = append(histSeq[rec.ID], rec.Status)
+	}
+	if len(histSeq) != busyAlerts {
+		t.Errorf("history sink covers %d alerts, want %d", len(histSeq), busyAlerts)
+	}
+	for id, seq := range histSeq {
+		if got := strings.Join(seq, ","); got != "open,resolved" {
+			t.Errorf("alert %d history sink sequence = %q, want open,resolved", id, got)
+		}
+	}
+	// Nothing cold-started and nothing was lost: the kill handed the
+	// episode state off through the live export path.
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	for _, want := range []string{
+		fmt.Sprintf("volley_alerts_raised_total %d", busyAlerts),
+		"volley_alerts_lost_total 0",
+		"volley_alerts_open 0",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("soak metrics missing %q", want)
+		}
 	}
 
 	// The trace tells the story: a shard crash, a ring rebuild that moved

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"volley/internal/alerts"
+	"volley/internal/obs"
+)
+
+// alertsBenchEntry is one alert-registry hot path: ns and allocations per
+// operation. The raise_dedup path is the one a sustained violation hammers
+// on every confirming poll — it must stay allocation-free so a
+// thousand-tick episode costs nothing beyond the atomic counters.
+type alertsBenchEntry struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// alertsBenchReport is the schema of BENCH_alerts.json.
+type alertsBenchReport struct {
+	GoMaxProcs       int                `json:"gomaxprocs"`
+	Entries          []alertsBenchEntry `json:"alerts"`
+	TotalWallClockNS int64              `json:"total_wall_clock_ns"`
+}
+
+// writeAlertsBenchJSON measures the alert registry's hot paths with
+// testing.Benchmark — metrics wired in, as in production — and writes the
+// results to path.
+func writeAlertsBenchJSON(path string, out *os.File) error {
+	report := alertsBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	start := time.Now()
+
+	bench := func(op string, setup func() *alerts.Registry, fn func(r *alerts.Registry, i int)) {
+		r := setup()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(r, i)
+			}
+		})
+		report.Entries = append(report.Entries, alertsBenchEntry{
+			Op:          op,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		})
+	}
+
+	newReg := func() *alerts.Registry {
+		return alerts.New(alerts.Config{Node: "bench", Metrics: obs.NewRegistry()})
+	}
+
+	// Sustained violation: every Raise after the first dedups into the
+	// live episode. This is the zero-alloc fast path.
+	bench("raise_dedup", func() *alerts.Registry {
+		r := newReg()
+		r.Raise("task", 0, 100)
+		return r
+	}, func(r *alerts.Registry, i int) {
+		r.Raise("task", time.Duration(i), 100)
+	})
+
+	// Local violation context folding into an existing episode's
+	// per-monitor map — the monitor-side fast path.
+	bench("observe_local_dedup", func() *alerts.Registry {
+		r := newReg()
+		r.Raise("task", 0, 100)
+		r.ObserveLocal("task", "m0", 0, 50)
+		return r
+	}, func(r *alerts.Registry, i int) {
+		r.ObserveLocal("task", "m0", time.Duration(i), 50)
+	})
+
+	// A full episode lifecycle: open on the first confirming poll,
+	// auto-resolve on the clearing one, with the JSONL history sink wired.
+	bench("open_resolve_cycle", func() *alerts.Registry {
+		return alerts.New(alerts.Config{
+			Node: "bench", Metrics: obs.NewRegistry(), History: io.Discard,
+		})
+	}, func(r *alerts.Registry, i int) {
+		now := time.Duration(i)
+		r.Raise("task", now, 100)
+		r.Clear("task", now, 10)
+	})
+
+	// Snapshot export of the live episode — runs on every replication
+	// ship, so its cost bounds the checkpoint cadence.
+	bench("export_open", func() *alerts.Registry {
+		r := newReg()
+		r.Raise("task", 0, 100)
+		return r
+	}, func(r *alerts.Registry, i int) {
+		if len(r.ExportOpen("task")) != 1 {
+			panic("lost the live alert")
+		}
+	})
+
+	report.TotalWallClockNS = time.Since(start).Nanoseconds()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Entries {
+		fmt.Fprintf(out, "alerts/%-20s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			e.Op, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

@@ -45,6 +45,7 @@ func main() {
 	coordJSONPath := flag.String("coordjson", "", "benchmark the coordinator rebalance hot path at 100/1k/10k monitors and write ns/op and allocs/op as JSON to this file")
 	clusterJSONPath := flag.String("clusterjson", "", "benchmark consistent-hash task placement at 4/16/64 shards and write ns/op, allocs/op and movement fractions as JSON to this file")
 	transportJSONPath := flag.String("transportjson", "", "benchmark the wire codec (gob vs binary, batched vs not) end-to-end over loopback TCP and write throughput and bytes/msg as JSON to this file")
+	alertsJSONPath := flag.String("alertsjson", "", "benchmark the alert registry hot paths (dedup raise, local observe, lifecycle, snapshot export) and write ns/op and allocs/op as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -71,6 +72,13 @@ func main() {
 	}
 	if *transportJSONPath != "" {
 		if err := writeTransportBenchJSON(*transportJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *alertsJSONPath != "" {
+		if err := writeAlertsBenchJSON(*alertsJSONPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "volleybench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"volley"
+)
+
+// getAlerts fetches and decodes GET /alerts.
+func getAlerts(t *testing.T, base string) []volley.Alert {
+	t.Helper()
+	code, body := httpGet(t, base+"/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("GET /alerts = %d %s", code, body)
+	}
+	var out []volley.Alert
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("GET /alerts not JSON: %v\n%s", err, body)
+	}
+	return out
+}
+
+// waitAlert polls GET /alerts until pred matches one alert.
+func waitAlert(t *testing.T, base string, pred func(volley.Alert) bool) volley.Alert {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, a := range getAlerts(t, base) {
+			if pred(a) {
+				return a
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no matching alert; have %+v", getAlerts(t, base))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAlertLifecycleEndToEnd is the acceptance test for the operator alert
+// API in single-process mode: a sustained violation opens exactly one
+// alert, the HTTP surface drives list → ack → resolve, a second episode is
+// retired by TTL when the signal goes quiet, and the JSONL history file
+// replays both episodes' full status sequences.
+func TestAlertLifecycleEndToEnd(t *testing.T) {
+	var failing atomic.Bool
+	src := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write([]byte("100")) // always violating (threshold 50)
+	}))
+	defer src.Close()
+
+	histPath := t.TempDir() + "/alerts.jsonl"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startDaemon(t, ctx, options{
+		source:      src.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		alertHist:   histPath,
+		alertTTL:    250 * time.Millisecond,
+		out:         io.Discard,
+	})
+	base := "http://" + addr
+
+	// A violation sustained across many samples dedups into ONE open alert.
+	first := waitAlert(t, base, func(a volley.Alert) bool { return a.Status == volley.AlertOpen })
+	time.Sleep(50 * time.Millisecond) // many more violating samples
+	open := 0
+	for _, a := range getAlerts(t, base) {
+		if a.Status == volley.AlertOpen {
+			open++
+			if a.Occurrences < 2 {
+				t.Errorf("occurrences = %d, want re-raises deduped into the episode", a.Occurrences)
+			}
+		}
+	}
+	if open != 1 {
+		t.Fatalf("open alerts = %d, want exactly 1", open)
+	}
+
+	// Ack, then resolve, through the operator API.
+	id := strconv.FormatUint(first.ID, 10)
+	code, body := httpDo(t, http.MethodPost, base+"/alerts/"+id+"/ack?actor=alice", "")
+	if code != http.StatusOK {
+		t.Fatalf("ack = %d %s", code, body)
+	}
+	var acked volley.Alert
+	if err := json.Unmarshal([]byte(body), &acked); err != nil || acked.Status != volley.AlertAcked || acked.AckedBy != "alice" {
+		t.Fatalf("ack response = %s (%v)", body, err)
+	}
+	if code, _ := httpDo(t, http.MethodPost, base+"/alerts/"+id+"/ack", ""); code != http.StatusConflict {
+		t.Errorf("double ack = %d, want conflict", code)
+	}
+	code, body = httpDo(t, http.MethodPost, base+"/alerts/"+id+"/resolve?actor=alice", "")
+	if code != http.StatusOK {
+		t.Fatalf("resolve = %d %s", code, body)
+	}
+	if code, _ := httpDo(t, http.MethodPost, base+"/alerts/"+id+"/resolve", ""); code != http.StatusConflict {
+		t.Errorf("resolve after resolve = %d, want conflict", code)
+	}
+	if code, _ := httpDo(t, http.MethodPost, base+"/alerts/999999/ack", ""); code != http.StatusNotFound {
+		t.Errorf("ack unknown id = %d, want not found", code)
+	}
+	if code, _ := httpDo(t, http.MethodPost, base+"/alerts/xyz/ack", ""); code != http.StatusBadRequest {
+		t.Errorf("ack bad id = %d, want bad request", code)
+	}
+
+	// The still-violating signal opens a SECOND episode...
+	second := waitAlert(t, base, func(a volley.Alert) bool {
+		return a.Status == volley.AlertOpen && a.ID != first.ID
+	})
+	// ...then the signal goes dark (errors neither raise nor clear), so the
+	// TTL backstop expires it.
+	failing.Store(true)
+	expired := waitAlert(t, base, func(a volley.Alert) bool {
+		return a.ID == second.ID && a.Status == volley.AlertExpired
+	})
+	if expired.Window != second.Window {
+		t.Errorf("expired alert window changed: %v != %v", expired.Window, second.Window)
+	}
+
+	// The exposition carries the alert families with live values.
+	_, metrics := httpGet(t, base+"/metrics")
+	for _, want := range []string{
+		"volley_alerts_raised_total 2", "volley_alerts_deduped_total",
+		"volley_alerts_resolved_total 1", "volley_alerts_expired_total 1",
+		"volley_alerts_open 0", "volley_alerts_time_to_resolve_seconds_count 1",
+		"volley_build_info{", "volley_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+
+	// The JSONL history replays both episodes' full status sequences.
+	f, err := os.Open(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seq := map[uint64][]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			ID     uint64 `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad history row %q: %v", sc.Text(), err)
+		}
+		seq[rec.ID] = append(seq[rec.ID], rec.Status)
+	}
+	if got := strings.Join(seq[first.ID], ","); got != "open,acked,resolved" {
+		t.Errorf("episode 1 history = %q, want open,acked,resolved", got)
+	}
+	if got := strings.Join(seq[second.ID], ","); got != "open,expired" {
+		t.Errorf("episode 2 history = %q, want open,expired", got)
+	}
+}
+
+// TestSinkFlushOnShutdown is the regression test for the graceful-shutdown
+// flush: with buffered -events-file and -alert-history sinks, the tail of
+// a short run fits entirely inside the bufio buffers — without the
+// shutdown flush both files would be empty.
+func TestSinkFlushOnShutdown(t *testing.T) {
+	src := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("100")) // violating: trace events and an alert
+	}))
+	defer src.Close()
+
+	dir := t.TempDir()
+	eventsPath := dir + "/events.jsonl"
+	histPath := dir + "/alerts.jsonl"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, done := startDaemon(t, ctx, options{
+		source:      src.URL,
+		interval:    time.Millisecond,
+		threshold:   50,
+		errAllow:    0.05,
+		maxInterval: 5,
+		eventsFile:  eventsPath,
+		alertHist:   histPath,
+		out:         io.Discard,
+	})
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+
+	for _, path := range []string{eventsPath, histPath} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty after graceful shutdown: buffered tail lost", path)
+		}
+		if data[len(data)-1] != '\n' {
+			t.Fatalf("%s ends mid-line: %q", path, data[len(data)-40:])
+		}
+		for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+			if !json.Valid([]byte(line)) {
+				t.Fatalf("%s line %d not valid JSON: %q", path, i+1, line)
+			}
+		}
+	}
+}
+
+// TestClusterModeAlertAPI drives the same operator surface in -shards
+// cluster mode: the coordinator's confirmed global violation opens the
+// alert, dedup holds it at one, and ack/resolve work over HTTP.
+func TestClusterModeAlertAPI(t *testing.T) {
+	src := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("100"))
+	}))
+	defer src.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startDaemon(t, ctx, options{
+		interval:    time.Millisecond,
+		maxInterval: 5,
+		shards:      3,
+		out:         io.Discard,
+	})
+	base := "http://" + addr
+
+	spec := `{"name":"cpu","threshold":50,"err":0.05,"monitors":[` +
+		`{"id":"m0","source":"` + src.URL + `"},{"id":"m1","source":"` + src.URL + `"}]}`
+	if code, body := httpDo(t, http.MethodPost, base+"/tasks", spec); code != http.StatusCreated {
+		t.Fatalf("POST /tasks = %d %s", code, body)
+	}
+
+	a := waitAlert(t, base, func(a volley.Alert) bool {
+		return a.Task == "cpu" && a.Status == volley.AlertOpen
+	})
+	time.Sleep(30 * time.Millisecond)
+	open := 0
+	for _, al := range getAlerts(t, base) {
+		if al.Status == volley.AlertOpen {
+			open++
+		}
+	}
+	if open != 1 {
+		t.Fatalf("open alerts = %d, want 1 despite sustained violation", open)
+	}
+
+	id := strconv.FormatUint(a.ID, 10)
+	if code, body := httpDo(t, http.MethodPost, base+"/alerts/"+id+"/ack?actor=oncall", ""); code != http.StatusOK {
+		t.Fatalf("ack = %d %s", code, body)
+	}
+	code, body := httpDo(t, http.MethodPost, base+"/alerts/"+id+"/resolve?actor=oncall", "")
+	if code != http.StatusOK {
+		t.Fatalf("resolve = %d %s", code, body)
+	}
+	var resolved volley.Alert
+	if err := json.Unmarshal([]byte(body), &resolved); err != nil || resolved.Status != volley.AlertResolved {
+		t.Fatalf("resolve response = %s (%v)", body, err)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}

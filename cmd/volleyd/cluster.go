@@ -56,17 +56,29 @@ type clusterUpdateRequest struct {
 // monitors it hosts for admitted tasks, and the virtual clock the driver
 // loop advances.
 type clusterDaemon struct {
-	opts   options
-	net    *volley.MemoryNetwork
-	cl     *volley.Cluster
-	tracer *volley.Tracer
-	reg    *volley.Metrics
-	alerts *volley.Counter
-	start  time.Time
+	opts     options
+	net      *volley.MemoryNetwork
+	cl       *volley.Cluster
+	tracer   *volley.Tracer
+	reg      *volley.Metrics
+	alerts   *volley.Counter
+	alertReg *volley.AlertRegistry
+	start    time.Time
 
 	mu   sync.Mutex
 	mons map[string][]*volley.Monitor // task name → hosted monitors
 	step uint64                       // virtual ticks elapsed
+}
+
+// now is the virtual clock position of the last completed tick, the time
+// base alert lifecycle operations from HTTP handlers are stamped with.
+func (d *clusterDaemon) now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.step == 0 {
+		return 0
+	}
+	return time.Duration(d.step-1) * d.opts.interval
 }
 
 // runCluster is cluster-mode main: it builds the federation, serves the
@@ -86,17 +98,30 @@ func runCluster(ctx context.Context, opts options) error {
 		start: time.Now(),
 		mons:  make(map[string][]*volley.Monitor),
 	}
+	eventsSink, err := openFileSink(opts.eventsFile)
+	if err != nil {
+		return err
+	}
+	historySink, err := openFileSink(opts.alertHist)
+	if err != nil {
+		return errors.Join(err, eventsSink.Close())
+	}
 	tracerOpts := []volley.TracerOption{
 		volley.WithTraceClock(func() time.Duration { return time.Since(d.start) }),
 	}
 	if opts.events {
 		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(opts.out))
 	}
+	if eventsSink != nil {
+		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(eventsSink))
+	}
 	d.tracer = volley.NewTracer(4096, tracerOpts...)
 	d.alerts = d.reg.Counter("volleyd_alerts_total", "State alerts raised across all cluster tasks.")
 	d.reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
 		return time.Since(d.start).Seconds()
 	})
+	volley.RegisterBuildInfo(d.reg, d.start)
+	d.alertReg = newAlertRegistry("volleyd", opts, d.reg, d.tracer, historySink)
 
 	shards := make([]string, opts.shards)
 	for i := range shards {
@@ -110,6 +135,7 @@ func runCluster(ctx context.Context, opts options) error {
 		Network: d.net,
 		Metrics: d.reg,
 		Tracer:  d.tracer,
+		Alerts:  d.alertReg,
 		OnAlert: func(task string, now time.Duration, total float64) {
 			d.alerts.Inc()
 			encMu.Lock()
@@ -121,17 +147,18 @@ func runCluster(ctx context.Context, opts options) error {
 		},
 	})
 	if err != nil {
-		return err
+		return errors.Join(err, closeSinks(eventsSink, historySink))
 	}
 	d.cl = cl
 	publishExpvar(d.status)
 
 	if opts.listen == "" {
-		return fmt.Errorf("cluster mode needs -listen (the control plane is HTTP)")
+		return errors.Join(fmt.Errorf("cluster mode needs -listen (the control plane is HTTP)"),
+			closeSinks(eventsSink, historySink))
 	}
 	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {
-		return err
+		return errors.Join(err, closeSinks(eventsSink, historySink))
 	}
 	if opts.onListen != nil {
 		opts.onListen(ln.Addr().String())
@@ -145,12 +172,12 @@ func runCluster(ctx context.Context, opts options) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return errors.Join(loopErr, err)
+		return errors.Join(loopErr, err, closeSinks(eventsSink, historySink))
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return errors.Join(loopErr, err)
+		return errors.Join(loopErr, err, closeSinks(eventsSink, historySink))
 	}
-	return loopErr
+	return errors.Join(loopErr, closeSinks(eventsSink, historySink))
 }
 
 // loop advances the cluster and every hosted monitor once per -interval on
@@ -223,6 +250,7 @@ func (d *clusterDaemon) mux() *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	registerAlertRoutes(mux, d.alertReg, d.now)
 
 	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -318,6 +346,7 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			HeartbeatEvery: 10,
 			Metrics:        d.reg,
 			Tracer:         d.tracer,
+			Alerts:         d.alertReg,
 		})
 		if err != nil {
 			// Roll the half-admitted task back so the request is atomic.

@@ -74,6 +74,9 @@ func main() {
 		events      = flag.Bool("events", false, "tail decision events as JSON lines on stdout")
 		duration    = flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
 		stateFile   = flag.String("state", "", "persist sampler state to this file and restore it on start")
+		eventsFile  = flag.String("events-file", "", "append decision events as JSON lines to this file (flushed on shutdown)")
+		alertHist   = flag.String("alert-history", "", "append alert lifecycle transitions as JSON lines to this file (flushed on shutdown)")
+		alertTTL    = flag.Duration("alert-ttl", 0, "expire live alerts not re-confirmed for this long (0 = never)")
 		shards      = flag.Int("shards", 0, "run a sharded monitoring cluster with this many coordinator shards; tasks are admitted over HTTP (see cluster.go)")
 
 		shardID       = flag.String("shard-id", "", "run as one networked cluster shard with this identity; requires -peer-listen (see shard.go)")
@@ -104,6 +107,9 @@ func main() {
 		events:      *events,
 		duration:    *duration,
 		stateFile:   *stateFile,
+		eventsFile:  *eventsFile,
+		alertHist:   *alertHist,
+		alertTTL:    *alertTTL,
 		shards:      *shards,
 
 		shardID:       *shardID,
@@ -136,7 +142,10 @@ type options struct {
 	events      bool
 	duration    time.Duration
 	stateFile   string
-	shards      int // > 0 switches to cluster mode (cluster.go)
+	eventsFile  string        // JSONL decision-event sink, flushed on shutdown
+	alertHist   string        // JSONL alert-history sink, flushed on shutdown
+	alertTTL    time.Duration // live alerts expire after this re-raise silence
+	shards      int           // > 0 switches to cluster mode (cluster.go)
 
 	// Networked shard mode (shard.go): non-empty shardID switches the
 	// daemon to one cluster shard speaking TCP to its peers.
@@ -226,14 +235,27 @@ func run(ctx context.Context, opts options) error {
 	// Instruments are atomic, so the HTTP handlers below may read them
 	// while the sampling loop writes.
 	start := time.Now()
+	eventsSink, err := openFileSink(opts.eventsFile)
+	if err != nil {
+		return err
+	}
+	historySink, err := openFileSink(opts.alertHist)
+	if err != nil {
+		return errors.Join(err, eventsSink.Close())
+	}
 	tracerOpts := []volley.TracerOption{
 		volley.WithTraceClock(func() time.Duration { return time.Since(start) }),
 	}
 	if opts.events {
 		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(opts.out))
 	}
+	if eventsSink != nil {
+		tracerOpts = append(tracerOpts, volley.WithTraceJSONL(eventsSink))
+	}
 	tracer := volley.NewTracer(1024, tracerOpts...)
 	reg := volley.NewMetrics()
+	volley.RegisterBuildInfo(reg, start)
+	alertReg := newAlertRegistry("volleyd", opts, reg, tracer, historySink)
 	var (
 		samplesTotal   = reg.Counter("volley_sampler_observations_total", "Adaptive sampling operations.", "instance", "volleyd")
 		alertsTotal    = reg.Counter("volleyd_alerts_total", "State alerts raised.")
@@ -298,9 +320,10 @@ func run(ctx context.Context, opts options) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		registerAlertRoutes(mux, alertReg, func() time.Duration { return time.Since(start) })
 		ln, err := net.Listen("tcp", opts.listen)
 		if err != nil {
-			return err
+			return errors.Join(err, closeSinks(eventsSink, historySink))
 		}
 		if opts.onListen != nil {
 			opts.onListen(ln.Addr().String())
@@ -311,39 +334,44 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	loopErr := sampleLoop(ctx, opts, loopState{
-		agent:   agent,
-		sampler: sampler,
-		agg:     agg,
-		tracer:  tracer,
-		alerts:  alertsTotal,
-		errs:    agentErrsTotal,
-		value:   valueGauge,
+		agent:    agent,
+		sampler:  sampler,
+		agg:      agg,
+		tracer:   tracer,
+		alerts:   alertsTotal,
+		alertReg: alertReg,
+		since:    func() time.Duration { return time.Since(start) },
+		errs:     agentErrsTotal,
+		value:    valueGauge,
 	})
 
-	// Graceful shutdown: stop accepting, drain in-flight scrapes, surface
-	// any listener failure that would otherwise be lost in the goroutine.
+	// Graceful shutdown: stop accepting, drain in-flight scrapes, flush the
+	// JSONL sinks so the tail of the run is never lost, and surface any
+	// listener failure that would otherwise die silently in the goroutine.
 	if srv != nil {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return errors.Join(loopErr, err)
+			return errors.Join(loopErr, err, closeSinks(eventsSink, historySink))
 		}
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return errors.Join(loopErr, err)
+			return errors.Join(loopErr, err, closeSinks(eventsSink, historySink))
 		}
 	}
-	return loopErr
+	return errors.Join(loopErr, closeSinks(eventsSink, historySink))
 }
 
 // loopState carries the sampling loop's collaborators.
 type loopState struct {
-	agent   func() (float64, error)
-	sampler *volley.Sampler
-	agg     *volley.AggregateSampler
-	tracer  *volley.Tracer
-	alerts  *volley.Counter
-	errs    *volley.Counter
-	value   *volley.Gauge
+	agent    func() (float64, error)
+	sampler  *volley.Sampler
+	agg      *volley.AggregateSampler
+	tracer   *volley.Tracer
+	alerts   *volley.Counter
+	alertReg *volley.AlertRegistry
+	since    func() time.Duration // the run clock stamping alert lifecycle ops
+	errs     *volley.Counter
+	value    *volley.Gauge
 }
 
 func sampleLoop(ctx context.Context, opts options, st loopState) error {
@@ -365,6 +393,9 @@ func sampleLoop(ctx context.Context, opts options, st loopState) error {
 			return nil
 		case <-ticker.C:
 		}
+		// TTL expiry runs on the raw tick clock, not the stretched sampling
+		// clock, so an episode whose signal goes quiet still expires.
+		st.alertReg.Tick(st.since())
 		if untilNext > 0 {
 			untilNext--
 			continue
@@ -404,6 +435,11 @@ func sampleLoop(ctx context.Context, opts options, st loopState) error {
 				Type: volley.TraceViolation, Node: "volleyd", Task: opts.source,
 				Value: value, Bound: bound, Interval: interval,
 			})
+			// A violating sample raises (or dedups into) the task's live
+			// alert; a clean sample ends the episode.
+			st.alertReg.Raise(opts.source, st.since(), value)
+		} else {
+			st.alertReg.Clear(opts.source, st.since(), value)
 		}
 		_ = enc.Encode(event{
 			Time:     now,

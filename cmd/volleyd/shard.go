@@ -25,11 +25,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"volley/internal/alerts"
 	"volley/internal/cluster"
 	"volley/internal/core"
 	"volley/internal/monitor"
@@ -93,14 +95,15 @@ func (f *tcpFabric) Deregister(addr string) error { return f.node.Deregister(add
 // owned tasks. It implements cluster.TaskHost — the node calls StartTask
 // and StopTask as ownership moves.
 type shardDaemon struct {
-	opts   options
-	node   *cluster.Node
-	fabric *tcpFabric
-	local  *transport.Memory
-	reg    *obs.Registry
-	tracer *obs.Tracer
-	alerts *obs.Counter
-	start  time.Time
+	opts     options
+	node     *cluster.Node
+	fabric   *tcpFabric
+	local    *transport.Memory
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	alerts   *obs.Counter
+	alertReg *alerts.Registry
+	start    time.Time
 
 	encMu sync.Mutex
 	enc   *json.Encoder
@@ -108,6 +111,14 @@ type shardDaemon struct {
 	mu   sync.Mutex
 	mons map[string][]*monitor.Monitor
 	step uint64
+}
+
+// now is the virtual clock position of the last completed tick, stamping
+// alert lifecycle operations from HTTP handlers.
+func (d *shardDaemon) now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.step) * d.opts.interval
 }
 
 // parsePeerList parses "id=host:port,id=host:port" into members.
@@ -157,17 +168,46 @@ func runShard(ctx context.Context, opts options) error {
 		mons:  make(map[string][]*monitor.Monitor),
 		enc:   json.NewEncoder(opts.out),
 	}
+	eventsSink, err := openFileSink(opts.eventsFile)
+	if err != nil {
+		return err
+	}
+	historySink, err := openFileSink(opts.alertHist)
+	if err != nil {
+		return errors.Join(err, eventsSink.Close())
+	}
+	defer func() {
+		// Flush the JSONL tails on every exit path, including fabric and
+		// listener setup errors.
+		if err := closeSinks(eventsSink, historySink); err != nil {
+			fmt.Fprintln(os.Stderr, "volleyd: close sinks:", err)
+		}
+	}()
 	tracerOpts := []obs.TracerOption{
 		obs.WithNowFunc(func() time.Duration { return time.Since(d.start) }),
 	}
 	if opts.events {
 		tracerOpts = append(tracerOpts, obs.WithJSONLSink(opts.out))
 	}
+	if eventsSink != nil {
+		tracerOpts = append(tracerOpts, obs.WithJSONLSink(eventsSink))
+	}
 	d.tracer = obs.NewTracer(4096, tracerOpts...)
 	d.alerts = d.reg.Counter("volleyd_alerts_total", "State alerts raised across all owned tasks.")
 	d.reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
 		return time.Since(d.start).Seconds()
 	})
+	obs.RegisterBuildInfo(d.reg, d.start)
+	alertCfg := alerts.Config{
+		Node:    opts.shardID,
+		TTL:     opts.alertTTL,
+		Metrics: d.reg,
+		Tracer:  d.tracer,
+	}
+	if historySink != nil {
+		alertCfg.History = historySink
+	}
+	d.alertReg = alerts.New(alertCfg)
 
 	fabricOpts := []transport.TCPOption{}
 	if opts.batchWindow != 0 {
@@ -210,6 +250,7 @@ func runShard(ctx context.Context, opts options) error {
 		},
 		Metrics: d.reg,
 		Tracer:  d.tracer,
+		Alerts:  d.alertReg,
 	})
 	if err != nil {
 		return err
@@ -328,6 +369,7 @@ func (d *shardDaemon) StartTask(spec cluster.TaskSpec, hostSpec []byte, coordAdd
 			HeartbeatEvery: 10,
 			Metrics:        d.reg,
 			Tracer:         d.tracer,
+			Alerts:         d.alertReg,
 		})
 		if err != nil {
 			for _, a := range addrs[:i] {
@@ -396,6 +438,7 @@ func (d *shardDaemon) mux() *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	registerAlertRoutes(mux, d.alertReg, d.now)
 
 	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

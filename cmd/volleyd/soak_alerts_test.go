@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"volley/internal/alerts"
+)
+
+// The alert-handoff soak: three real volleyd shard processes over real
+// TCP host a continuously violating task; the owner accumulates ONE open
+// deduped alert, is killed with SIGKILL, and the warm successor must
+// resume the same violation episode — same window, history carrying the
+// handoff transition, volley_alerts_lost_total untouched. Gated behind
+// VOLLEY_SOAK=1 like TestShardSoakKill9 (the shared `-run
+// TestShardSoakKill9` pattern matches both).
+
+// soakGetAlerts fetches GET /alerts from a shard's control plane.
+func soakGetAlerts(s *soakShard) ([]alerts.Alert, error) {
+	var out []alerts.Alert
+	err := getJSON("http://"+s.http+"/alerts", &out)
+	return out, err
+}
+
+func TestShardSoakKill9AlertHandoff(t *testing.T) {
+	if os.Getenv("VOLLEY_SOAK") == "" {
+		t.Skip("process-level soak; run via `make soak` (VOLLEY_SOAK=1)")
+	}
+
+	bin := filepath.Join(t.TempDir(), "volleyd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build volleyd: %v\n%s", err, out)
+	}
+
+	ports := freePorts(t, 6)
+	shards := []*soakShard{
+		{id: "a", peer: ports[0], http: ports[3]},
+		{id: "b", peer: ports[1], http: ports[4]},
+		{id: "c", peer: ports[2], http: ports[5]},
+	}
+	for _, s := range shards {
+		var peers []string
+		for _, o := range shards {
+			if o.id != s.id {
+				peers = append(peers, o.id+"="+o.peer)
+			}
+		}
+		s.log = &bytes.Buffer{}
+		s.cmd = exec.Command(bin,
+			"-shard-id", s.id,
+			"-peer-listen", s.peer,
+			"-peers", strings.Join(peers, ","),
+			"-listen", s.http,
+			"-interval", "25ms",
+			"-beacon-every", "2",
+			"-suspect-after", "8",
+			"-dead-after", "16",
+			"-snapshot-every", "4",
+		)
+		s.cmd.Stdout = s.log
+		s.cmd.Stderr = s.log
+		if err := s.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range shards {
+			if s.cmd.Process != nil {
+				_ = s.cmd.Process.Kill()
+				_ = s.cmd.Wait()
+			}
+			if t.Failed() {
+				t.Logf("--- shard %s log ---\n%s", s.id, s.log.String())
+			}
+		}
+	})
+
+	view := func(s *soakShard) (clusterView, error) {
+		var v clusterView
+		err := getJSON("http://"+s.http+"/cluster", &v)
+		return v, err
+	}
+
+	// Membership converges, then a continuously violating task is admitted:
+	// 80 + 90 against a global threshold of 100.
+	waitFor(t, 15*time.Second, "3-shard convergence", func() bool {
+		var digests []uint64
+		for _, s := range shards {
+			v, err := view(s)
+			if err != nil || len(v.RingMembers) != 3 {
+				return false
+			}
+			digests = append(digests, v.RingDigest)
+		}
+		return digests[0] == digests[1] && digests[1] == digests[2]
+	})
+	task := map[string]any{
+		"name": "hot", "threshold": 100.0, "err": 0.05,
+		"monitors": []map[string]string{
+			{"id": "m1", "source": "cmd:echo 80"},
+			{"id": "m2", "source": "cmd:echo 90"},
+		},
+	}
+	body, _ := json.Marshal(task)
+	resp, err := http.Post("http://"+shards[0].http+"/tasks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit: status %d", resp.StatusCode)
+	}
+
+	var owner *soakShard
+	waitFor(t, 15*time.Second, "task placement", func() bool {
+		owners := 0
+		for _, s := range shards {
+			v, err := view(s)
+			if err != nil {
+				return false
+			}
+			for _, o := range v.Owned {
+				if o.Name == "hot" {
+					owners++
+					owner = s
+				}
+			}
+		}
+		return owners == 1
+	})
+
+	// The sustained violation must open exactly ONE alert and dedup into it
+	// (occurrence counter climbing, status open).
+	var before alerts.Alert
+	waitFor(t, 20*time.Second, "one open deduped alert on the owner", func() bool {
+		as, err := soakGetAlerts(owner)
+		if err != nil {
+			return false
+		}
+		live := 0
+		for _, a := range as {
+			if a.Task == "hot" && a.Status == alerts.StatusOpen {
+				live++
+				before = a
+			}
+		}
+		return live == 1 && before.Occurrences >= 3
+	})
+	if as, _ := soakGetAlerts(owner); len(as) > 0 {
+		open := 0
+		for _, a := range as {
+			if a.Status == alerts.StatusOpen {
+				open++
+			}
+		}
+		if open != 1 {
+			t.Fatalf("open alerts on owner = %d, want exactly 1: %+v", open, as)
+		}
+	}
+
+	// Wait for a post-alert snapshot frame to reach a survivor: the epoch
+	// must advance past what was current when the alert was first observed.
+	epochAtAlert := uint64(0)
+	for _, s := range shards {
+		if s == owner {
+			continue
+		}
+		if v, err := view(s); err == nil {
+			for _, snap := range v.Snapshots {
+				if snap.Task == "hot" && snap.Epoch > epochAtAlert {
+					epochAtAlert = snap.Epoch
+				}
+			}
+		}
+	}
+	waitFor(t, 15*time.Second, "post-alert snapshot replication", func() bool {
+		for _, s := range shards {
+			if s == owner {
+				continue
+			}
+			v, err := view(s)
+			if err != nil {
+				continue
+			}
+			for _, snap := range v.Snapshots {
+				if snap.Task == "hot" && snap.Epoch >= epochAtAlert+2 {
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	// kill -9 the owner; a survivor must take over warm.
+	killed := owner.id
+	if err := owner.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = owner.cmd.Wait()
+	var survivors []*soakShard
+	for _, s := range shards {
+		if s != owner {
+			survivors = append(survivors, s)
+		}
+	}
+	var successor *soakShard
+	waitFor(t, 20*time.Second, "warm takeover by a survivor", func() bool {
+		owners := 0
+		for _, s := range survivors {
+			v, err := view(s)
+			if err != nil {
+				return false
+			}
+			for _, o := range v.Owned {
+				if o.Name == "hot" && o.Recovery != nil && o.Recovery.Warm {
+					owners++
+					successor = s
+				}
+			}
+		}
+		return owners == 1
+	})
+
+	// The successor's GET /alerts must carry the SAME violation episode:
+	// live status, identical window, and a handoff transition in history.
+	var after alerts.Alert
+	waitFor(t, 15*time.Second, "open alert on the successor", func() bool {
+		as, err := soakGetAlerts(successor)
+		if err != nil {
+			return false
+		}
+		for _, a := range as {
+			if a.Task == "hot" && (a.Status == alerts.StatusOpen || a.Status == alerts.StatusAcked) {
+				after = a
+				return true
+			}
+		}
+		return false
+	})
+	if after.Window != before.Window {
+		t.Errorf("episode window changed across handoff: %v → %v (a NEW alert was raised instead of resuming)",
+			before.Window, after.Window)
+	}
+	handoff := false
+	for _, tr := range after.History {
+		if strings.HasPrefix(tr.Actor, "handoff:") {
+			handoff = true
+		}
+	}
+	if !handoff {
+		t.Errorf("successor alert history carries no handoff transition: %+v", after.History)
+	}
+
+	// Warm recovery means nothing was lost: the successor's lost counter
+	// stays zero while the deduped counter keeps climbing.
+	resp2, err := http.Get("http://" + successor.http + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	_, _ = metrics.ReadFrom(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(metrics.String(), "volley_alerts_lost_total 0") {
+		t.Errorf("successor reports lost alert context after a WARM recovery:\n%s",
+			grepLines(metrics.String(), "volley_alerts_"))
+	}
+
+	t.Logf("alert episode (window %v, %d occurrences at kill) survived kill -9 of %s onto %s",
+		before.Window, before.Occurrences, killed, successor.id)
+
+	if out := os.Getenv("VOLLEY_SOAK_ALERTS_OUT"); out != "" {
+		summary, _ := json.MarshalIndent(map[string]any{
+			"killed":              killed,
+			"successor":           successor.id,
+			"window":              before.Window.String(),
+			"occurrences_at_kill": before.Occurrences,
+			"occurrences_after":   after.Occurrences,
+			"handoff_transition":  handoff,
+		}, "", "  ")
+		if err := os.WriteFile(out, append(summary, '\n'), 0o644); err != nil {
+			t.Errorf("write alert soak summary: %v", err)
+		}
+	}
+}
+
+// grepLines returns the lines of s containing substr, for focused failure
+// output.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return fmt.Sprint(strings.Join(out, "\n"))
+}

@@ -25,6 +25,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -99,9 +102,10 @@ func (n *tcpNetwork) Send(from, to string, msg volley.Message) error {
 func (n *tcpNetwork) Addr() string { return n.node.Addr() }
 
 func main() {
-	listen := flag.String("listen", "", "serve Prometheus-style /metrics on this address during the run")
+	listen := flag.String("listen", "", "serve Prometheus-style /metrics and the /alerts operator API on this address during the run")
+	linger := flag.Duration("linger", 0, "keep the cluster running (and spiking) this long after the scripted cycle, so /alerts can be worked with curl")
 	flag.Parse()
-	if err := run(*listen, nil); err != nil {
+	if err := run(*listen, *linger, nil); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -130,10 +134,11 @@ func contains(list []string, s string) bool {
 }
 
 // run executes the scripted failure cycle; when listen is non-empty the
-// cluster's metrics and decision trace are served on /metrics for the
-// duration of the run (onListen, if set, receives the bound address — a
-// test hook so ":0" works).
-func run(listen string, onListen func(addr string)) error {
+// cluster's metrics and decision trace are served on /metrics, and the
+// stateful alert lifecycle on /alerts, for the duration of the run
+// (onListen, if set, receives the bound address — a test hook so ":0"
+// works).
+func run(listen string, linger time.Duration, onListen func(addr string)) error {
 	coordNet, err := newTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -162,6 +167,12 @@ func run(listen string, onListen func(addr string)) error {
 		addrs[i] = n.Addr()
 	}
 
+	// The stateful alert registry: confirmed global violations dedup into
+	// one live episode, worked through the /alerts operator API below.
+	areg := volley.NewAlertRegistry(volley.AlertConfig{
+		Node: "tcpcluster", Metrics: metrics, Tracer: tracer,
+	})
+
 	var (
 		alertMu sync.Mutex
 		alerts  int
@@ -176,6 +187,7 @@ func run(listen string, onListen func(addr string)) error {
 		DeadAfter: deadAfter,
 		Metrics:   metrics,
 		Tracer:    tracer,
+		Alerts:    areg,
 		OnAlert: func(time.Duration, float64) {
 			alertMu.Lock()
 			alerts++
@@ -243,6 +255,35 @@ func run(listen string, onListen func(addr string)) error {
 		registry.AddCollector(tracer.WritePrometheus)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", registry.Handler())
+		// The operator alert surface: list the live episode, acknowledge
+		// it, resolve it — the README quick-start works this with curl.
+		mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(areg.List())
+		})
+		alertOp := func(op func(uint64, time.Duration, string) error) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+				if err != nil {
+					http.Error(w, "bad alert id", http.StatusBadRequest)
+					return
+				}
+				switch err := op(id, now(), r.URL.Query().Get("actor")); {
+				case errors.Is(err, volley.ErrAlertNotFound):
+					http.Error(w, err.Error(), http.StatusNotFound)
+				case errors.Is(err, volley.ErrAlertBadState):
+					http.Error(w, err.Error(), http.StatusConflict)
+				case err != nil:
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				default:
+					a, _ := areg.Get(id)
+					w.Header().Set("Content-Type", "application/json")
+					_ = json.NewEncoder(w).Encode(a)
+				}
+			}
+		}
+		mux.HandleFunc("POST /alerts/{id}/ack", alertOp(areg.Ack))
+		mux.HandleFunc("POST /alerts/{id}/resolve", alertOp(areg.Resolve))
 		ln, err := net.Listen("tcp", listen)
 		if err != nil {
 			return err
@@ -365,6 +406,13 @@ func run(listen string, onListen func(addr string)) error {
 	if wait := runFor - now(); wait > 0 {
 		time.Sleep(wait)
 	}
+	// Linger keeps the spike (and the open alert) live past the scripted
+	// cycle so the operator API can be worked interactively.
+	if linger > 0 {
+		fmt.Printf("[%6v] lingering %v: curl /alerts, ack and resolve while the spike holds\n",
+			now().Round(time.Millisecond), linger)
+		time.Sleep(linger)
+	}
 	close(stopAll)
 	wg.Wait()
 
@@ -385,6 +433,10 @@ func run(listen string, onListen func(addr string)) error {
 		samples, ticks, 100*(1-float64(samples)/float64(ticks)))
 	fmt.Printf("local violations:    %d, global polls: %d, alerts: %d\n",
 		cs.LocalViolations, cs.Polls, finalAlerts)
+	for _, a := range areg.List() {
+		fmt.Printf("alert episode:       #%d %s status=%s occurrences=%d peak=%.0f\n",
+			a.ID, a.Task, a.Status, a.Occurrences, a.Peak)
+	}
 	fmt.Printf("failure cycle:       heartbeats=%d reclamations=%d restorations=%d\n",
 		cs.Heartbeats, cs.Reclamations, cs.Restorations)
 	fmt.Printf("decision trace:      %d events (%d heartbeat-deaths, %d reclaims, %d restores)\n",

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"volley/internal/alerts"
 	"volley/internal/coord"
 	"volley/internal/core"
 	"volley/internal/obs"
@@ -38,6 +39,12 @@ type Config struct {
 	// OnAlert receives every confirmed global violation, tagged with the
 	// task. Optional.
 	OnAlert AlertFunc
+	// Alerts is the cluster-wide stateful alert registry, shared by every
+	// task coordinator: confirmed polls raise/dedup, clearing polls
+	// auto-resolve, handoffs carry open alerts (they ride the allowance
+	// snapshots), cold starts report alert context lost, and evictions
+	// close the task's alert. Optional.
+	Alerts *alerts.Registry
 	// Snapshots, when set, switches CrashShard to the federated failure
 	// model: a crashed shard's coordinator state is treated as lost with
 	// the process, and each re-placed task resumes from the freshest
@@ -268,6 +275,7 @@ func (cl *Cluster) newCoordinator(spec TaskSpec) (*coord.Coordinator, error) {
 		PollExpiry:    spec.PollExpiry,
 		DeadAfter:     spec.DeadAfter,
 		OnAlert:       onAlert,
+		Alerts:        cl.cfg.Alerts,
 		Tracer:        cl.cfg.Tracer,
 	})
 }
@@ -333,6 +341,7 @@ func (cl *Cluster) Evict(name string) error {
 	addStats(&cl.retired, t.c.Stats())
 	delete(cl.tasks, name)
 	cl.rebuildOrderLocked()
+	cl.cfg.Alerts.DropTask(name, cl.now)
 	cl.evictions.Inc()
 	cl.cfg.Tracer.Record(obs.Event{
 		Type: obs.EventTaskEvict, Node: cl.cfg.Name, Task: name,
@@ -623,6 +632,13 @@ func (cl *Cluster) recoverTaskLocked(t *task, crashed string) error {
 		Type: obs.EventColdStart, Node: cl.cfg.Name, Task: name,
 		Time: cl.now, Peer: crashed,
 	})
+	// A cold start also lost whatever alert episode was open at the
+	// crashed owner; the registry makes the loss loud. The successor's
+	// registry may still hold the live alert (co-hosted deployments share
+	// one registry), so only report lost when nothing survived locally.
+	if len(cl.cfg.Alerts.ExportOpen(name)) == 0 {
+		cl.cfg.Alerts.Lost(name, cl.now, crashed)
+	}
 	return nil
 }
 
@@ -670,6 +686,8 @@ func (cl *Cluster) Tick(now time.Duration) {
 	for _, c := range coords {
 		c.Tick(now)
 	}
+	// TTL-expire alerts whose episode saw no confirming poll in time.
+	cl.cfg.Alerts.Tick(now)
 }
 
 // Owner reports the shard currently owning a task.

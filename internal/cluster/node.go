@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"volley/internal/alerts"
 	"volley/internal/coord"
 	"volley/internal/obs"
 	"volley/internal/transport"
@@ -59,6 +60,12 @@ type NodeConfig struct {
 	// OnAlert receives confirmed global violations of owned tasks.
 	// Optional.
 	OnAlert AlertFunc
+	// Alerts is the shard's stateful alert registry, shared by every owned
+	// coordinator. Open alerts ride the allowance snapshot frames: a warm
+	// takeover resumes the predecessor's episode, a cold takeover reports
+	// the alert context lost, and a graceful release forgets the local
+	// copy once the final frame ships. Optional.
+	Alerts *alerts.Registry
 	// Metrics registers the node's counters and gauges. Optional.
 	Metrics *obs.Registry
 	// Tracer records lifecycle decisions. Optional.
@@ -363,6 +370,8 @@ func (n *Node) Tick(now time.Duration) {
 	for _, c := range coords {
 		c.Tick(now)
 	}
+	// TTL-expire alerts whose episode saw no confirming poll in time.
+	n.cfg.Alerts.Tick(now)
 }
 
 // HandleMessage consumes one inter-shard frame. It is the fabric's
@@ -448,6 +457,7 @@ func (n *Node) reconcileLocked() []outMsg {
 		if rec.Deleted {
 			if t, ok := n.owned[name]; ok {
 				n.stopOwnedLocked(name, t)
+				n.cfg.Alerts.DropTask(name, n.now)
 				n.cfg.Tracer.Record(obs.Event{
 					Time: n.now, Type: obs.EventTaskEvict,
 					Node: n.cfg.ID, Task: name, Peer: n.cfg.ID,
@@ -500,6 +510,7 @@ func (n *Node) acquireLocked(name string, rec *CatalogRecord, prevOwner string) 
 		PollExpiry:    spec.PollExpiry,
 		DeadAfter:     spec.DeadAfter,
 		OnAlert:       onAlert,
+		Alerts:        n.cfg.Alerts,
 		Tracer:        n.cfg.Tracer,
 	})
 	if err != nil {
@@ -534,6 +545,11 @@ func (n *Node) acquireLocked(name string, rec *CatalogRecord, prevOwner string) 
 			Time: n.now, Type: obs.EventColdStart,
 			Node: n.cfg.ID, Task: name, Peer: prevOwner,
 		})
+		// Whatever alert episode was open at the dead owner is gone too
+		// (unless this registry still holds it from a previous ownership).
+		if len(n.cfg.Alerts.ExportOpen(name)) == 0 {
+			n.cfg.Alerts.Lost(name, n.now, prevOwner)
+		}
 	default:
 		recovery = nil // first placement: nothing to recover
 		n.cfg.Tracer.Record(obs.Event{
@@ -570,6 +586,10 @@ func (n *Node) releaseLocked(name string, t *ownedTask, newOwner string) []outMs
 		return nil
 	}
 	st := t.c.ExportAllowance()
+	// The open alert travels inside st; the local copy would otherwise
+	// linger as a stale live episode on a shard that no longer owns the
+	// task.
+	n.cfg.Alerts.Forget(name)
 	frame, err := EncodeSnapshot(st)
 	if err != nil {
 		return nil

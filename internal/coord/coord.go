@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"volley/internal/alerts"
 	"volley/internal/core"
 	"volley/internal/obs"
 	"volley/internal/transport"
@@ -108,6 +109,11 @@ type Config struct {
 	DeadAfter int
 	// OnAlert is invoked on confirmed global violations. Optional.
 	OnAlert AlertFunc
+	// Alerts, when set, receives the stateful alert lifecycle: a confirmed
+	// poll raises (or dedups into) the task's alert, a completed
+	// non-violating poll auto-resolves it, and Export/ImportAllowance
+	// carry the open alerts across handoff. Optional.
+	Alerts *alerts.Registry
 	// Metrics registers the coordinator's live views (per-monitor
 	// allowance assignments, alive-monitor count) in this registry.
 	// Optional.
@@ -826,9 +832,14 @@ func (c *Coordinator) finishPoll() {
 			Type: obs.EventGlobalAlert, Node: c.cfg.ID, Task: c.cfg.Task,
 			Time: started, Value: total,
 		})
+		c.cfg.Alerts.Raise(c.cfg.Task, started, total)
 		if onAlert != nil {
 			onAlert(started, total)
 		}
+	} else {
+		// A completed poll that does NOT confirm a violation ends the
+		// episode: the live alert, if any, auto-resolves.
+		c.cfg.Alerts.Clear(c.cfg.Task, started, total)
 	}
 }
 

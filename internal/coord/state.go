@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"volley/internal/alerts"
 )
 
 // AllowanceState is a serializable snapshot of a coordinator's allowance
@@ -41,6 +43,11 @@ type AllowanceState struct {
 	// LastSeen records when each monitor was last heard from; monitors
 	// never heard from are absent.
 	LastSeen map[string]time.Duration `json:"lastSeen,omitempty"`
+	// Alerts carries the task's live (open/acked) alerts so a successor
+	// resumes the violation episode instead of losing it; absent when the
+	// coordinator has no alert registry or no live alert. Riding in the
+	// JSON body keeps snapshot frames wire-compatible with older nodes.
+	Alerts []alerts.Alert `json:"alerts,omitempty"`
 }
 
 // ExportAllowance captures the coordinator's allowance and liveness state.
@@ -77,6 +84,7 @@ func (c *Coordinator) ExportAllowance() AllowanceState {
 			st.LastSeen[m] = c.lastSeen[i]
 		}
 	}
+	st.Alerts = c.cfg.Alerts.ExportOpen(c.cfg.Task)
 	return st
 }
 
@@ -156,5 +164,9 @@ func (c *Coordinator) ImportAllowance(st AllowanceState) error {
 	c.resetPollLocked()
 	// Re-announce the imported assignments on the next Tick.
 	c.initialSent = false
+	// Resume the snapshot's live alerts. Import is idempotent (same
+	// episode merges), so re-importing a frame — or an in-process handoff
+	// exporting into the same registry — cannot duplicate an alert.
+	c.cfg.Alerts.ImportOpen(c.cfg.Task, st.Alerts, st.Now, "snapshot")
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"volley/internal/alerts"
 	"volley/internal/core"
 	"volley/internal/obs"
 	"volley/internal/transport"
@@ -69,6 +70,10 @@ type Config struct {
 	// Tracer records decision events: interval adaptation from the sampler
 	// and local violations from the monitor. Optional.
 	Tracer *obs.Tracer
+	// Alerts, when set, receives each local violation as bounded
+	// per-monitor context on the task's alert (alerts.ObserveLocal), so
+	// an open alert names the monitors that contributed. Optional.
+	Alerts *alerts.Registry
 }
 
 // Stats counts a monitor's activity.
@@ -212,6 +217,7 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 			Type: obs.EventViolation, Node: m.cfg.ID, Task: m.cfg.Task,
 			Time: now, Value: v, Interval: interval,
 		})
+		m.cfg.Alerts.ObserveLocal(m.cfg.Task, m.cfg.ID, now, v)
 		outgoing = append(outgoing, transport.Message{
 			Kind:  transport.KindLocalViolation,
 			Task:  m.cfg.Task,

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version is the module version stamped into volley_build_info. It is
+// resolved from the build's embedded module info when available and
+// overridable at link time:
+//
+//	go build -ldflags "-X volley/internal/obs.Version=v1.2.3"
+var Version = "dev"
+
+// buildVersion resolves the version label: the -X override wins, then the
+// main module's version from the embedded build info, then "dev".
+func buildVersion() string {
+	if Version != "dev" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return Version
+}
+
+// RegisterBuildInfo adds the process-identity families scrapes use to
+// distinguish restarts and mixed-version fleets:
+//
+//	volley_build_info{version="...",goversion="..."} 1
+//	volley_uptime_seconds <seconds since start>
+//
+// The uptime gauge is evaluated at scrape time against start (pass the
+// process start; a zero time falls back to registration time). Safe to
+// call more than once on the same registry — duplicate registration is a
+// no-op — and nil-safe like every registry method.
+func RegisterBuildInfo(r *Registry, start time.Time) {
+	if r == nil {
+		return
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	r.GaugeFunc("volley_build_info",
+		"Build identity; value is always 1, labels carry version info.",
+		func() float64 { return 1 },
+		"version", buildVersion(), "goversion", runtime.Version())
+	r.GaugeFunc("volley_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(start).Seconds() })
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses Prometheus text format (version 0.0.4) back into
+// samples — the edge-case tests below assert on parsed values, never on
+// raw strings, so they hold under any valid re-rendering.
+func parseProm(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name, labelPart, valPart string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces in %q", line)
+			}
+			name, labelPart, valPart = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			name, valPart = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(valPart, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		labels := make(map[string]string)
+		for rest := labelPart; rest != ""; {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				t.Fatalf("label without '=' in %q", line)
+			}
+			key := rest[:eq]
+			q, err := strconv.QuotedPrefix(rest[eq+1:])
+			if err != nil {
+				t.Fatalf("unquotable label value in %q: %v", line, err)
+			}
+			val, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("label value %q in %q: %v", q, line, err)
+			}
+			labels[key] = val
+			rest = strings.TrimPrefix(rest[eq+1+len(q):], ",")
+		}
+		out = append(out, promSample{name: name, labels: labels, value: v})
+	}
+	return out
+}
+
+// find returns the samples with the given metric name.
+func find(samples []promSample, name string) []promSample {
+	var out []promSample
+	for _, s := range samples {
+		if s.name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestPromSpecialFloatGauges: NaN and ±Inf gauge values must render in
+// the spelled-out form the format requires and parse back as the same
+// special values.
+func TestPromSpecialFloatGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan", "h").Set(math.NaN())
+	r.Gauge("g_pinf", "h").Set(math.Inf(1))
+	r.Gauge("g_ninf", "h").Set(math.Inf(-1))
+	r.Gauge("g_tiny", "h").Set(5e-324) // smallest denormal round-trips
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples := parseProm(t, buf.String())
+
+	if s := find(samples, "g_nan"); len(s) != 1 || !math.IsNaN(s[0].value) {
+		t.Fatalf("g_nan = %+v", s)
+	}
+	if s := find(samples, "g_pinf"); len(s) != 1 || !math.IsInf(s[0].value, 1) {
+		t.Fatalf("g_pinf = %+v", s)
+	}
+	if s := find(samples, "g_ninf"); len(s) != 1 || !math.IsInf(s[0].value, -1) {
+		t.Fatalf("g_ninf = %+v", s)
+	}
+	if s := find(samples, "g_tiny"); len(s) != 1 || s[0].value != 5e-324 {
+		t.Fatalf("g_tiny = %+v", s)
+	}
+}
+
+// TestPromHistogramInvariants: bucket lines must be cumulative and
+// non-decreasing, the +Inf bucket must equal _count, and _sum/_count must
+// agree with the observations — including observations beyond the last
+// finite bound and at exact bucket boundaries.
+func TestPromHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{1, 2, 5})
+	obs := []float64{0.5, 1, 1.5, 2, 4, 100, math.Inf(1)} // boundary hits and a +Inf-bucket pair
+	var sum float64
+	for _, v := range obs {
+		h.Observe(v)
+		sum += v
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples := parseProm(t, buf.String())
+
+	buckets := find(samples, "lat_bucket")
+	if len(buckets) != 4 { // 3 finite bounds + le="+Inf"
+		t.Fatalf("bucket lines = %d, want 4: %+v", len(buckets), buckets)
+	}
+	// The le labels parse as floats and arrive in ascending order.
+	prevLe := math.Inf(-1)
+	prevCum := -1.0
+	for _, b := range buckets {
+		le, err := strconv.ParseFloat(b.labels["le"], 64)
+		if err != nil {
+			t.Fatalf("le label %q: %v", b.labels["le"], err)
+		}
+		if le <= prevLe {
+			t.Fatalf("le %v not ascending after %v", le, prevLe)
+		}
+		if b.value < prevCum {
+			t.Fatalf("bucket counts not cumulative: %v after %v", b.value, prevCum)
+		}
+		prevLe, prevCum = le, b.value
+	}
+	if !math.IsInf(prevLe, 1) {
+		t.Fatalf("last bucket le = %v, want +Inf", prevLe)
+	}
+
+	count := find(samples, "lat_count")
+	if len(count) != 1 || count[0].value != float64(len(obs)) {
+		t.Fatalf("lat_count = %+v, want %d", count, len(obs))
+	}
+	if prevCum != count[0].value {
+		t.Fatalf("+Inf bucket %v != count %v", prevCum, count[0].value)
+	}
+	wantCum := []float64{2, 4, 5, 7} // ≤1, ≤2, ≤5, +Inf
+	for i, b := range buckets {
+		if b.value != wantCum[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, b.value, wantCum[i])
+		}
+	}
+	s := find(samples, "lat_sum")
+	if len(s) != 1 || !math.IsInf(s[0].value, 1) { // one +Inf observation dominates
+		t.Fatalf("lat_sum = %+v", s)
+	}
+}
+
+// TestPromLabelEscaping: label values holding quotes, backslashes,
+// newlines and non-ASCII must escape on the wire and parse back verbatim.
+func TestPromLabelEscaping(t *testing.T) {
+	hostile := "he said \"hi\"\\\npath=C:\\tmp\tπ≈3"
+	r := NewRegistry()
+	r.Gauge("g", "h", "k", hostile).Set(1)
+	r.Counter("c", "h", "task", `a="b",c`).Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	// Every exposition line must stay a single physical line.
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("raw newline leaked into exposition:\n%s", buf.String())
+		}
+	}
+	samples := parseProm(t, buf.String())
+	if s := find(samples, "g"); len(s) != 1 || s[0].labels["k"] != hostile {
+		t.Fatalf("hostile label round trip = %+v, want %q", s, hostile)
+	}
+	if s := find(samples, "c"); len(s) != 1 || s[0].labels["task"] != `a="b",c` {
+		t.Fatalf("comma/quote label round trip = %+v", s)
+	}
+}
+
+// TestPromGaugeVecFuncEscaping: dynamic vec keys go through the same
+// escaping as static labels.
+func TestPromGaugeVecFuncEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVecFunc("vec", "h", "key", func() map[string]float64 {
+		return map[string]float64{"plain": 1, "with \"quotes\"\n": 2}
+	})
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples := find(parseProm(t, buf.String()), "vec")
+	if len(samples) != 2 {
+		t.Fatalf("vec samples = %+v", samples)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.labels["key"]] = s.value
+	}
+	if got["plain"] != 1 || got["with \"quotes\"\n"] != 2 {
+		t.Fatalf("vec round trip = %v", got)
+	}
+}
+
+// TestBuildInfoMetrics: volley_build_info carries version/goversion labels
+// with a constant value of 1, and volley_uptime_seconds advances.
+func TestBuildInfoMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, time.Now().Add(-3*time.Second))
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples := parseProm(t, buf.String())
+
+	bi := find(samples, "volley_build_info")
+	if len(bi) != 1 || bi[0].value != 1 {
+		t.Fatalf("volley_build_info = %+v", bi)
+	}
+	if bi[0].labels["version"] == "" || !strings.HasPrefix(bi[0].labels["goversion"], "go") {
+		t.Fatalf("build info labels = %v", bi[0].labels)
+	}
+	up := find(samples, "volley_uptime_seconds")
+	if len(up) != 1 || up[0].value < 2.5 {
+		t.Fatalf("volley_uptime_seconds = %+v, want ≥ 2.5", up)
+	}
+	// Re-registering (e.g. two daemons sharing a registry in tests) must
+	// not panic or duplicate families.
+	RegisterBuildInfo(r, time.Now())
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if got := len(find(parseProm(t, buf2.String()), "volley_build_info")); got != 1 {
+		t.Fatalf("build info series after re-register = %d", got)
+	}
+}

@@ -113,10 +113,32 @@ const (
 	// replicated snapshot (warm recovery). Task is the task, Peer the
 	// crashed shard, Value the snapshot epoch.
 	EventRecovery
+	// EventAlertOpen: the alert registry opened a new stateful alert for a
+	// global violation episode. Task is the task, Value the polled total,
+	// Interval the alert ID.
+	EventAlertOpen
+	// EventAlertAck: an operator acknowledged an open alert. Task is the
+	// task, Peer the actor, Interval the alert ID.
+	EventAlertAck
+	// EventAlertResolve: an alert was resolved — by an operator (Peer is
+	// the actor) or automatically when the violation cleared (Peer
+	// "auto"). Task is the task, Interval the alert ID.
+	EventAlertResolve
+	// EventAlertExpire: an open alert crossed its TTL without a clearing
+	// poll and was expired. Task is the task, Interval the alert ID.
+	EventAlertExpire
+	// EventAlertHandoff: an open alert was imported from a predecessor's
+	// snapshot during task handoff/recovery. Task is the task, Peer the
+	// previous node, Interval the alert ID.
+	EventAlertHandoff
+	// EventAlertsLost: a cold-started task lost its open-alert context
+	// (no replicated snapshot survived). Task is the task, Peer the
+	// crashed owner when known.
+	EventAlertsLost
 )
 
 // eventTypeCount sizes per-type counter arrays (index 0 is unused).
-const eventTypeCount = int(EventRecovery) + 1
+const eventTypeCount = int(EventAlertsLost) + 1
 
 var eventTypeNames = [eventTypeCount]string{
 	EventIntervalGrow:     "interval-grow",
@@ -148,6 +170,12 @@ var eventTypeNames = [eventTypeCount]string{
 	EventSnapshotAbandon:  "snapshot-abandon",
 	EventColdStart:        "cluster.cold_start",
 	EventRecovery:         "cluster.recovery",
+	EventAlertOpen:        "alert-open",
+	EventAlertAck:         "alert-ack",
+	EventAlertResolve:     "alert-resolve",
+	EventAlertExpire:      "alert-expire",
+	EventAlertHandoff:     "alert-handoff",
+	EventAlertsLost:       "alerts-lost",
 }
 
 // String implements fmt.Stringer.

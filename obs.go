@@ -90,6 +90,21 @@ const (
 	TraceTaskHandoff = obs.EventTaskHandoff
 )
 
+// Alert lifecycle trace event types: episode open, operator ack/resolve,
+// TTL expiry, snapshot handoff between nodes, and cold-start loss.
+const (
+	TraceAlertOpen    = obs.EventAlertOpen
+	TraceAlertAck     = obs.EventAlertAck
+	TraceAlertResolve = obs.EventAlertResolve
+	TraceAlertExpire  = obs.EventAlertExpire
+	TraceAlertHandoff = obs.EventAlertHandoff
+	TraceAlertsLost   = obs.EventAlertsLost
+)
+
+// RegisterBuildInfo registers volley_build_info (constant 1, with version
+// and goversion labels) and volley_uptime_seconds on the registry.
+func RegisterBuildInfo(r *Metrics, start time.Time) { obs.RegisterBuildInfo(r, start) }
+
 // SamplerObs wires metrics instruments and a tracer into a Sampler; pass
 // it to Sampler.Instrument. Unset fields are simply not updated.
 type SamplerObs = core.SamplerObs
