@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport bench-alerts examples
+.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport bench-alerts bench-streaming examples
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,15 @@ bench-transport:
 # export) to BENCH_alerts.json.
 bench-alerts:
 	$(GO) run ./cmd/volleybench -alertsjson BENCH_alerts.json
+
+# Benchmark the bounded-memory streaming threshold stack: resident bytes
+# per series at 3k/30k/300k-step traces (streaming must plateau while
+# exact grows 10x per decade), steady-state ns/Observe (0 allocs/op),
+# grid-refresh cost vs the sorted-copy baseline on a 100k-step trace, a
+# million-series soak, and the sketch-vs-exact rank-error audit on both
+# presets. Snapshots to BENCH_streaming.json.
+bench-streaming:
+	$(GO) run ./cmd/volleybench -streamingjson BENCH_streaming.json
 
 examples:
 	$(GO) run ./examples/quickstart

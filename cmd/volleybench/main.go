@@ -18,7 +18,11 @@
 // BENCH_quick.json. -coordjson skips the figures and instead benchmarks
 // the coordinator rebalance hot path at 100/1k/10k monitors, writing
 // ns/op and allocs/op to the given file — `make bench-coord` uses it to
-// track BENCH_coord.json.
+// track BENCH_coord.json. -streamingjson benchmarks the bounded-memory
+// streaming threshold sketches (resident bytes per series vs trace length,
+// ns per observation, grid-refresh cost against the sorted-copy baseline,
+// a million-series soak, and the sketch-vs-exact rank-error audit on both
+// presets) — `make bench-streaming` uses it to track BENCH_streaming.json.
 //
 // Absolute numbers come from the synthetic workloads documented in
 // DESIGN.md §2; the shapes are what reproduce the paper (see
@@ -46,6 +50,7 @@ func main() {
 	clusterJSONPath := flag.String("clusterjson", "", "benchmark consistent-hash task placement at 4/16/64 shards and write ns/op, allocs/op and movement fractions as JSON to this file")
 	transportJSONPath := flag.String("transportjson", "", "benchmark the wire codec (gob vs binary, batched vs not) end-to-end over loopback TCP and write throughput and bytes/msg as JSON to this file")
 	alertsJSONPath := flag.String("alertsjson", "", "benchmark the alert registry hot paths (dedup raise, local observe, lifecycle, snapshot export) and write ns/op and allocs/op as JSON to this file")
+	streamingJSONPath := flag.String("streamingjson", "", "benchmark the streaming threshold sketches (resident bytes vs trace length, ns/observe, refresh cost vs sorted-copy baseline, million-series soak, per-preset rank error) and write the results as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -79,6 +84,13 @@ func main() {
 	}
 	if *alertsJSONPath != "" {
 		if err := writeAlertsBenchJSON(*alertsJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamingJSONPath != "" {
+		if err := writeStreamingBenchJSON(*streamingJSONPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "volleybench:", err)
 			os.Exit(1)
 		}

@@ -46,11 +46,22 @@ type clusterMonitorRequest struct {
 	Source string `json:"source"`
 }
 
-// clusterUpdateRequest is the PATCH /tasks/{name} body.
+// clusterUpdateRequest is the PATCH /tasks/{name} body. Exactly one of
+// Threshold and Selectivity drives the retune: with Selectivity k set, the
+// daemon derives each monitor's local threshold from its live streaming
+// sketch — the (100−k)-th percentile of everything that monitor has
+// sampled since admission — and the global threshold as their sum, no
+// history replay needed.
 type clusterUpdateRequest struct {
-	Threshold float64 `json:"threshold"`
-	Err       float64 `json:"err"`
+	Threshold   float64 `json:"threshold"`
+	Err         float64 `json:"err"`
+	Selectivity float64 `json:"selectivity,omitempty"`
 }
+
+// clusterSelectivityGrid sizes each hosted monitor's streaming sketch: the
+// marker bank tracks these selectivities (percent) exactly, and PATCH may
+// ask any k in (0, 100) with interpolation between grid points.
+var clusterSelectivityGrid = []float64{25, 10, 5, 2, 1, 0.5, 0.2, 0.1}
 
 // clusterDaemon owns the cluster-mode runtime: the federation, the
 // monitors it hosts for admitted tasks, and the virtual clock the driver
@@ -68,6 +79,16 @@ type clusterDaemon struct {
 	mu   sync.Mutex
 	mons map[string][]*volley.Monitor // task name → hosted monitors
 	step uint64                       // virtual ticks elapsed
+
+	// skMu guards sketches — both the map and the trackers' contents. The
+	// tick loop feeds sampled values in, PATCH /tasks reads thresholds out,
+	// and the volley_series_resident_bytes / volley_sketch_* instruments
+	// read footprint and mode at scrape time. skMu is always innermost
+	// (taken with mu or the registry lock held, never the reverse), so the
+	// scrape path (registry lock → skMu) cannot deadlock against admission
+	// (mu → registry lock → skMu).
+	skMu     sync.Mutex
+	sketches map[string][]*volley.StreamingThresholds // task name → per-monitor trackers
 }
 
 // now is the virtual clock position of the last completed tick, the time
@@ -92,11 +113,12 @@ func runCluster(ctx context.Context, opts options) error {
 	}
 
 	d := &clusterDaemon{
-		opts:  opts,
-		net:   volley.NewMemoryNetwork(),
-		reg:   volley.NewMetrics(),
-		start: time.Now(),
-		mons:  make(map[string][]*volley.Monitor),
+		opts:     opts,
+		net:      volley.NewMemoryNetwork(),
+		reg:      volley.NewMetrics(),
+		start:    time.Now(),
+		mons:     make(map[string][]*volley.Monitor),
+		sketches: make(map[string][]*volley.StreamingThresholds),
 	}
 	eventsSink, err := openFileSink(opts.eventsFile)
 	if err != nil {
@@ -120,6 +142,25 @@ func runCluster(ctx context.Context, opts options) error {
 	d.reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
 		return time.Since(d.start).Seconds()
 	})
+	// Bounded-memory threshold instrumentation: the sketches' total
+	// footprint stays O(1) per monitor no matter how long the daemon runs —
+	// this gauge is the live proof — and the mode/fallback counters show
+	// when a stream defeated the P² marker bank.
+	d.reg.GaugeFunc("volley_series_resident_bytes",
+		"Total resident bytes of the live per-monitor streaming threshold sketches.",
+		func() float64 { resident, _, _, _, _ := d.sketchStats(); return float64(resident) })
+	d.reg.GaugeFunc("volley_sketch_series",
+		"Live streaming threshold sketches (one per hosted monitor).",
+		func() float64 { _, series, _, _, _ := d.sketchStats(); return float64(series) })
+	d.reg.GaugeFunc("volley_sketch_gk_mode_series",
+		"Sketches that permanently fell back from the P2 marker bank to the GK summary.",
+		func() float64 { _, _, gk, _, _ := d.sketchStats(); return float64(gk) })
+	d.reg.CounterFunc("volley_sketch_fallbacks_total",
+		"P2-to-GK fallbacks across all live sketches.",
+		func() float64 { _, _, _, fb, _ := d.sketchStats(); return float64(fb) })
+	d.reg.CounterFunc("volley_sketch_rejected_total",
+		"Non-finite sampled values rejected by the streaming sketches.",
+		func() float64 { _, _, _, _, rej := d.sketchStats(); return float64(rej) })
 	volley.RegisterBuildInfo(d.reg, d.start)
 	d.alertReg = newAlertRegistry("volleyd", opts, d.reg, d.tracer, historySink)
 
@@ -202,17 +243,55 @@ func (d *clusterDaemon) loop(ctx context.Context) error {
 		now := time.Duration(d.step) * d.opts.interval
 		d.step++
 		mons := make([]*volley.Monitor, 0, len(d.mons)*2)
-		for _, ms := range d.mons {
+		sks := make([]*volley.StreamingThresholds, 0, len(d.mons)*2)
+		d.skMu.Lock()
+		for name, ms := range d.mons {
 			mons = append(mons, ms...)
+			sks = append(sks, d.sketches[name]...)
 		}
+		d.skMu.Unlock()
 		d.mu.Unlock()
 		d.cl.Tick(now)
-		for _, m := range mons {
+		values := make([]float64, len(mons))
+		fed := make([]bool, len(mons))
+		for i, m := range mons {
 			// Agent failures are retried at the next interval and already
 			// counted in the monitor's own stats.
-			_, _, _ = m.Tick(now)
+			sampled, v, err := m.Tick(now)
+			fed[i] = sampled && err == nil
+			values[i] = v
+		}
+		// Feed the sampled values into the monitors' streaming sketches in
+		// one batch, after all (possibly slow) agent reads are done, so the
+		// sketch lock is never held across network I/O.
+		d.skMu.Lock()
+		for i, sk := range sks {
+			if fed[i] {
+				sk.Observe(values[i])
+			}
+		}
+		d.skMu.Unlock()
+	}
+}
+
+// sketchStats snapshots the live sketches for the scrape-time instruments:
+// total resident bytes, tracker count, trackers in GK-fallback mode, and
+// the fallback/rejection totals.
+func (d *clusterDaemon) sketchStats() (resident int, series, gk int, fallbacks, rejected uint64) {
+	d.skMu.Lock()
+	defer d.skMu.Unlock()
+	for _, sks := range d.sketches {
+		for _, sk := range sks {
+			resident += sk.ResidentBytes()
+			series++
+			if sk.Mode() == volley.SketchModeGK {
+				gk++
+			}
+			fallbacks += sk.Fallbacks()
+			rejected += sk.Rejected()
 		}
 	}
+	return resident, series, gk, fallbacks, rejected
 }
 
 // status is the /healthz (and expvar) payload: cluster-wide state plus
@@ -358,7 +437,25 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// One streaming sketch per monitor, fed from its sampled ticks; index-
+	// aligned with d.mons[name] (the tick loop and PATCH rely on that).
+	sks := make([]*volley.StreamingThresholds, len(addrs))
+	for i := range sks {
+		sk, err := volley.NewStreamingThresholds(clusterSelectivityGrid)
+		if err != nil {
+			for _, a := range addrs {
+				_ = d.net.Deregister(a)
+			}
+			_ = d.cl.Evict(req.Name)
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sks[i] = sk
+	}
 	d.mons[req.Name] = mons
+	d.skMu.Lock()
+	d.sketches[req.Name] = sks
+	d.skMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	_ = json.NewEncoder(w).Encode(map[string]any{
@@ -369,7 +466,12 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 // handleUpdate retunes a task's threshold and allowance: the cluster
 // rescales the coordinator's allowance state and the daemon re-splits the
-// hosted monitors' local thresholds.
+// hosted monitors' local thresholds. With "selectivity" set instead of a
+// threshold, the new thresholds come from the monitors' live streaming
+// sketches: monitor i's local threshold becomes the (100−k)-th percentile
+// of everything it has sampled, and the global threshold their sum —
+// selectivity-based task creation (the paper's methodology) applied at
+// runtime, with no retained history to replay.
 func (d *clusterDaemon) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req clusterUpdateRequest
@@ -379,6 +481,10 @@ func (d *clusterDaemon) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if req.Selectivity != 0 {
+		d.updateFromSelectivity(w, name, req)
+		return
+	}
 	if err := d.cl.Update(name, req.Threshold, req.Err); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -391,6 +497,58 @@ func (d *clusterDaemon) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// updateFromSelectivity is the sketch-driven branch of PATCH /tasks/{name};
+// the caller holds d.mu. It answers 200 with the derived thresholds so the
+// operator sees what the retune resolved to.
+func (d *clusterDaemon) updateFromSelectivity(w http.ResponseWriter, name string, req clusterUpdateRequest) {
+	if req.Threshold != 0 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("task %q: threshold and selectivity are mutually exclusive", name))
+		return
+	}
+	mons := d.mons[name]
+	if len(mons) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("task %q not hosted here", name))
+		return
+	}
+	d.skMu.Lock()
+	sks := d.sketches[name]
+	locals := make([]float64, len(sks))
+	samples := make([]int, len(sks))
+	var total float64
+	var derr error
+	for i, sk := range sks {
+		locals[i], derr = sk.Threshold(req.Selectivity)
+		if derr != nil {
+			break
+		}
+		samples[i] = sk.N()
+		total += locals[i]
+	}
+	d.skMu.Unlock()
+	if derr != nil {
+		// Covers both an out-of-domain k and a monitor that has not sampled
+		// yet (no data to derive a percentile from).
+		httpError(w, http.StatusBadRequest, fmt.Errorf("task %q: %w", name, derr))
+		return
+	}
+	if err := d.cl.Update(name, total, req.Err); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	for i, m := range mons {
+		if err := m.SetLocalThreshold(locals[i]); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name": name, "selectivity": req.Selectivity, "err": req.Err,
+		"threshold": total, "localThresholds": locals, "samples": samples,
+	})
 }
 
 // handleEvict removes a task and the monitors hosted for it.
@@ -412,6 +570,9 @@ func (d *clusterDaemon) handleEvict(w http.ResponseWriter, r *http.Request) {
 		_ = d.net.Deregister(a)
 	}
 	delete(d.mons, name)
+	d.skMu.Lock()
+	delete(d.sketches, name)
+	d.skMu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 

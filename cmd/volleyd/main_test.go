@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -531,6 +532,23 @@ func TestEventsFlagTailsDecisions(t *testing.T) {
 	}
 }
 
+// promValue extracts the value of an unlabeled metric from a Prometheus
+// text exposition.
+func promValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s has unparseable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, exposition)
+	return 0
+}
+
 // httpDo issues a request with a method and optional JSON body.
 func httpDo(t *testing.T, method, url, body string) (int, string) {
 	t.Helper()
@@ -654,6 +672,22 @@ func TestClusterModeEndToEnd(t *testing.T) {
 		}
 	}
 
+	// The streaming-threshold instruments are live: two hosted monitors
+	// mean two sketches with a non-zero bounded footprint, and this
+	// well-behaved source must not have forced a GK fallback or rejected a
+	// value.
+	if v := promValue(t, metrics, "volley_sketch_series"); v != 2 {
+		t.Errorf("volley_sketch_series = %v, want 2", v)
+	}
+	if v := promValue(t, metrics, "volley_series_resident_bytes"); v <= 0 {
+		t.Errorf("volley_series_resident_bytes = %v, want > 0", v)
+	}
+	for _, name := range []string{"volley_sketch_fallbacks_total", "volley_sketch_rejected_total", "volley_sketch_gk_mode_series"} {
+		if v := promValue(t, metrics, name); v != 0 {
+			t.Errorf("%s = %v, want 0", name, v)
+		}
+	}
+
 	// Crash the owning shard: the task must re-place and keep alerting.
 	if code, body := httpDo(t, http.MethodDelete, base+"/shards/"+admitted.Shard+"?mode=crash", ""); code != http.StatusNoContent {
 		t.Fatalf("DELETE /shards/%s = %d %s", admitted.Shard, code, body)
@@ -685,6 +719,55 @@ func TestClusterModeEndToEnd(t *testing.T) {
 	if !strings.Contains(metrics, "volley_cluster_handoffs_total 1") ||
 		!strings.Contains(metrics, "volley_cluster_shard_crashes_total 1") {
 		t.Errorf("/metrics missing handoff/crash counters:\n%s", metrics)
+	}
+
+	// Retune from the live sketches: PATCH with a selectivity instead of a
+	// threshold derives each monitor's local threshold from what it has
+	// actually sampled (no history replay) and answers with the resolved
+	// values. The source alternates between 10 and 100 with ~40% of steps
+	// at 100, so any selectivity k < 40 must resolve near the spike level.
+	// Each PATCH answers with the sample count behind every derived
+	// threshold; retune until both sketches have seen enough of the stream
+	// for the marker bank to settle (the estimate is exact for the first
+	// ~19 values, then transiently rough on a two-point distribution).
+	var retuned struct {
+		Threshold       float64   `json:"threshold"`
+		LocalThresholds []float64 `json:"localThresholds"`
+		Samples         []int     `json:"samples"`
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, body = httpDo(t, http.MethodPatch, base+"/tasks/cpu", `{"selectivity":5,"err":0.1}`)
+		if code != http.StatusOK {
+			t.Fatalf("PATCH /tasks/cpu selectivity = %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &retuned); err != nil {
+			t.Fatalf("selectivity PATCH body not JSON: %v\n%s", err, body)
+		}
+		if len(retuned.Samples) == 2 && retuned.Samples[0] >= 100 && retuned.Samples[1] >= 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitors never accumulated 100 samples: %+v", retuned)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(retuned.LocalThresholds) != 2 || retuned.Threshold <= 0 {
+		t.Errorf("selectivity retune = %+v, want 2 positive local thresholds", retuned)
+	}
+	for i, lt := range retuned.LocalThresholds {
+		if lt < 50 || lt > 110 {
+			t.Errorf("local threshold %d = %v, want near the spike level 100", i, lt)
+		}
+		if retuned.Samples[i] == 0 {
+			t.Errorf("monitor %d reports 0 samples behind its derived threshold", i)
+		}
+	}
+	if code, body := httpDo(t, http.MethodPatch, base+"/tasks/cpu", `{"selectivity":5,"threshold":80,"err":0.1}`); code != http.StatusBadRequest {
+		t.Errorf("PATCH with both selectivity and threshold = %d %s, want bad request", code, body)
+	}
+	if code, body := httpDo(t, http.MethodPatch, base+"/tasks/nope", `{"selectivity":5,"err":0.1}`); code != http.StatusNotFound {
+		t.Errorf("selectivity PATCH for unknown task = %d %s, want not found", code, body)
 	}
 
 	// Retune, then evict; the control plane answers and the task list

@@ -46,7 +46,7 @@ func runAblationConfigs(name string, p Preset, series [][]float64, k float64, co
 	// so thresholds are derived once (one sort per series) and shared; the
 	// per-series replays of each configuration fan across the pool.
 	eng := p.engine()
-	cache, err := newThresholdCache(eng, series)
+	cache, err := newThresholdCache(eng, series, []float64{k}, p.ExactThresholds)
 	if err != nil {
 		return nil, fmt.Errorf("bench: ablation %s: %w", name, err)
 	}
@@ -182,7 +182,11 @@ func RunAblationCoordPeriod(p Preset) (*AblationResult, error) {
 		return nil, fmt.Errorf("bench: ablation needs %d VMs, workload has %d", p.Fig8Monitors, w.NumVMs())
 	}
 	series := w.Rho[:p.Fig8Monitors]
-	cache, err := newThresholdCache(p.engine(), series)
+	ks, err := fig8Ks(len(series), p.Fig8BaseK, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := newThresholdCache(p.engine(), series, ks, p.ExactThresholds)
 	if err != nil {
 		return nil, err
 	}

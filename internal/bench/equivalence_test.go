@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"math"
+	"sort"
+
 	"fmt"
 	"testing"
+	"volley/internal/stats"
 )
 
 // TestParallelMatchesSerial is the engine's determinism contract: on the
@@ -83,7 +87,7 @@ func TestCachedThresholdsMatchPerCellSorts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache, err := newThresholdCache(NewEngine(2), series)
+	cache, err := newThresholdCache(NewEngine(2), series, p.Ks, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,5 +107,71 @@ func TestCachedThresholdsMatchPerCellSorts(t *testing.T) {
 		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
 			t.Errorf("k=%v: cached-threshold replay %+v != per-cell replay %+v", k, got, want)
 		}
+	}
+}
+
+// TestStreamingThresholdsWithinBoundOnPresets is the streaming backend's
+// accuracy contract on the committed workloads: for every series of every
+// Quick-preset workload (network, system, application, and the stationary
+// network slice Fig. 8 uses), the sketch-derived threshold at each grid
+// selectivity must sit within stats.SketchRankErrorBound of the requested
+// rank in that series' true empirical distribution.
+func TestStreamingThresholdsWithinBoundOnPresets(t *testing.T) {
+	p := Quick()
+	workloads := map[string]func() ([][]float64, error){
+		"network": func() ([][]float64, error) {
+			w, err := GenNetwork(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return w.Rho, nil
+		},
+		"system": func() ([][]float64, error) {
+			return GenSystem(p.SysNodes, p.SysMetricsPerNode, p.SysSteps, p.Seed+100)
+		},
+		"application": func() ([][]float64, error) {
+			return GenApp(p.AppServers, p.AppObjects, p.AppTopObjects, p.AppSteps, p.Seed+200)
+		},
+		"network-stationary": func() ([][]float64, error) {
+			w, err := GenNetworkStationary(p.NetServers, p.NetVMsPerServer, p.NetWindows, p.NetFlowsPerWindow, p.Seed+300)
+			if err != nil {
+				return nil, err
+			}
+			return w.Rho[:p.Fig8Monitors], nil
+		},
+	}
+	for name, gen := range workloads {
+		t.Run(name, func(t *testing.T) {
+			series, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := newThresholdCache(NewEngine(2), series, p.Ks, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := newThresholdCache(NewEngine(2), series, p.Ks, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grid, err := stream.grid(p.Ks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ki, k := range p.Ks {
+				q := (100 - k) / 100
+				for i := range series {
+					sorted := exact.sorted[i]
+					got := grid[ki][i]
+					lo := sort.SearchFloat64s(sorted, got)
+					hi := sort.Search(len(sorted), func(j int) bool { return sorted[j] > got })
+					rank := (float64(lo) + float64(hi)) / 2 / float64(len(sorted)-1)
+					if re := math.Abs(rank - q); re > stats.SketchRankErrorBound {
+						t.Errorf("%s series %d k=%v: streaming threshold %v off by %.4f in rank (bound %v)",
+							name, i, k, got, re, stats.SketchRankErrorBound)
+					}
+				}
+			}
+		})
 	}
 }

@@ -26,7 +26,7 @@ func RunSweep(name string, series [][]float64, p Preset) (*SweepResult, error) {
 		return nil, fmt.Errorf("bench: %s: no series", name)
 	}
 	eng := p.engine()
-	cache, err := newThresholdCache(eng, series)
+	cache, err := newThresholdCache(eng, series, p.Ks, p.ExactThresholds)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", name, err)
 	}

@@ -46,11 +46,17 @@ func RunFig8(p Preset) (*Fig8Result, error) {
 	}
 	series := w.Rho[:p.Fig8Monitors]
 
-	// One sorted copy per series serves every skew level's threshold
+	// One threshold backend per series serves every skew level's
 	// derivation; the per-(skew, scheme) distributed runs are independent
-	// and fan across the pool, each writing its own slot.
+	// and fan across the pool, each writing its own slot. The streaming
+	// backend's sketch grid is sized on the union of the selectivities the
+	// skew levels will derive, so every asked k hits a marker exactly.
 	eng := p.engine()
-	cache, err := newThresholdCache(eng, series)
+	union, err := fig8KUnion(len(series), p.Fig8BaseK, p.Fig8Skews)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig8: %w", err)
+	}
+	cache, err := newThresholdCache(eng, series, union, p.ExactThresholds)
 	if err != nil {
 		return nil, fmt.Errorf("bench: fig8: %w", err)
 	}
@@ -94,19 +100,16 @@ func RunFig8(p Preset) (*Fig8Result, error) {
 	return out, nil
 }
 
-// fig8Thresholds assigns per-monitor local thresholds so that monitor i's
-// local violation rate is proportional to Zipf weight i at the given skew,
-// with the mean rate equal to baseK percent. Thresholds come from the
-// shared sorted copies in the cache, so sweeping skew levels costs no
-// additional sorts.
-func fig8Thresholds(cache *thresholdCache, baseK, skew float64) ([]float64, error) {
-	n := len(cache.sorted)
+// fig8Ks derives the per-monitor selectivities for one skew level: monitor
+// i's local violation rate is proportional to Zipf weight i, with the mean
+// rate equal to baseK percent, clamped to the percentile domain.
+func fig8Ks(n int, baseK, skew float64) ([]float64, error) {
 	weights, err := stats.ZipfWeights(n, skew)
 	if err != nil {
 		return nil, err
 	}
-	thresholds := make([]float64, n)
-	for i := range thresholds {
+	ks := make([]float64, n)
+	for i := range ks {
 		k := baseK * float64(n) * weights[i]
 		// Keep every selectivity inside the percentile domain.
 		if k < 0.05 {
@@ -115,6 +118,35 @@ func fig8Thresholds(cache *thresholdCache, baseK, skew float64) ([]float64, erro
 		if k > 50 {
 			k = 50
 		}
+		ks[i] = k
+	}
+	return ks, nil
+}
+
+// fig8KUnion collects every selectivity any skew level will ask of the
+// threshold cache (duplicates are fine; the sketch dedups its grid).
+func fig8KUnion(n int, baseK float64, skews []float64) ([]float64, error) {
+	var union []float64
+	for _, skew := range skews {
+		ks, err := fig8Ks(n, baseK, skew)
+		if err != nil {
+			return nil, err
+		}
+		union = append(union, ks...)
+	}
+	return union, nil
+}
+
+// fig8Thresholds assigns per-monitor local thresholds for one skew level
+// from the shared threshold cache, so sweeping skew levels costs no
+// additional per-series passes.
+func fig8Thresholds(cache *thresholdCache, baseK, skew float64) ([]float64, error) {
+	ks, err := fig8Ks(cache.n(), baseK, skew)
+	if err != nil {
+		return nil, err
+	}
+	thresholds := make([]float64, len(ks))
+	for i, k := range ks {
 		t, err := cache.forSeries(i, k)
 		if err != nil {
 			return nil, err

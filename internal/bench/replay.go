@@ -172,29 +172,69 @@ func replayManyThresholds(eng *Engine, series [][]float64, thresholds []float64,
 }
 
 // thresholdCache amortizes threshold derivation across a whole experiment
-// grid: each series is copied and sorted exactly once (fanned across the
-// engine), after which the threshold for any selectivity is an O(1)
-// interpolation into the shared sorted copy via task.Thresholds. A sweep
-// over |Ks|·|Errs| cells previously paid one copy+sort per (cell, series);
-// with the cache it pays one per series.
+// grid. It has two backends:
+//
+// Streaming (the default): each series is fed once through a
+// task.StreamingThresholds sketch sized for the selectivity grid, after
+// which any k is answered in O(1) from a fixed marker bank. Memory per
+// series is constant in the trace length, which is what lets the engine
+// scale to series counts whose sorted copies would not fit in RAM; the
+// estimates carry the sketch's rank-error contract
+// (stats.SketchRankErrorBound).
+//
+// Exact (Preset.ExactThresholds): each series is copied and sorted once,
+// after which any k is an O(1) interpolation into the shared sorted copy
+// via task.Thresholds — bit-identical to per-cell ThresholdForSelectivity.
+// Kept as the equivalence/regression baseline and for small runs where the
+// O(n) copies are cheap.
+//
+// Both backends build in parallel across the engine and are deterministic
+// for any worker count (per-series slot writes only). A sweep over
+// |Ks|·|Errs| cells pays one build per series, not one per (cell, series).
 type thresholdCache struct {
 	sorted [][]float64
+	stream []*task.StreamingThresholds
 }
 
-// newThresholdCache sorts every series once, in parallel.
-func newThresholdCache(eng *Engine, series [][]float64) (*thresholdCache, error) {
+// newThresholdCache builds the per-series threshold backends, in parallel.
+// ks is the selectivity grid the cache will be asked (the streaming sketch
+// sizes its marker bank on it; off-grid ks still work, interpolated). The
+// exact backend ignores ks.
+func newThresholdCache(eng *Engine, series [][]float64, ks []float64, exact bool) (*thresholdCache, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("bench: no series")
 	}
-	c := &thresholdCache{sorted: make([][]float64, len(series))}
+	c := &thresholdCache{}
+	if exact {
+		c.sorted = make([][]float64, len(series))
+		err := eng.ForEach(len(series), func(i int) error {
+			if len(series[i]) == 0 {
+				return fmt.Errorf("bench: series %d is empty", i)
+			}
+			s := make([]float64, len(series[i]))
+			copy(s, series[i])
+			sort.Float64s(s)
+			c.sorted[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	c.stream = make([]*task.StreamingThresholds, len(series))
 	err := eng.ForEach(len(series), func(i int) error {
 		if len(series[i]) == 0 {
 			return fmt.Errorf("bench: series %d is empty", i)
 		}
-		s := make([]float64, len(series[i]))
-		copy(s, series[i])
-		sort.Float64s(s)
-		c.sorted[i] = s
+		st, err := task.NewStreamingThresholds(ks)
+		if err != nil {
+			return fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		for _, v := range series[i] {
+			st.Observe(v)
+		}
+		c.stream[i] = st
 		return nil
 	})
 	if err != nil {
@@ -203,19 +243,46 @@ func newThresholdCache(eng *Engine, series [][]float64) (*thresholdCache, error)
 	return c, nil
 }
 
+// n reports how many series the cache covers.
+func (c *thresholdCache) n() int {
+	if c.sorted != nil {
+		return len(c.sorted)
+	}
+	return len(c.stream)
+}
+
+// residentBytes estimates the cache's total memory footprint.
+func (c *thresholdCache) residentBytes() int {
+	total := 0
+	for _, s := range c.sorted {
+		total += 8 * cap(s)
+	}
+	for _, st := range c.stream {
+		total += st.ResidentBytes()
+	}
+	return total
+}
+
 // forSeries derives one series' threshold at selectivity k.
 func (c *thresholdCache) forSeries(i int, k float64) (float64, error) {
-	t, err := task.Thresholds(c.sorted[i], []float64{k})
+	if c.sorted != nil {
+		t, err := task.Thresholds(c.sorted[i], []float64{k})
+		if err != nil {
+			return 0, fmt.Errorf("bench: series %d: %w", i, err)
+		}
+		return t[0], nil
+	}
+	t, err := c.stream[i].Threshold(k)
 	if err != nil {
 		return 0, fmt.Errorf("bench: series %d: %w", i, err)
 	}
-	return t[0], nil
+	return t, nil
 }
 
 // forK derives the per-series threshold vector at one selectivity.
 func (c *thresholdCache) forK(k float64) ([]float64, error) {
-	out := make([]float64, len(c.sorted))
-	for i := range c.sorted {
+	out := make([]float64, c.n())
+	for i := range out {
 		t, err := c.forSeries(i, k)
 		if err != nil {
 			return nil, err
@@ -230,15 +297,27 @@ func (c *thresholdCache) forK(k float64) ([]float64, error) {
 func (c *thresholdCache) grid(ks []float64) ([][]float64, error) {
 	out := make([][]float64, len(ks))
 	for ki := range ks {
-		out[ki] = make([]float64, len(c.sorted))
+		out[ki] = make([]float64, c.n())
 	}
-	for i, s := range c.sorted {
-		ts, err := task.Thresholds(s, ks)
-		if err != nil {
-			return nil, fmt.Errorf("bench: series %d: %w", i, err)
+	if c.sorted != nil {
+		for i, s := range c.sorted {
+			ts, err := task.Thresholds(s, ks)
+			if err != nil {
+				return nil, fmt.Errorf("bench: series %d: %w", i, err)
+			}
+			for ki := range ks {
+				out[ki][i] = ts[ki]
+			}
 		}
-		for ki := range ks {
-			out[ki][i] = ts[ki]
+		return out, nil
+	}
+	for i, st := range c.stream {
+		for ki, k := range ks {
+			t, err := st.Threshold(k)
+			if err != nil {
+				return nil, fmt.Errorf("bench: series %d: %w", i, err)
+			}
+			out[ki][i] = t
 		}
 	}
 	return out, nil

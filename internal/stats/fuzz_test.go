@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSketch feeds arbitrary byte streams to the sketch as float64
+// observations (plus a fuzzed target grid) and checks the structural
+// invariants that must survive any input: no panics, NaN/±Inf rejected
+// without perturbing state, quantile estimates monotone in q and confined
+// to [Min, Max], and N consistent with the accept/reject accounting.
+func FuzzSketch(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(uint8(1), seed(1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(uint8(3), seed(math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.0))
+	f.Add(uint8(7), seed(1, 1, 1, 1, 1, 1, 1, 1, 1, 1))
+	f.Add(uint8(9), seed(5, 4, 3, 2, 1, 0, -1, -2, -3, -4, -5, -6, -7, -8))
+	f.Add(uint8(2), seed(math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64))
+
+	f.Fuzz(func(t *testing.T, gridSel uint8, data []byte) {
+		// A fuzzed grid: 1–4 targets spread over (0, 1).
+		m := int(gridSel%4) + 1
+		targets := make([]float64, m)
+		for i := range targets {
+			targets[i] = (float64(i) + 0.5 + float64(gridSel%8)/16) / (float64(m) + 1)
+		}
+		s, err := NewSketch(targets)
+		if err != nil {
+			t.Fatalf("NewSketch(%v): %v", targets, err)
+		}
+
+		accepted, rejected := 0, 0
+		for off := 0; off+8 <= len(data) && off < 8*4096; off += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+			finite := !math.IsNaN(x) && !math.IsInf(x, 0)
+			if got := s.Observe(x); got != finite {
+				t.Fatalf("Observe(%v) = %v, want %v", x, got, finite)
+			}
+			if finite {
+				accepted++
+			} else {
+				rejected++
+			}
+		}
+		if s.N() != accepted {
+			t.Fatalf("N() = %d, want %d accepted", s.N(), accepted)
+		}
+		if s.Rejected() != uint64(rejected) {
+			t.Fatalf("Rejected() = %d, want %d", s.Rejected(), rejected)
+		}
+
+		if accepted == 0 {
+			if !math.IsNaN(s.Quantile(0.5)) {
+				t.Fatal("Quantile on empty sketch should be NaN")
+			}
+			return
+		}
+		lo, hi := s.Min(), s.Max()
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			t.Fatalf("Min/Max = %v/%v inconsistent after %d observations", lo, hi, accepted)
+		}
+		prev := math.Inf(-1)
+		for i := 0; i <= 20; i++ {
+			q := float64(i) / 20
+			got := s.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) = NaN on a non-empty sketch", q)
+			}
+			if got < prev-1e-9 {
+				t.Fatalf("quantiles not monotone: Quantile(%v) = %v < %v", q, got, prev)
+			}
+			if got < lo-1e-9 || got > hi+1e-9 {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, got, lo, hi)
+			}
+			prev = got
+		}
+		for gi := range targets {
+			got := s.GridQuantile(gi)
+			if math.IsNaN(got) || got < lo-1e-9 || got > hi+1e-9 {
+				t.Fatalf("GridQuantile(%d) = %v outside [%v, %v]", gi, got, lo, hi)
+			}
+		}
+		// Out-of-domain queries answer NaN, never panic.
+		for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+			if !math.IsNaN(s.Quantile(q)) {
+				t.Fatalf("Quantile(%v) should be NaN", q)
+			}
+		}
+	})
+}

@@ -228,6 +228,35 @@ func TestOnlineStdDev(t *testing.T) {
 	}
 }
 
+// TestDeltaMomentsZeroAlloc is the δ-statistics streaming audit's
+// enforcement: every per-sample moment update on the monitor hot path —
+// Online's Welford recurrences and Windowed's restart-with-seed boundary —
+// must run without allocating, matching the Sketch.Observe guard. Online,
+// Windowed and Sketch are all the per-sample state Volley keeps, so with
+// this the whole statistics layer is O(1) memory and allocation-free in
+// steady state (DESIGN.md §15).
+func TestDeltaMomentsZeroAlloc(t *testing.T) {
+	var o Online
+	allocs := testing.AllocsPerRun(2000, func() {
+		o.Observe(1.5)
+		_ = o.Mean()
+		_ = o.Variance()
+	})
+	if allocs != 0 {
+		t.Errorf("Online.Observe allocates %v times per observation, want 0", allocs)
+	}
+	// A small window makes AllocsPerRun cross many restart boundaries, so
+	// the seed-carryover path is covered too.
+	w := NewWindowed(32, 4)
+	allocs = testing.AllocsPerRun(2000, func() {
+		w.Observe(2.5)
+		_ = w.StdDev()
+	})
+	if allocs != 0 {
+		t.Errorf("Windowed.Observe allocates %v times per observation, want 0", allocs)
+	}
+}
+
 func TestWindowedReset(t *testing.T) {
 	w := NewWindowed(10, 2)
 	w.Observe(3)

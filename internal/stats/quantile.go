@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -40,122 +39,12 @@ func quantileSorted(sorted []float64, q float64) float64 {
 		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return lerpClamped(sorted[lo], sorted[hi], frac)
 }
 
 // Percentile computes the p-th percentile (0 ≤ p ≤ 100) of values.
+// For streaming percentiles over unbounded series, see Sketch (sketch.go):
+// it maintains a whole quantile grid online in O(1) memory.
 func Percentile(values []float64, p float64) float64 {
 	return Quantile(values, p/100)
-}
-
-// P2Quantile estimates a single quantile of a stream in O(1) memory using
-// the P² (piecewise-parabolic) algorithm of Jain & Chlamtac (1985). It is
-// used where retaining the full value series would be wasteful, e.g. for
-// threshold selection over long synthetic traces.
-type P2Quantile struct {
-	q       float64
-	n       int
-	heights [5]float64
-	pos     [5]float64
-	desired [5]float64
-	incr    [5]float64
-	initial []float64
-}
-
-// NewP2Quantile returns a streaming estimator for the q-quantile
-// (0 < q < 1). It returns an error for q outside the open interval.
-func NewP2Quantile(q float64) (*P2Quantile, error) {
-	if q <= 0 || q >= 1 || math.IsNaN(q) {
-		return nil, fmt.Errorf("stats: p2 quantile %v outside (0, 1)", q)
-	}
-	p := &P2Quantile{q: q, initial: make([]float64, 0, 5)}
-	p.pos = [5]float64{1, 2, 3, 4, 5}
-	p.desired = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
-	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
-	return p, nil
-}
-
-// Observe adds one observation to the stream.
-func (p *P2Quantile) Observe(x float64) {
-	p.n++
-	if len(p.initial) < 5 {
-		p.initial = append(p.initial, x)
-		if len(p.initial) == 5 {
-			sort.Float64s(p.initial)
-			copy(p.heights[:], p.initial)
-		}
-		return
-	}
-
-	// Find the cell containing x and update the extreme markers.
-	var k int
-	switch {
-	case x < p.heights[0]:
-		p.heights[0] = x
-		k = 0
-	case x >= p.heights[4]:
-		p.heights[4] = x
-		k = 3
-	default:
-		for k = 0; k < 4; k++ {
-			if x < p.heights[k+1] {
-				break
-			}
-		}
-	}
-
-	for i := k + 1; i < 5; i++ {
-		p.pos[i]++
-	}
-	for i := range p.desired {
-		p.desired[i] += p.incr[i]
-	}
-
-	// Adjust the three interior markers toward their desired positions.
-	for i := 1; i <= 3; i++ {
-		d := p.desired[i] - p.pos[i]
-		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
-			sign := 1.0
-			if d < 0 {
-				sign = -1
-			}
-			h := p.parabolic(i, sign)
-			if p.heights[i-1] < h && h < p.heights[i+1] {
-				p.heights[i] = h
-			} else {
-				p.heights[i] = p.linear(i, sign)
-			}
-			p.pos[i] += sign
-		}
-	}
-}
-
-func (p *P2Quantile) parabolic(i int, d float64) float64 {
-	hi, h, lo := p.heights[i+1], p.heights[i], p.heights[i-1]
-	ni, n, nl := p.pos[i+1], p.pos[i], p.pos[i-1]
-	return h + d/(ni-nl)*((n-nl+d)*(hi-h)/(ni-n)+(ni-n-d)*(h-lo)/(n-nl))
-}
-
-func (p *P2Quantile) linear(i int, d float64) float64 {
-	j := i + int(d)
-	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
-}
-
-// N reports the number of observations seen.
-func (p *P2Quantile) N() int { return p.n }
-
-// Value reports the current quantile estimate. With fewer than five
-// observations it falls back to the exact quantile of the values seen so
-// far; with none it returns NaN.
-func (p *P2Quantile) Value() float64 {
-	if p.n == 0 {
-		return math.NaN()
-	}
-	if len(p.initial) < 5 {
-		tmp := make([]float64, len(p.initial))
-		copy(tmp, p.initial)
-		sort.Float64s(tmp)
-		return quantileSorted(tmp, p.q)
-	}
-	return p.heights[2]
 }

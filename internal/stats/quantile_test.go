@@ -116,99 +116,6 @@ func TestQuantileMonotoneInQ(t *testing.T) {
 	}
 }
 
-func TestNewP2QuantileValidation(t *testing.T) {
-	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
-		if _, err := NewP2Quantile(q); err == nil {
-			t.Errorf("NewP2Quantile(%v) succeeded, want error", q)
-		}
-	}
-	if _, err := NewP2Quantile(0.5); err != nil {
-		t.Errorf("NewP2Quantile(0.5) error: %v", err)
-	}
-}
-
-func TestP2QuantileEmpty(t *testing.T) {
-	p, err := NewP2Quantile(0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := p.Value(); !math.IsNaN(got) {
-		t.Errorf("Value() on empty stream = %v, want NaN", got)
-	}
-}
-
-func TestP2QuantileFewObservations(t *testing.T) {
-	p, err := NewP2Quantile(0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p.Observe(3)
-	p.Observe(1)
-	p.Observe(2)
-	if got := p.Value(); got != 2 {
-		t.Errorf("Value() with 3 observations = %v, want exact median 2", got)
-	}
-	if p.N() != 3 {
-		t.Errorf("N() = %d, want 3", p.N())
-	}
-}
-
-func TestP2QuantileAccuracy(t *testing.T) {
-	tests := []struct {
-		name string
-		q    float64
-		draw func(*rand.Rand) float64
-	}{
-		{name: "uniform median", q: 0.5, draw: func(r *rand.Rand) float64 { return r.Float64() }},
-		{name: "uniform p90", q: 0.9, draw: func(r *rand.Rand) float64 { return r.Float64() }},
-		{name: "normal p95", q: 0.95, draw: func(r *rand.Rand) float64 { return r.NormFloat64() }},
-		{name: "exp p99", q: 0.99, draw: func(r *rand.Rand) float64 { return r.ExpFloat64() }},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(11))
-			p, err := NewP2Quantile(tt.q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const n = 50000
-			values := make([]float64, n)
-			for i := range values {
-				values[i] = tt.draw(rng)
-				p.Observe(values[i])
-			}
-			exact := Quantile(values, tt.q)
-			spread := Quantile(values, 0.99) - Quantile(values, 0.01)
-			if math.Abs(p.Value()-exact) > 0.05*spread+1e-9 {
-				t.Errorf("P2 estimate %v far from exact %v (spread %v)", p.Value(), exact, spread)
-			}
-		})
-	}
-}
-
-func TestP2QuantileSortedAndReversedStreams(t *testing.T) {
-	for _, name := range []string{"ascending", "descending"} {
-		t.Run(name, func(t *testing.T) {
-			p, err := NewP2Quantile(0.5)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const n = 10001
-			for i := 0; i < n; i++ {
-				v := float64(i)
-				if name == "descending" {
-					v = float64(n - i)
-				}
-				p.Observe(v)
-			}
-			// True median is ~n/2; P² should land within a few percent.
-			if math.Abs(p.Value()-float64(n)/2) > 0.05*float64(n) {
-				t.Errorf("median estimate %v, want ≈ %v", p.Value(), float64(n)/2)
-			}
-		})
-	}
-}
-
 func TestQuantileSorted(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4}
 	if got := QuantileSorted(sorted, 0.5); !almostEqual(got, 2.5, 1e-12) {

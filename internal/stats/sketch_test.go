@@ -1,0 +1,394 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// rankError reports |F̂(estimate) − q| against the full sample: the
+// midpoint rank of the estimate within the sorted values, minus the target
+// quantile. This is the metric of the documented SketchRankErrorBound —
+// value-space error is meaningless across heavy-tail scales.
+func rankError(sorted []float64, estimate, q float64) float64 {
+	lo := sort.SearchFloat64s(sorted, estimate)
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > estimate })
+	mid := (float64(lo) + float64(hi)) / 2
+	return math.Abs(mid/float64(len(sorted)) - q)
+}
+
+var sketchTestGrid = []float64{0.5, 0.9, 0.95, 0.99}
+
+func TestNewSketchValidation(t *testing.T) {
+	for _, qs := range [][]float64{nil, {}, {0}, {1}, {-0.5}, {1.5}, {math.NaN()}, {0.5, 1}} {
+		if _, err := NewSketch(qs); err == nil {
+			t.Errorf("NewSketch(%v) succeeded, want error", qs)
+		}
+	}
+	s, err := NewSketch([]float64{0.9, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Targets(); len(got) != 2 || got[0] != 0.5 || got[1] != 0.9 {
+		t.Errorf("Targets() = %v, want deduplicated ascending [0.5 0.9]", got)
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s, err := NewSketch([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty sketch = %v, want NaN", got)
+	}
+	if got := s.GridQuantile(0); !math.IsNaN(got) {
+		t.Errorf("GridQuantile on empty sketch = %v, want NaN", got)
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("Min/Max on empty sketch should be NaN")
+	}
+}
+
+func TestSketchFewObservationsExact(t *testing.T) {
+	s, err := NewSketch([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{3, 1, 2} {
+		if !s.Observe(v) {
+			t.Fatalf("Observe(%v) rejected", v)
+		}
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("median with 3 observations = %v, want exact 2", got)
+	}
+	if got := s.GridQuantile(0); got != 2 {
+		t.Errorf("GridQuantile with 3 observations = %v, want exact 2", got)
+	}
+	if s.N() != 3 {
+		t.Errorf("N() = %d, want 3", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v, want 1/3", s.Min(), s.Max())
+	}
+}
+
+func TestSketchRejectsNonFinite(t *testing.T) {
+	s, err := NewSketch([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if s.Observe(v) {
+			t.Errorf("Observe(%v) accepted, want rejected", v)
+		}
+	}
+	if s.N() != 0 {
+		t.Errorf("N() after rejected observations = %d, want 0", s.N())
+	}
+	if s.Rejected() != 3 {
+		t.Errorf("Rejected() = %d, want 3", s.Rejected())
+	}
+	s.Observe(1)
+	if s.N() != 1 || s.Rejected() != 3 {
+		t.Errorf("N/Rejected after one real observation = %d/%d, want 1/3", s.N(), s.Rejected())
+	}
+}
+
+// TestSketchErrorBound is the documented accuracy contract: at every grid
+// quantile, the estimate's rank error stays within SketchRankErrorBound
+// for uniform, Gaussian, heavy-tail and sorted-adversarial streams (the
+// last via the GK fallback).
+func TestSketchErrorBound(t *testing.T) {
+	const n = 50000
+	tests := []struct {
+		name string
+		gen  func(i int, r *rand.Rand) float64
+		gk   bool // expect the GK fallback to engage
+		any  bool // mode is the sketch's call; only the bound is asserted
+	}{
+		{name: "uniform", gen: func(_ int, r *rand.Rand) float64 { return r.Float64() }},
+		{name: "gaussian", gen: func(_ int, r *rand.Rand) float64 { return 50 + 10*r.NormFloat64() }},
+		{name: "heavy-tail-pareto", gen: func(_ int, r *rand.Rand) float64 {
+			return math.Pow(r.Float64(), -1/1.5) // Pareto α=1.5: infinite variance
+		}},
+		{name: "sorted-ascending", gen: func(i int, _ *rand.Rand) float64 { return float64(i) }, gk: true},
+		{name: "sorted-descending", gen: func(i int, _ *rand.Rand) float64 { return float64(n - i) }, gk: true},
+		{name: "drifting-ramp", gen: func(i int, r *rand.Rand) float64 {
+			// Slow upward drift under noise: new maxima arrive at ~drift/noise
+			// rate (10%), below the detector threshold — and P² tracks it
+			// within the bound, so either mode is acceptable.
+			return float64(i)/10 + r.Float64()
+		}, any: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			s, err := NewSketch(sketchTestGrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = tt.gen(i, rng)
+				s.Observe(values[i])
+			}
+			if !tt.any {
+				if tt.gk && s.Mode() != SketchGK {
+					t.Errorf("mode = %v, want GK fallback on an adversarial stream", s.Mode())
+				}
+				if !tt.gk && s.Mode() != SketchP2 {
+					t.Errorf("mode = %v, want P2 on a stationary stream", s.Mode())
+				}
+			}
+			sorted := append([]float64(nil), values...)
+			sort.Float64s(sorted)
+			for gi, q := range sketchTestGrid {
+				got := s.GridQuantile(gi)
+				if re := rankError(sorted, got, q); re > SketchRankErrorBound {
+					t.Errorf("q=%v: estimate %v has rank error %.4f > %v (mode %v)",
+						q, got, re, SketchRankErrorBound, s.Mode())
+				}
+				// The interpolated path must agree at grid points.
+				if re := rankError(sorted, s.Quantile(q), q); re > SketchRankErrorBound {
+					t.Errorf("q=%v interpolated: rank error %.4f > %v", q, re, SketchRankErrorBound)
+				}
+			}
+			if s.Mode() == SketchGK {
+				if re := s.RankError(); re > SketchRankErrorBound {
+					t.Errorf("GK tracked rank error %.4f > %v", re, SketchRankErrorBound)
+				}
+			}
+		})
+	}
+}
+
+// TestSketchSingleQuantile ports the old P2Quantile accuracy cases to the
+// folded-in single-target sketch surface.
+func TestSketchSingleQuantile(t *testing.T) {
+	tests := []struct {
+		name string
+		q    float64
+		draw func(*rand.Rand) float64
+	}{
+		{name: "uniform median", q: 0.5, draw: func(r *rand.Rand) float64 { return r.Float64() }},
+		{name: "uniform p90", q: 0.9, draw: func(r *rand.Rand) float64 { return r.Float64() }},
+		{name: "normal p95", q: 0.95, draw: func(r *rand.Rand) float64 { return r.NormFloat64() }},
+		{name: "exp p99", q: 0.99, draw: func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			s, err := NewSketch([]float64{tt.q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = tt.draw(rng)
+				s.Observe(values[i])
+			}
+			sorted := append([]float64(nil), values...)
+			sort.Float64s(sorted)
+			if re := rankError(sorted, s.GridQuantile(0), tt.q); re > SketchRankErrorBound {
+				t.Errorf("estimate %v has rank error %.4f > %v", s.GridQuantile(0), re, SketchRankErrorBound)
+			}
+		})
+	}
+}
+
+func TestSketchQuantileMonotoneInQ(t *testing.T) {
+	streams := map[string]func(i int, r *rand.Rand) float64{
+		"stationary": func(_ int, r *rand.Rand) float64 { return r.NormFloat64() * 10 },
+		"sorted":     func(i int, _ *rand.Rand) float64 { return float64(i) },
+	}
+	for name, gen := range streams {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			s, err := NewSketch(sketchTestGrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20000; i++ {
+				s.Observe(gen(i, rng))
+			}
+			prev := math.Inf(-1)
+			for q := 0.0; q <= 1.0001; q += 0.01 {
+				qq := math.Min(q, 1)
+				got := s.Quantile(qq)
+				if got < prev-1e-9 {
+					t.Fatalf("quantile decreased at q=%v: %v < %v", qq, got, prev)
+				}
+				if got < s.Min()-1e-9 || got > s.Max()+1e-9 {
+					t.Fatalf("Quantile(%v) = %v outside [min=%v, max=%v]", qq, got, s.Min(), s.Max())
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+func TestSketchConstantStreamStaysP2(t *testing.T) {
+	s, err := NewSketch(sketchTestGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		s.Observe(42)
+	}
+	if s.Mode() != SketchP2 {
+		t.Errorf("constant stream switched to %v; equal values are not strict extremes", s.Mode())
+	}
+	if got := s.Quantile(0.5); got != 42 {
+		t.Errorf("median of constant stream = %v, want 42", got)
+	}
+}
+
+func TestSketchFallbackSeedsFromMarkers(t *testing.T) {
+	// A stationary prefix followed by a hard monotone ramp: the fallback
+	// must carry the prefix's distribution (seeded from the marker bank)
+	// rather than restarting from the ramp alone.
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewSketch(sketchTestGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	values := make([]float64, n)
+	for i := range values {
+		if i < n/2 {
+			values[i] = 100 * rng.Float64()
+		} else {
+			values[i] = 100 + float64(i-n/2)
+		}
+		s.Observe(values[i])
+	}
+	if s.Mode() != SketchGK {
+		t.Fatalf("mode = %v, want GK after the ramp", s.Mode())
+	}
+	if s.Fallbacks() != 1 {
+		t.Errorf("Fallbacks() = %d, want 1", s.Fallbacks())
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for gi, q := range sketchTestGrid {
+		if re := rankError(sorted, s.GridQuantile(gi), q); re > SketchRankErrorBound {
+			t.Errorf("q=%v after mid-stream fallback: rank error %.4f > %v", q, re, SketchRankErrorBound)
+		}
+	}
+}
+
+func TestSketchResidentBytesBounded(t *testing.T) {
+	s, err := NewSketch([]float64{0.936, 0.968, 0.984, 0.992, 0.996, 0.998, 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.ResidentBytes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s.Observe(rng.NormFloat64())
+	}
+	if got := s.ResidentBytes(); got != before {
+		t.Errorf("P² resident bytes grew with the trace: %d -> %d", before, got)
+	}
+	if before > 2048 {
+		t.Errorf("P² sketch resident bytes = %d, want well under 2 KiB", before)
+	}
+	// Even after an adversarial fallback the footprint is a fixed cap.
+	for i := 0; i < 100000; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Mode() != SketchGK {
+		t.Fatal("ramp did not trigger fallback")
+	}
+	if got := s.ResidentBytes(); got > 16*1024 {
+		t.Errorf("GK resident bytes = %d, want under 16 KiB", got)
+	}
+}
+
+// TestSketchObserveZeroAlloc gates the repo convention: the per-sample hot
+// path allocates nothing, in either mode.
+func TestSketchObserveZeroAlloc(t *testing.T) {
+	t.Run("p2", func(t *testing.T) {
+		s, err := NewSketch(sketchTestGrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		values := make([]float64, 4096)
+		for i := range values {
+			values[i] = 50 + 10*rng.NormFloat64()
+		}
+		for _, v := range values {
+			s.Observe(v) // past warmup
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(2000, func() {
+			s.Observe(values[i%len(values)])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("Sketch.Observe (P² mode) allocates %.1f times per call, want 0", allocs)
+		}
+		if s.Mode() != SketchP2 {
+			t.Fatalf("mode drifted to %v during the alloc guard", s.Mode())
+		}
+	})
+	t.Run("gk", func(t *testing.T) {
+		s, err := NewSketch(sketchTestGrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for s.Mode() != SketchGK {
+			s.Observe(float64(n))
+			n++
+			if n > 1<<20 {
+				t.Fatal("ramp never triggered the GK fallback")
+			}
+		}
+		allocs := testing.AllocsPerRun(2000, func() {
+			s.Observe(float64(n))
+			n++
+		})
+		if allocs != 0 {
+			t.Errorf("Sketch.Observe (GK mode) allocates %.1f times per call, want 0", allocs)
+		}
+	})
+}
+
+func BenchmarkSketchObserve(b *testing.B) {
+	bench := func(b *testing.B, adversarial bool) {
+		s, err := NewSketch([]float64{0.936, 0.968, 0.984, 0.992, 0.996, 0.998, 0.999})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		values := make([]float64, 8192)
+		for i := range values {
+			if adversarial {
+				values[i] = float64(i)
+			} else {
+				values[i] = 50 + 10*rng.NormFloat64()
+			}
+		}
+		for _, v := range values {
+			s.Observe(v)
+		}
+		if adversarial {
+			for s.Mode() != SketchGK {
+				s.Observe(float64(len(values)))
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Observe(values[i%len(values)])
+		}
+	}
+	b.Run("p2", func(b *testing.B) { bench(b, false) })
+	b.Run("gk", func(b *testing.B) { bench(b, true) })
+}

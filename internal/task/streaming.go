@@ -1,0 +1,111 @@
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"volley/internal/stats"
+)
+
+// StreamingThresholds answers the selectivity-to-threshold mapping of
+// ThresholdForSelectivity without retaining the observed series: a
+// multi-quantile sketch (stats.Sketch) tracks the (100−k)-th percentile for
+// every selectivity k in the grid online, in O(1) memory and with no
+// allocation per observation. Where Thresholds needs a sorted copy of the
+// full trace — O(n) bytes per series — a StreamingThresholds holds a fixed
+// marker bank regardless of how long the series runs, which is what makes
+// million-series deployments and runtime re-tuning (answering a new k
+// mid-stream without replaying history) feasible.
+//
+// Estimates carry the sketch's rank-error contract: a returned threshold is
+// the exact threshold of a selectivity within ±100·stats.SketchRankErrorBound
+// percentage points of the requested k (and is exact while fewer
+// observations than the marker bank have arrived).
+type StreamingThresholds struct {
+	ks []float64
+	sk *stats.Sketch
+}
+
+// NewStreamingThresholds builds a streaming threshold tracker for the given
+// selectivity grid (percent, each in (0, 100)). The grid fixes the sketch's
+// marker bank; Threshold may still be asked for any k in (0, 100), with best
+// accuracy at and between grid points.
+func NewStreamingThresholds(ks []float64) (*StreamingThresholds, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("task: no selectivities")
+	}
+	targets := make([]float64, len(ks))
+	for i, k := range ks {
+		if k <= 0 || k >= 100 || math.IsNaN(k) {
+			return nil, fmt.Errorf("task: selectivity %v outside (0, 100)", k)
+		}
+		targets[i] = (100 - k) / 100
+	}
+	sk, err := stats.NewSketch(targets)
+	if err != nil {
+		return nil, fmt.Errorf("task: %v", err)
+	}
+	return &StreamingThresholds{ks: append([]float64(nil), ks...), sk: sk}, nil
+}
+
+// Observe feeds one value of the monitored series into the sketch. It
+// reports whether the value was accepted; NaN and ±Inf are rejected without
+// perturbing the estimates. Observe does not allocate.
+func (s *StreamingThresholds) Observe(x float64) bool { return s.sk.Observe(x) }
+
+// Threshold returns the monitoring threshold for selectivity k — the
+// streaming estimate of the (100−k)-th percentile of everything observed so
+// far. k need not be a grid point. It returns an error for k outside
+// (0, 100) or before any value has been observed.
+func (s *StreamingThresholds) Threshold(k float64) (float64, error) {
+	if k <= 0 || k >= 100 || math.IsNaN(k) {
+		return 0, fmt.Errorf("task: selectivity %v outside (0, 100)", k)
+	}
+	if s.sk.N() == 0 {
+		return 0, fmt.Errorf("task: no values to derive threshold from")
+	}
+	return s.sk.Quantile((100 - k) / 100), nil
+}
+
+// Thresholds returns the threshold for every grid selectivity, in the order
+// the grid was given to NewStreamingThresholds — the streaming counterpart
+// of the package-level Thresholds. It returns an error before any value has
+// been observed.
+func (s *StreamingThresholds) Thresholds() ([]float64, error) {
+	return s.AppendThresholds(nil)
+}
+
+// AppendThresholds appends the grid thresholds to dst and returns the
+// extended slice, so a caller sweeping many series can reuse one buffer.
+func (s *StreamingThresholds) AppendThresholds(dst []float64) ([]float64, error) {
+	if s.sk.N() == 0 {
+		return nil, fmt.Errorf("task: no values to derive thresholds from")
+	}
+	for _, k := range s.ks {
+		// Grid selectivities hit their marker exactly in the sketch.
+		dst = append(dst, s.sk.Quantile((100-k)/100))
+	}
+	return dst, nil
+}
+
+// Ks returns a copy of the selectivity grid.
+func (s *StreamingThresholds) Ks() []float64 { return append([]float64(nil), s.ks...) }
+
+// N reports how many values have been accepted.
+func (s *StreamingThresholds) N() int { return s.sk.N() }
+
+// Rejected reports how many non-finite values were dropped.
+func (s *StreamingThresholds) Rejected() uint64 { return s.sk.Rejected() }
+
+// Mode reports which sketch algorithm currently backs the estimates.
+func (s *StreamingThresholds) Mode() stats.SketchMode { return s.sk.Mode() }
+
+// Fallbacks reports how many times the sketch fell back from the P² marker
+// bank to the GK summary (0 or 1 per tracker; fallback is permanent).
+func (s *StreamingThresholds) Fallbacks() uint64 { return s.sk.Fallbacks() }
+
+// ResidentBytes estimates the tracker's memory footprint. It is constant in
+// the number of observations — the point of the streaming path.
+func (s *StreamingThresholds) ResidentBytes() int {
+	return s.sk.ResidentBytes() + 8*cap(s.ks) + 24
+}
