@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport bench-alerts bench-streaming examples
+.PHONY: build vet test race check soak bench bench-json bench-coord bench-cluster bench-transport bench-alerts bench-streaming bench-workloads examples
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,15 @@ bench-alerts:
 # presets. Snapshots to BENCH_streaming.json.
 bench-streaming:
 	$(GO) run ./cmd/volleybench -streamingjson BENCH_streaming.json
+
+# Run the workload families (entropy-of-flow DDoS detection and the
+# multi-tenant SLO colocation with correlation-gated monitoring) end to
+# end on the quick preset and snapshot the savings-vs-misdetection curves
+# to BENCH_workloads.json. The headline gates: Volley beats the uniform
+# baseline at equal misdetection on every entropy point, and the gated
+# tenant run keeps episode recall >= 0.7 while cutting sampling cost.
+bench-workloads:
+	$(GO) run ./cmd/volleybench -preset quick -workloadjson BENCH_workloads.json
 
 examples:
 	$(GO) run ./examples/quickstart

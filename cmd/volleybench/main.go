@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations, workloads")
 	preset := flag.String("preset", "full", "experiment sizes: full or quick")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
 	procs := flag.Int("procs", 0, "experiment-engine workers: 0 = all cores, 1 = serial")
@@ -51,6 +51,7 @@ func main() {
 	transportJSONPath := flag.String("transportjson", "", "benchmark the wire codec (gob vs binary, batched vs not) end-to-end over loopback TCP and write throughput and bytes/msg as JSON to this file")
 	alertsJSONPath := flag.String("alertsjson", "", "benchmark the alert registry hot paths (dedup raise, local observe, lifecycle, snapshot export) and write ns/op and allocs/op as JSON to this file")
 	streamingJSONPath := flag.String("streamingjson", "", "benchmark the streaming threshold sketches (resident bytes vs trace length, ns/observe, refresh cost vs sorted-copy baseline, million-series soak, per-preset rank error) and write the results as JSON to this file")
+	workloadJSONPath := flag.String("workloadjson", "", "run the workload families (entropy-flow, tenant-colo) end to end and write their savings-vs-misdetection curves and the correlation-gated tenant run as JSON to this file")
 	flag.Parse()
 
 	p, err := presetByName(*preset)
@@ -91,6 +92,13 @@ func main() {
 	}
 	if *streamingJSONPath != "" {
 		if err := writeStreamingBenchJSON(*streamingJSONPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "volleybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workloadJSONPath != "" {
+		if err := writeWorkloadBenchJSON(p, *preset, *workloadJSONPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "volleybench:", err)
 			os.Exit(1)
 		}
@@ -271,8 +279,27 @@ func runFigures(fig string, p bench.Preset, writeCSV func(name, data string) err
 			ablationIdx++
 		}
 	}
+	if want("workloads") {
+		ran = true
+		for _, fam := range []struct {
+			name string
+			run  func(bench.Preset) (*bench.WorkloadResult, error)
+		}{
+			{"workload-entropy", bench.RunWorkloadEntropy},
+			{"workload-tenant", bench.RunWorkloadTenant},
+		} {
+			r, err := fam.run(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Table())
+			if err := writeCSV(fam.name+".csv", r.CSV()); err != nil {
+				return err
+			}
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (want all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations)", fig)
+		return fmt.Errorf("unknown figure %q (want all, 1, 5a, 5b, 5c, 6, 7, 8, baselines, ablations, workloads)", fig)
 	}
 	return nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"volley/internal/bench"
+)
+
+func TestWriteWorkloadBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workloads.json")
+	out, err := os.Create(filepath.Join(dir, "stdout.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	p := bench.Quick()
+	p.Procs = 2
+	if err := writeWorkloadBenchJSON(p, "quick", path, out); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report workloadReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("workload json does not parse: %v", err)
+	}
+	if report.Preset != "quick" || report.Procs != 2 {
+		t.Errorf("report header = %q/%d, want quick/2", report.Preset, report.Procs)
+	}
+	if len(report.Families) != 2 {
+		t.Fatalf("report has %d families, want 2", len(report.Families))
+	}
+
+	entropy := report.Families[0]
+	if entropy.Family != "entropy-flow" {
+		t.Errorf("families[0] = %q, want entropy-flow", entropy.Family)
+	}
+	if len(entropy.Volley) == 0 || len(entropy.Baseline) == 0 {
+		t.Fatalf("entropy curves empty: %d volley, %d baseline", len(entropy.Volley), len(entropy.Baseline))
+	}
+	// The committed artifact's headline claim: Volley dominates the uniform
+	// baseline at equal misdetection on every point of the curve.
+	if !entropy.VolleyBeatsBaseline {
+		t.Error("entropy-flow: volley_beats_baseline = false")
+	}
+	for i, adv := range entropy.Advantage {
+		if adv <= 0 {
+			t.Errorf("entropy advantage[%d] = %v, want > 0", i, adv)
+		}
+	}
+
+	tenant := report.Families[1]
+	if tenant.Family != "tenant-colo" {
+		t.Errorf("families[1] = %q, want tenant-colo", tenant.Family)
+	}
+	if tenant.Gating == nil {
+		t.Fatal("tenant-colo: gating block missing")
+	}
+	if tenant.Gating.Savings <= 0 {
+		t.Errorf("tenant gating savings = %v, want > 0", tenant.Gating.Savings)
+	}
+	if tenant.Gating.Recall == nil || *tenant.Gating.Recall < tenant.Gating.MinRecall {
+		t.Errorf("tenant gating recall = %v, want >= min recall %v", tenant.Gating.Recall, tenant.Gating.MinRecall)
+	}
+
+	var total int64
+	for _, f := range report.Families {
+		if f.WallClockNS <= 0 {
+			t.Errorf("%s: wall_clock_ns = %d, want > 0", f.Family, f.WallClockNS)
+		}
+		total += f.WallClockNS
+	}
+	if report.TotalWallClockNS != total {
+		t.Errorf("total_wall_clock_ns = %d, want sum %d", report.TotalWallClockNS, total)
+	}
+}

@@ -37,6 +37,29 @@ type clusterTaskRequest struct {
 	// daemon's -interval). Zero means the daemon's -max-interval.
 	MaxInterval int                     `json:"maxInterval,omitempty"`
 	Monitors    []clusterMonitorRequest `json:"monitors"`
+	// Gate correlation-gates the task on another admitted task: its
+	// monitors sample at the relaxed interval until the predictor's
+	// monitors observe a local violation.
+	Gate *clusterGateRequest `json:"gate,omitempty"`
+}
+
+// clusterGateRequest correlation-gates an admitted task (DESIGN.md §16):
+// while the predictor task is quiet, every monitor of the gated task
+// stretches to RelaxedInterval; a local violation on any of the
+// predictor's monitors arms the gates for HoldDown ticks and wakes the
+// gated monitors so they sample immediately. The predictor must already be
+// admitted and hosted here, and must not itself be gated (no gate chains,
+// matching BuildMonitoringPlan). Evicting a predictor leaves its
+// dependents permanently relaxed.
+type clusterGateRequest struct {
+	// Predictor names the admitted task whose local violations arm the gate.
+	Predictor string `json:"predictor"`
+	// RelaxedInterval is the quiet-time sampling interval in units of the
+	// daemon's -interval; zero means 4× the task's max interval.
+	RelaxedInterval int `json:"relaxedInterval,omitempty"`
+	// HoldDown is how many ticks a predictor violation keeps the task at
+	// its fully adaptive interval; zero means 10.
+	HoldDown int `json:"holdDown,omitempty"`
 }
 
 // clusterMonitorRequest is one monitor of an admitted task: an ID unique
@@ -73,12 +96,22 @@ type clusterDaemon struct {
 	tracer   *volley.Tracer
 	reg      *volley.Metrics
 	alerts   *volley.Counter
+	gateArms *volley.Counter
 	alertReg *volley.AlertRegistry
 	start    time.Time
 
 	mu   sync.Mutex
 	mons map[string][]*volley.Monitor // task name → hosted monitors
 	step uint64                       // virtual ticks elapsed
+
+	// Correlation gating state (guarded by mu). gates is index-aligned
+	// with mons for the same task. After construction, gates are only
+	// touched from the tick loop goroutine — Monitor.Tick drives
+	// Tick/Interval while ticking, and the loop's fan-out drives
+	// Armed/Signal afterwards — so Gate's single-goroutine contract holds.
+	gates       map[string][]*volley.Gate // gated task → per-monitor gates
+	gatePred    map[string]string         // gated task → predictor task
+	predTargets map[string][]string       // predictor task → gated dependents
 
 	// skMu guards sketches — both the map and the trackers' contents. The
 	// tick loop feeds sampled values in, PATCH /tasks reads thresholds out,
@@ -113,12 +146,15 @@ func runCluster(ctx context.Context, opts options) error {
 	}
 
 	d := &clusterDaemon{
-		opts:     opts,
-		net:      volley.NewMemoryNetwork(),
-		reg:      volley.NewMetrics(),
-		start:    time.Now(),
-		mons:     make(map[string][]*volley.Monitor),
-		sketches: make(map[string][]*volley.StreamingThresholds),
+		opts:        opts,
+		net:         volley.NewMemoryNetwork(),
+		reg:         volley.NewMetrics(),
+		start:       time.Now(),
+		mons:        make(map[string][]*volley.Monitor),
+		sketches:    make(map[string][]*volley.StreamingThresholds),
+		gates:       make(map[string][]*volley.Gate),
+		gatePred:    make(map[string]string),
+		predTargets: make(map[string][]string),
 	}
 	eventsSink, err := openFileSink(opts.eventsFile)
 	if err != nil {
@@ -139,6 +175,8 @@ func runCluster(ctx context.Context, opts options) error {
 	}
 	d.tracer = volley.NewTracer(4096, tracerOpts...)
 	d.alerts = d.reg.Counter("volleyd_alerts_total", "State alerts raised across all cluster tasks.")
+	d.gateArms = d.reg.Counter("volley_cluster_gate_arms_total",
+		"Correlation gates armed by predictor violations (transitions from relaxed to adaptive).")
 	d.reg.GaugeFunc("volleyd_uptime_seconds", "Seconds since daemon start.", func() float64 {
 		return time.Since(d.start).Seconds()
 	})
@@ -243,13 +281,18 @@ func (d *clusterDaemon) loop(ctx context.Context) error {
 		now := time.Duration(d.step) * d.opts.interval
 		d.step++
 		mons := make([]*volley.Monitor, 0, len(d.mons)*2)
+		names := make([]string, 0, len(d.mons)*2)
 		sks := make([]*volley.StreamingThresholds, 0, len(d.mons)*2)
 		d.skMu.Lock()
 		for name, ms := range d.mons {
 			mons = append(mons, ms...)
+			for range ms {
+				names = append(names, name)
+			}
 			sks = append(sks, d.sketches[name]...)
 		}
 		d.skMu.Unlock()
+		gating := len(d.predTargets) > 0
 		d.mu.Unlock()
 		d.cl.Tick(now)
 		values := make([]float64, len(mons))
@@ -271,6 +314,43 @@ func (d *clusterDaemon) loop(ctx context.Context) error {
 			}
 		}
 		d.skMu.Unlock()
+		if gating {
+			d.fanOutGateSignals(mons, names, values, fed)
+		}
+	}
+}
+
+// fanOutGateSignals arms the correlation gates of every task whose
+// predictor observed a local violation this tick: the gates hold down at
+// the adaptive interval and monitors still relaxed are woken so they
+// sample on the very next tick instead of finishing a stretched-out
+// countdown first (the scheduler's predictor-wakes-target semantics,
+// applied across admitted tasks).
+func (d *clusterDaemon) fanOutGateSignals(mons []*volley.Monitor, names []string, values []float64, fed []bool) {
+	violated := make(map[string]bool)
+	for i, m := range mons {
+		if fed[i] && m.Violates(values[i]) {
+			violated[names[i]] = true
+		}
+	}
+	if len(violated) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pred := range violated {
+		for _, tgt := range d.predTargets[pred] {
+			tmons := d.mons[tgt]
+			for j, g := range d.gates[tgt] {
+				if !g.Armed() {
+					d.gateArms.Inc()
+					if j < len(tmons) {
+						tmons[j].Wake()
+					}
+				}
+				g.Signal(true)
+			}
+		}
 	}
 }
 
@@ -392,6 +472,46 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Validate and build the correlation gates before touching cluster
+	// state, so a bad gate spec rejects the whole admission with nothing to
+	// roll back.
+	var gs []*volley.Gate
+	if req.Gate != nil {
+		pred := req.Gate.Predictor
+		switch {
+		case pred == "":
+			httpError(w, http.StatusBadRequest, fmt.Errorf("task %q: gate needs a predictor task", req.Name))
+			return
+		case pred == req.Name:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("task %q cannot gate on itself", req.Name))
+			return
+		case len(d.mons[pred]) == 0:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("task %q: gate predictor %q is not admitted here", req.Name, pred))
+			return
+		}
+		if _, chained := d.gatePred[pred]; chained {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("task %q: predictor %q is itself gated (gate chains are not allowed)", req.Name, pred))
+			return
+		}
+		relaxed := req.Gate.RelaxedInterval
+		if relaxed == 0 {
+			relaxed = 4 * maxInterval
+		}
+		hold := req.Gate.HoldDown
+		if hold == 0 {
+			hold = 10
+		}
+		gs = make([]*volley.Gate, len(addrs))
+		for i := range gs {
+			g, err := volley.NewGate(relaxed, hold)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("task %q: %w", req.Name, err))
+				return
+			}
+			gs[i] = g
+		}
+	}
 	shard, err := d.cl.Admit(volley.ClusterTaskSpec{
 		Name:      req.Name,
 		Threshold: req.Threshold,
@@ -406,7 +526,7 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	n := float64(len(addrs))
 	mons := make([]*volley.Monitor, len(addrs))
 	for i, addr := range addrs {
-		mons[i], err = volley.NewMonitor(volley.MonitorConfig{
+		cfg := volley.MonitorConfig{
 			ID:    addr,
 			Task:  req.Name,
 			Agent: volley.AgentFunc(agents[i]),
@@ -426,7 +546,14 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			Metrics:        d.reg,
 			Tracer:         d.tracer,
 			Alerts:         d.alertReg,
-		})
+		}
+		if gs != nil {
+			// Assign through the concrete slice only when gated: a nil
+			// *Gate stored in the interface field would be a non-nil
+			// IntervalGate and the monitor would call through it.
+			cfg.Gate = gs[i]
+		}
+		mons[i], err = volley.NewMonitor(cfg)
 		if err != nil {
 			// Roll the half-admitted task back so the request is atomic.
 			for _, a := range addrs[:i] {
@@ -456,12 +583,19 @@ func (d *clusterDaemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	d.skMu.Lock()
 	d.sketches[req.Name] = sks
 	d.skMu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"name": req.Name, "shard": shard,
 		"coordinator": d.cl.CoordinatorAddr(req.Name), "monitors": addrs,
-	})
+	}
+	if gs != nil {
+		d.gates[req.Name] = gs
+		d.gatePred[req.Name] = req.Gate.Predictor
+		d.predTargets[req.Gate.Predictor] = append(d.predTargets[req.Gate.Predictor], req.Name)
+		resp["gate"] = map[string]any{"predictor": req.Gate.Predictor}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // handleUpdate retunes a task's threshold and allowance: the cluster
@@ -570,6 +704,28 @@ func (d *clusterDaemon) handleEvict(w http.ResponseWriter, r *http.Request) {
 		_ = d.net.Deregister(a)
 	}
 	delete(d.mons, name)
+	// Gating cleanup. If the evicted task was gated, unlink it from its
+	// predictor. If it was a predictor, its dependents keep their gates but
+	// nothing arms them anymore: they sample at the relaxed interval until
+	// they are themselves evicted (documented on clusterGateRequest).
+	delete(d.gates, name)
+	if pred, ok := d.gatePred[name]; ok {
+		delete(d.gatePred, name)
+		tgts := d.predTargets[pred]
+		for i, t := range tgts {
+			if t == name {
+				d.predTargets[pred] = append(tgts[:i], tgts[i+1:]...)
+				break
+			}
+		}
+		if len(d.predTargets[pred]) == 0 {
+			delete(d.predTargets, pred)
+		}
+	}
+	for _, tgt := range d.predTargets[name] {
+		delete(d.gatePred, tgt)
+	}
+	delete(d.predTargets, name)
 	d.skMu.Lock()
 	delete(d.sketches, name)
 	d.skMu.Unlock()

@@ -495,6 +495,8 @@ func buildAgent(source string) (func() (float64, error), error) {
 			}
 			return parseNumber(string(out))
 		}, nil
+	case strings.HasPrefix(source, "workload:"):
+		return buildWorkloadAgent(source)
 	case strings.HasPrefix(source, "http://"), strings.HasPrefix(source, "https://"):
 		client := &http.Client{Timeout: 10 * time.Second}
 		return func() (float64, error) {
@@ -515,7 +517,7 @@ func buildAgent(source string) (func() (float64, error), error) {
 	case source == "":
 		return nil, fmt.Errorf("missing -source")
 	default:
-		return nil, fmt.Errorf("unknown source %q (want cmd:<command> or an http(s) URL)", source)
+		return nil, fmt.Errorf("unknown source %q (want cmd:<command>, an http(s) URL or workload:<family>)", source)
 	}
 }
 

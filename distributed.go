@@ -25,6 +25,11 @@ type Monitor = monitor.Monitor
 // MonitorConfig parameterizes a Monitor.
 type MonitorConfig = monitor.Config
 
+// MonitorIntervalGate relaxes a monitor's effective sampling interval
+// while no correlated predictor signals elevated violation likelihood
+// (MonitorConfig.Gate); a correlation Gate satisfies it.
+type MonitorIntervalGate = monitor.IntervalGate
+
 // MonitorStats counts a monitor's activity.
 type MonitorStats = monitor.Stats
 

@@ -28,6 +28,25 @@ type Preset struct {
 	Fig8BaseK        float64
 	Fig8Skews        []float64
 
+	// Workload-family sweep (RunWorkloadEntropy / RunWorkloadTenant →
+	// BENCH_workloads.json; DESIGN.md §16).
+	WloadEntropyNodes   int
+	WloadEntropyWindows int
+	WloadTenants        int
+	WloadTenantGroups   int
+	WloadTenantWindows  int
+	// WloadErrs is the per-node allowance axis of the entropy sweep;
+	// WloadErrScales the per-tier allowance scale axis of the tenant
+	// sweep; WloadIntervals the uniform-interval baseline axis both are
+	// compared against.
+	WloadErrs      []float64
+	WloadErrScales []float64
+	WloadIntervals []int
+	// WloadMinRecall bounds the correlation-gated tenant plan: only rules
+	// with at least this recall gate a tenant, and the end-to-end episode
+	// recall of the gated run is reported against it.
+	WloadMinRecall float64
+
 	// Shared sweep axes.
 	Errs        []float64
 	Ks          []float64
@@ -78,6 +97,16 @@ func Full() Preset {
 		Fig8BaseK:        1.0,
 		Fig8Skews:        []float64{0, 0.5, 1, 1.5, 2},
 
+		WloadEntropyNodes:   48,
+		WloadEntropyWindows: 10000,
+		WloadTenants:        2000,
+		WloadTenantGroups:   40,
+		WloadTenantWindows:  6000,
+		WloadErrs:           []float64{0.0025, 0.005, 0.01, 0.02, 0.04, 0.08},
+		WloadErrScales:      []float64{0.25, 0.5, 1, 2, 4},
+		WloadIntervals:      []int{1, 2, 4, 8, 12, 16, 20},
+		WloadMinRecall:      0.7,
+
 		Errs:        []float64{0.001, 0.002, 0.004, 0.008, 0.016, 0.032},
 		Ks:          []float64{6.4, 3.2, 1.6, 0.8, 0.4, 0.2, 0.1},
 		MaxInterval: 20,
@@ -110,6 +139,16 @@ func Quick() Preset {
 		Fig8Err:          0.02,
 		Fig8BaseK:        1.0,
 		Fig8Skews:        []float64{0, 1, 2},
+
+		WloadEntropyNodes:   16,
+		WloadEntropyWindows: 2400,
+		WloadTenants:        240,
+		WloadTenantGroups:   8,
+		WloadTenantWindows:  2000,
+		WloadErrs:           []float64{0.005, 0.02, 0.08},
+		WloadErrScales:      []float64{0.5, 1, 2},
+		WloadIntervals:      []int{1, 2, 4, 8, 16},
+		WloadMinRecall:      0.7,
 
 		Errs:        []float64{0.002, 0.008, 0.032},
 		Ks:          []float64{6.4, 0.8, 0.1},

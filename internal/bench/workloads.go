@@ -33,8 +33,15 @@ func (w *NetworkWorkload) Windows() int {
 	return len(w.Rho[0])
 }
 
-// ServerOf reports the hosting server of a VM.
-func (w *NetworkWorkload) ServerOf(vm int) int { return vm / w.VMsPerServer }
+// ServerOf reports the hosting server of a VM. A degenerate workload with
+// VMsPerServer ≤ 0 has no placement; everything maps to server 0 instead
+// of dividing by zero.
+func (w *NetworkWorkload) ServerOf(vm int) int {
+	if w.VMsPerServer <= 0 {
+		return 0
+	}
+	return vm / w.VMsPerServer
+}
 
 // MeanServerPackets reports the mean per-server packet volume per window,
 // the calibration input of the CPU model.

@@ -105,22 +105,75 @@ func (d *Detector) AddSeries(taskID string, values []float64, threshold float64)
 // minRecall, sorted by descending recall then ascending lag. Series of
 // differing lengths are truncated to the shortest common prefix.
 func (d *Detector) Detect(minRecall float64) ([]Rule, error) {
-	if minRecall < 0 || minRecall > 1 || math.IsNaN(minRecall) {
-		return nil, fmt.Errorf("correlation: min recall %v outside [0, 1]", minRecall)
-	}
 	ids := make([]string, 0, len(d.tasks))
 	for id := range d.tasks {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids) // determinism
+	return d.scan(ids, ids, minRecall)
+}
+
+// DetectPairs is Detect restricted to the given predictor and target
+// candidates: only predictor→target pairs from the cross product are
+// evaluated, which keeps detection O(|predictors|·|targets|) instead of
+// O(tasks²) when the caller already knows which tasks can gate which (e.g.
+// cheap aggregates predicting the expensive series they summarize). Every
+// id must have been registered with AddSeries; duplicates are ignored.
+func (d *Detector) DetectPairs(predictors, targets []string, minRecall float64) ([]Rule, error) {
+	preds, err := d.dedupKnown("predictor", predictors)
+	if err != nil {
+		return nil, err
+	}
+	tgts, err := d.dedupKnown("target", targets)
+	if err != nil {
+		return nil, err
+	}
+	return d.scan(preds, tgts, minRecall)
+}
+
+// dedupKnown validates ids against the registered tasks and returns them
+// sorted and deduplicated (determinism regardless of caller order).
+func (d *Detector) dedupKnown(role string, ids []string) ([]string, error) {
+	out := make([]string, 0, len(ids))
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := d.tasks[id]; !ok {
+			return nil, fmt.Errorf("correlation: unknown %s task %q", role, id)
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// scan evaluates every predictor→target pair. The per-series violation
+// vectors are computed once up front, so the whole scan is
+// O(series·length + pairs·length·lag) instead of recomputing the
+// indicator vectors for each of the O(pairs) evaluations.
+func (d *Detector) scan(predictors, targets []string, minRecall float64) ([]Rule, error) {
+	if minRecall < 0 || minRecall > 1 || math.IsNaN(minRecall) {
+		return nil, fmt.Errorf("correlation: min recall %v outside [0, 1]", minRecall)
+	}
+	viol := make(map[string][]bool, len(predictors)+len(targets))
+	for _, ids := range [][]string{predictors, targets} {
+		for _, id := range ids {
+			if _, ok := viol[id]; !ok {
+				s := d.tasks[id]
+				viol[id] = violations(s.values, s.threshold)
+			}
+		}
+	}
 
 	var rules []Rule
-	for _, p := range ids {
-		for _, t := range ids {
+	for _, p := range predictors {
+		for _, t := range targets {
 			if p == t {
 				continue
 			}
-			rule, ok := d.evaluate(p, t)
+			rule, ok := d.evaluate(p, t, viol[p], viol[t])
 			if ok && rule.Recall >= minRecall {
 				rules = append(rules, rule)
 			}
@@ -141,7 +194,11 @@ func (d *Detector) Detect(minRecall float64) ([]Rule, error) {
 	return rules, nil
 }
 
-func (d *Detector) evaluate(predictorID, targetID string) (Rule, bool) {
+// evaluate scores one pair. pViol and tViol are the full-length violation
+// vectors of the two series (hoisted by scan); slicing them to the common
+// prefix is equivalent to recomputing them over truncated series, because
+// the indicator is elementwise.
+func (d *Detector) evaluate(predictorID, targetID string, pViol, tViol []bool) (Rule, bool) {
 	p, t := d.tasks[predictorID], d.tasks[targetID]
 	n := len(p.values)
 	if len(t.values) < n {
@@ -150,8 +207,6 @@ func (d *Detector) evaluate(predictorID, targetID string) (Rule, bool) {
 	pv, tv := p.values[:n], t.values[:n]
 
 	lag, corr := stats.BestLag(pv, tv, d.maxLag)
-	pViol := violations(pv, p.threshold)
-	tViol := violations(tv, t.threshold)
 
 	// Shift the target back by the lag so co-occurrence is measured at the
 	// aligned offset, then allow the configured slack.
@@ -159,7 +214,7 @@ func (d *Detector) evaluate(predictorID, targetID string) (Rule, bool) {
 		return Rule{}, false
 	}
 	alignedP := pViol[:n-lag]
-	alignedT := tViol[lag:]
+	alignedT := tViol[lag:n]
 	precision, recall := stats.CoOccurrence(alignedP, alignedT, d.slack)
 	if math.IsNaN(recall) {
 		return Rule{}, false

@@ -1,0 +1,189 @@
+package correlation
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"volley/internal/stats"
+)
+
+// legacyEvaluate recomputes the violation vectors for every pair — the
+// pre-hoist Detect behavior, kept here as the equivalence baseline and the
+// benchmark's "before" side.
+func (d *Detector) legacyEvaluate(predictorID, targetID string) (Rule, bool) {
+	p, t := d.tasks[predictorID], d.tasks[targetID]
+	n := len(p.values)
+	if len(t.values) < n {
+		n = len(t.values)
+	}
+	pv, tv := p.values[:n], t.values[:n]
+
+	lag, corr := stats.BestLag(pv, tv, d.maxLag)
+	pViol := violations(pv, p.threshold)
+	tViol := violations(tv, t.threshold)
+	if lag >= n {
+		return Rule{}, false
+	}
+	precision, recall := stats.CoOccurrence(pViol[:n-lag], tViol[lag:], d.slack)
+	if math.IsNaN(recall) {
+		return Rule{}, false
+	}
+	return Rule{Predictor: predictorID, Target: targetID, Lag: lag, Corr: corr,
+		Precision: precision, Recall: recall}, true
+}
+
+func (d *Detector) legacyDetect(minRecall float64) ([]Rule, error) {
+	if minRecall < 0 || minRecall > 1 || math.IsNaN(minRecall) {
+		return nil, fmt.Errorf("correlation: min recall %v outside [0, 1]", minRecall)
+	}
+	ids := make([]string, 0, len(d.tasks))
+	for id := range d.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var rules []Rule
+	for _, p := range ids {
+		for _, t := range ids {
+			if p == t {
+				continue
+			}
+			rule, ok := d.legacyEvaluate(p, t)
+			if ok && rule.Recall >= minRecall {
+				rules = append(rules, rule)
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Recall != rules[j].Recall {
+			return rules[i].Recall > rules[j].Recall
+		}
+		if rules[i].Lag != rules[j].Lag {
+			return rules[i].Lag < rules[j].Lag
+		}
+		if rules[i].Predictor != rules[j].Predictor {
+			return rules[i].Predictor < rules[j].Predictor
+		}
+		return rules[i].Target < rules[j].Target
+	})
+	return rules, nil
+}
+
+// detectorWithSeries builds a detector holding `tasks` correlated series
+// of the given length.
+func detectorWithSeries(tb testing.TB, tasks, length int) *Detector {
+	tb.Helper()
+	d, err := NewDetector(3, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < tasks; i++ {
+		pred, tgt := makeCorrelatedSeries(length, 2, int64(i+1))
+		if err := d.AddSeries(fmt.Sprintf("p%02d", i), pred, 5); err != nil {
+			tb.Fatal(err)
+		}
+		if err := d.AddSeries(fmt.Sprintf("t%02d", i), tgt, 5); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestDetectMatchesLegacyRecompute proves the hoisted scan is equivalent
+// to the per-pair recomputation it replaced.
+func TestDetectMatchesLegacyRecompute(t *testing.T) {
+	d := detectorWithSeries(t, 6, 800)
+	// Mixed lengths exercise the common-prefix truncation against the
+	// full-length hoisted vectors.
+	short := make([]float64, 500)
+	for i := range short {
+		short[i] = math.Sin(float64(i) / 3)
+	}
+	if err := d.AddSeries("short", short, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, minRecall := range []float64{0, 0.3, 0.9} {
+		want, err := d.legacyDetect(minRecall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Detect(minRecall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("minRecall=%v: hoisted Detect diverges from legacy:\nlegacy %v\nhoisted %v",
+				minRecall, want, got)
+		}
+	}
+}
+
+// TestDetectPairsRestrictsScan checks DetectPairs only evaluates the given
+// cross product and agrees with Detect on it.
+func TestDetectPairsRestrictsScan(t *testing.T) {
+	d := detectorWithSeries(t, 4, 600)
+	all, err := d.Detect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []string{"p00", "p01", "p01"} // duplicate must be tolerated
+	tgts := []string{"t00", "t01"}
+	got, err := d.DetectPairs(preds, tgts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{"p00": true, "p01": true}
+	targets := map[string]bool{"t00": true, "t01": true}
+	var want []Rule
+	for _, r := range all {
+		if allowed[r.Predictor] && targets[r.Target] {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("DetectPairs = %v, want the matching subset of Detect = %v", got, want)
+	}
+	if _, err := d.DetectPairs([]string{"nope"}, tgts, 0); err == nil {
+		t.Error("unknown predictor id accepted")
+	}
+	if _, err := d.DetectPairs(preds, []string{"nope"}, 0); err == nil {
+		t.Error("unknown target id accepted")
+	}
+	if _, err := d.DetectPairs(preds, tgts, 2); err == nil {
+		t.Error("min recall outside [0,1] accepted")
+	}
+	// A task may appear on both sides; the self pair is skipped.
+	both, err := d.DetectPairs([]string{"p00", "t00"}, []string{"p00", "t00"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range both {
+		if r.Predictor == r.Target {
+			t.Errorf("self rule %v escaped", r)
+		}
+	}
+}
+
+// BenchmarkDetectHoisted / BenchmarkDetectLegacyRecompute prove the hoist:
+// the scan no longer recomputes violation vectors per pair.
+func BenchmarkDetectHoisted(b *testing.B) {
+	d := detectorWithSeries(b, 12, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Detect(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectLegacyRecompute(b *testing.B) {
+	d := detectorWithSeries(b, 12, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.legacyDetect(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package correlation
+
+import "testing"
+
+// TestGateRelaxedEqualsAdaptive pins the documented behavior at the
+// degenerate configuration relaxedInterval == adaptive: the gate is a
+// no-op — the effective interval is the adaptive interval whether armed or
+// not.
+func TestGateRelaxedEqualsAdaptive(t *testing.T) {
+	g, err := NewGate(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Interval(5); got != 5 {
+		t.Errorf("unarmed Interval(5) with relaxed=5 = %d, want 5", got)
+	}
+	g.Signal(true)
+	if got := g.Interval(5); got != 5 {
+		t.Errorf("armed Interval(5) = %d, want 5", got)
+	}
+}
+
+// TestGateHoldDownBoundary pins the exact expiry tick: a gate armed with
+// hold-down h stays armed for ticks 1..h−1 after the signal and disarms
+// exactly on the h-th Tick — not one early, not one late.
+func TestGateHoldDownBoundary(t *testing.T) {
+	const holdDown = 4
+	g, err := NewGate(10, holdDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Signal(true)
+	if !g.Armed() {
+		t.Fatal("gate not armed after signal")
+	}
+	for i := 1; i < holdDown; i++ {
+		g.Tick()
+		if !g.Armed() {
+			t.Fatalf("gate disarmed after %d ticks, want armed through tick %d", i, holdDown-1)
+		}
+		if got := g.Interval(2); got != 2 {
+			t.Fatalf("armed Interval(2) after %d ticks = %d, want adaptive 2", i, got)
+		}
+	}
+	g.Tick() // the boundary tick
+	if g.Armed() {
+		t.Errorf("gate still armed after %d ticks, want disarmed exactly at the boundary", holdDown)
+	}
+	if got := g.Interval(2); got != 10 {
+		t.Errorf("Interval(2) after expiry = %d, want relaxed 10", got)
+	}
+	// Re-signaling on the expiry tick re-arms for a full hold-down and
+	// counts a fresh arm transition.
+	arms := g.Arms()
+	g.Signal(true)
+	if !g.Armed() {
+		t.Error("gate not re-armed by a signal on the expiry tick")
+	}
+	if g.Arms() != arms+1 {
+		t.Errorf("arms = %d after re-arm, want %d", g.Arms(), arms+1)
+	}
+}
+
+// TestGateHotPathZeroAlloc guards the runtime hot path: a monitor consults
+// its gate every tick, so Tick/Signal/Armed/Interval must not allocate.
+func TestGateHotPathZeroAlloc(t *testing.T) {
+	g, err := NewGate(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Tick()
+		g.Signal(true)
+		g.Signal(false)
+		if g.Armed() {
+			sink += g.Interval(3)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("gate hot path allocates %v per run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Error("gate never armed during the alloc guard")
+	}
+}

@@ -35,6 +35,17 @@ type AgentFunc func() (float64, error)
 // Sample implements Agent.
 func (f AgentFunc) Sample() (float64, error) { return f() }
 
+// IntervalGate relaxes a monitor's effective sampling interval while no
+// correlated predictor task signals elevated violation likelihood
+// (correlation.Gate satisfies it). Tick is called once per monitor tick
+// and Interval maps the sampler's adaptive interval to the effective one.
+// Implementations are driven from the monitor's tick goroutine and need
+// not be thread-safe.
+type IntervalGate interface {
+	Tick()
+	Interval(adaptive int) int
+}
+
 // Config parameterizes a monitor.
 type Config struct {
 	// ID is the monitor's network address / name.
@@ -74,6 +85,12 @@ type Config struct {
 	// per-monitor context on the task's alert (alerts.ObserveLocal), so
 	// an open alert names the monitors that contributed. Optional.
 	Alerts *alerts.Registry
+	// Gate, when set, stretches the effective sampling interval while the
+	// gate is disarmed (correlation-gated monitoring: a cheap predictor
+	// task arms the gate when this task's violation becomes likely). The
+	// gate is consulted after the sampler adapts, so the sampler's own
+	// statistics stay uncontaminated by gating. Optional.
+	Gate IntervalGate
 }
 
 // Stats counts a monitor's activity.
@@ -174,6 +191,9 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 
 	m.mu.Lock()
 	m.stats.Ticks++
+	if m.cfg.Gate != nil {
+		m.cfg.Gate.Tick()
+	}
 	if msg, ok := m.heartbeatLocked(now); ok {
 		outgoing = append(outgoing, msg)
 	}
@@ -200,6 +220,9 @@ func (m *Monitor) Tick(now time.Duration) (sampled bool, value float64, err erro
 	}
 	m.stats.Samples++
 	interval := m.sampler.Observe(v)
+	if m.cfg.Gate != nil {
+		interval = m.cfg.Gate.Interval(interval)
+	}
 	m.untilNext = interval - 1
 	m.lastValue = v
 	m.hasValue = true
@@ -324,6 +347,25 @@ func (m *Monitor) handle(msg transport.Message) {
 	default:
 		// Other kinds are coordinator-bound; ignore.
 	}
+}
+
+// Wake schedules a sampling operation for the monitor's next tick,
+// cutting short the current (possibly gate-relaxed) gap. The control plane
+// calls it when a predictor's violation arms this monitor's gate, so a
+// freshly armed monitor samples immediately instead of waiting out the
+// remainder of its relaxed interval.
+func (m *Monitor) Wake() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.untilNext = 0
+}
+
+// Violates reports whether a value crosses the monitor's local threshold
+// in the sampler's configured direction.
+func (m *Monitor) Violates(v float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampler.Violates(v)
 }
 
 // Interval reports the sampler's current interval in default intervals.

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func quickEntropy() EntropyFlow { return DefaultEntropyFlow(8, 1200, 7) }
+
+func quickTenant() TenantColo { return DefaultTenantColo(96, 8, 1000, 7) }
+
+// TestGenerateDeterministic gates the reproducibility contract: the same
+// config yields bit-identical sets on repeated generation.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, f := range []Family{quickEntropy(), quickTenant()} {
+		a, err := Generate(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		b, err := Generate(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: repeated generation differs", f.Name())
+		}
+	}
+}
+
+// TestGenSeriesIndexIndependent gates the parallel-generation contract:
+// generating series out of order (here: reverse) assembles to the same set
+// as the serial in-order Generate, so the engine can fan indices across
+// workers.
+func TestGenSeriesIndexIndependent(t *testing.T) {
+	for _, f := range []Family{quickEntropy(), quickTenant()} {
+		want, err := Generate(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		series := make([]Series, f.Size())
+		for i := f.Size() - 1; i >= 0; i-- {
+			s, err := f.GenSeries(i)
+			if err != nil {
+				t.Fatalf("%s: series %d: %v", f.Name(), i, err)
+			}
+			series[i] = s
+		}
+		got, err := f.Assemble(series)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: reverse-order generation differs from serial", f.Name())
+		}
+	}
+}
+
+// TestSeedChangesOutput guards against accidentally ignoring the seed.
+func TestSeedChangesOutput(t *testing.T) {
+	a, err := Generate(quickEntropy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := quickEntropy()
+	f.Seed = 8
+	b, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Series[0].Values, b.Series[0].Values) {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+// TestEntropySeparation checks the family does what it claims: injected
+// attack epochs collapse entropy hard enough that most attack windows —
+// and every epoch — cross the global threshold, while clean windows
+// essentially never do. (The EWMA ramp means the first window or two of an
+// epoch may still be below threshold, so window-level coverage is bounded
+// below 100%.)
+func TestEntropySeparation(t *testing.T) {
+	f := quickEntropy()
+	set, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Truth) != f.WindowsN || len(set.Global) != f.WindowsN {
+		t.Fatalf("global/truth lengths = %d/%d, want %d", len(set.Global), len(set.Truth), f.WindowsN)
+	}
+	var attackWins, attackHits, cleanWins, cleanHits int
+	episodes, detected := 0, 0
+	in, hit := false, false
+	for w, truth := range set.Truth {
+		crossed := set.Global[w] > set.GlobalThreshold
+		if truth {
+			attackWins++
+			if crossed {
+				attackHits++
+			}
+			if !in {
+				episodes++
+				in, hit = true, false
+			}
+			if !hit && crossed {
+				hit = true
+				detected++
+			}
+		} else {
+			in = false
+			cleanWins++
+			if crossed {
+				cleanHits++
+			}
+		}
+	}
+	if attackWins == 0 {
+		t.Fatal("schedule injected no attack epochs")
+	}
+	if detected != episodes {
+		t.Errorf("only %d/%d attack epochs cross the global threshold, want all", detected, episodes)
+	}
+	if hitRate := float64(attackHits) / float64(attackWins); hitRate < 0.7 {
+		t.Errorf("only %.0f%% of attack windows cross the global threshold, want ≥ 70%%", 100*hitRate)
+	}
+	if fp := float64(cleanHits) / float64(cleanWins); fp > 0.02 {
+		t.Errorf("%.1f%% of clean windows cross the global threshold, want ≤ 2%%", 100*fp)
+	}
+	if set.GlobalErr != f.Err {
+		t.Errorf("global err = %v, want %v", set.GlobalErr, f.Err)
+	}
+	for _, s := range set.Series {
+		if s.Err != f.Err {
+			t.Errorf("series %s err = %v, want per-node allowance %v", s.ID, s.Err, f.Err)
+		}
+	}
+}
+
+// TestTenantShape checks tier assignment, grouping and the derived
+// aggregates.
+func TestTenantShape(t *testing.T) {
+	f := quickTenant()
+	set, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Aggregates) != f.Groups {
+		t.Fatalf("aggregates = %d, want %d", len(set.Aggregates), f.Groups)
+	}
+	tiers := map[string]int{}
+	for i, s := range set.Series {
+		tiers[s.Tier]++
+		if want := set.Aggregates[i%f.Groups].Group; s.Group != want {
+			t.Errorf("tenant %d group = %q, want %q", i, s.Group, want)
+		}
+		if s.Threshold <= 0 || s.Err <= 0 || s.Cost <= 0 {
+			t.Errorf("tenant %d has degenerate target %+v", i, s)
+		}
+	}
+	for _, tier := range f.Tiers {
+		if tiers[tier.Name] == 0 {
+			t.Errorf("tier %s drew no tenants (got %v)", tier.Name, tiers)
+		}
+	}
+	// Aggregates are exact group sums.
+	for g, agg := range set.Aggregates {
+		sum := 0.0
+		for i, s := range set.Series {
+			if i%f.Groups == g {
+				sum += s.Values[17]
+			}
+		}
+		if math.Abs(agg.Values[17]-sum) > 1e-9 {
+			t.Errorf("group %d aggregate window 17 = %v, want member sum %v", g, agg.Values[17], sum)
+		}
+	}
+	// Group bursts must make aggregates predictive: every aggregate needs
+	// some violating windows.
+	for _, agg := range set.Aggregates {
+		viol := 0
+		for _, ok := range (&agg).Violations() {
+			if ok {
+				viol++
+			}
+		}
+		if viol == 0 {
+			t.Errorf("aggregate %s never violates its threshold", agg.ID)
+		}
+	}
+}
+
+// TestValidation covers config rejection.
+func TestValidation(t *testing.T) {
+	bad := quickEntropy()
+	bad.Sources = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("entropy with 1 source accepted")
+	}
+	if _, err := quickEntropy().GenSeries(99); err == nil {
+		t.Error("out-of-range entropy index accepted")
+	}
+	badT := quickTenant()
+	badT.Tiers = nil
+	if _, err := Generate(badT); err == nil {
+		t.Error("tenant family without tiers accepted")
+	}
+	badT = quickTenant()
+	badT.Groups = badT.Tenants + 1
+	if _, err := Generate(badT); err == nil {
+		t.Error("more groups than tenants accepted")
+	}
+	if _, err := quickTenant().GenSeries(-1); err == nil {
+		t.Error("negative tenant index accepted")
+	}
+	ef := quickEntropy()
+	if _, err := ef.Assemble(make([]Series, 1)); err == nil {
+		t.Error("entropy assemble with wrong series count accepted")
+	}
+}
